@@ -1,0 +1,59 @@
+// Figure 4 reproduction: detection scalability — average runtime per
+// trajectory for the length groups G1..G4. Expected shape (paper): CTSS
+// grows fastest with length (quadratic); the rest scale roughly linearly;
+// DBTOD cheapest.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "eval/metrics.h"
+
+using namespace rl4oasd;
+
+int main() {
+  printf("=== Figure 4: detection scalability (avg ms per trajectory) ===\n\n");
+  auto city = bench::MakeChengduLike(32);
+  const auto dev = bench::DevSet(city.test);
+
+  // Bucket test trajectories by length group.
+  std::vector<std::vector<size_t>> groups(eval::kNumLengthGroups);
+  for (size_t i = 0; i < city.test.size(); ++i) {
+    groups[eval::LengthGroupOf(city.test[i].traj.edges.size())].push_back(i);
+  }
+  printf("group sizes:");
+  for (int g = 0; g < eval::kNumLengthGroups; ++g) {
+    printf(" %s=%zu", eval::kLengthGroupNames[g], groups[g].size());
+  }
+  printf("\n\n%-22s %10s %10s %10s %10s\n", "Method", "G1", "G2", "G3", "G4");
+
+  auto time_groups = [&](auto&& detect_fn, const char* name) {
+    printf("%-22s", name);
+    for (int g = 0; g < eval::kNumLengthGroups; ++g) {
+      if (groups[g].empty()) {
+        printf(" %10s", "-");
+        continue;
+      }
+      Stopwatch sw;
+      for (size_t idx : groups[g]) {
+        (void)detect_fn(city.test[idx].traj);
+      }
+      printf(" %10.3f", sw.ElapsedMillis() /
+                            static_cast<double>(groups[g].size()));
+    }
+    printf("\n");
+  };
+
+  for (auto& baseline : bench::MakeBaselines(&city.net)) {
+    baseline->Fit(city.train);
+    baseline->Tune(dev);
+    time_groups(
+        [&](const traj::MapMatchedTrajectory& t) { return baseline->Detect(t); },
+        baseline->name().c_str());
+  }
+  core::Rl4Oasd model(&city.net, bench::TunedConfig());
+  model.Fit(city.train);
+  time_groups(
+      [&](const traj::MapMatchedTrajectory& t) { return model.Detect(t); },
+      "RL4OASD");
+  return 0;
+}

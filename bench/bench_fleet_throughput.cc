@@ -1,0 +1,64 @@
+// Service-scale extension bench: fleet-monitor ingest throughput as ingest
+// threads scale. The paper's efficiency study (Figure 3) measures one
+// trajectory at a time; a deployment runs thousands of concurrent trips.
+// Expected shape: near-linear scaling up to the shard/core limit, with
+// per-point cost staying far below the 2 s sampling interval.
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "serve/fleet.h"
+
+using namespace rl4oasd;
+
+int main() {
+  printf("=== Fleet ingest throughput (threads vs points/s) ===\n\n");
+  auto city = bench::MakeChengduLike();
+  core::Rl4Oasd model(&city.net, bench::TunedConfig());
+  model.Fit(city.train);
+
+  // Pre-slice the replayable trips.
+  std::vector<const traj::LabeledTrajectory*> trips;
+  for (const auto& lt : city.test.trajs()) {
+    if (lt.traj.edges.size() >= 2) trips.push_back(&lt);
+  }
+  int64_t total_points = 0;
+  for (const auto* lt : trips) {
+    total_points += static_cast<int64_t>(lt->traj.edges.size());
+  }
+  printf("fleet: %zu trips, %lld points, model trained on %zu trips\n\n",
+         trips.size(), static_cast<long long>(total_points),
+         city.train.size());
+  printf("%-8s %14s %14s %10s\n", "Threads", "points/s", "us/point",
+         "alerts");
+
+  for (int threads : {1, 2, 4, 8}) {
+    serve::CollectingSink sink;
+    serve::FleetMonitor monitor(&model, {}, &sink);
+    Stopwatch sw;
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (int th = 0; th < threads; ++th) {
+      workers.emplace_back([&, th] {
+        for (size_t i = static_cast<size_t>(th); i < trips.size();
+             i += static_cast<size_t>(threads)) {
+          const auto& t = trips[i]->traj;
+          const auto vid = static_cast<int64_t>(i);
+          if (!monitor.StartTrip(vid, t.sd(), t.start_time).ok()) continue;
+          for (traj::EdgeId e : t.edges) {
+            (void)monitor.Feed(vid, e, t.start_time);
+          }
+          (void)monitor.EndTrip(vid);
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    const double s = sw.ElapsedSeconds();
+    printf("%-8d %14.0f %14.2f %10zu\n", threads,
+           static_cast<double>(total_points) / s,
+           s * 1e6 / static_cast<double>(total_points), sink.NumAlerts());
+  }
+  return 0;
+}

@@ -1,0 +1,186 @@
+// Microbenchmarks of the hot paths behind the paper's efficiency claims
+// (google-benchmark): LSTM streaming step, policy action, the full
+// per-point detector Feed, preprocessor lookups, discrete-Frechet row
+// update, and bounded shortest paths.
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/detector.h"
+#include "io/checkpoint.h"
+#include "io/model_io.h"
+#include "nn/gru.h"
+#include "roadnet/shortest_path.h"
+#include "serve/fleet.h"
+
+using namespace rl4oasd;
+
+namespace {
+
+struct MicroFixture {
+  bench::CityData city = bench::MakeChengduLike(12);
+  core::Rl4Oasd model{&city.net, [] {
+                        auto cfg = bench::TunedConfig();
+                        cfg.pretrain_samples = 80;
+                        cfg.pretrain_epochs = 2;
+                        cfg.joint_samples = 50;
+                        return cfg;
+                      }()};
+  traj::MapMatchedTrajectory long_traj;
+
+  MicroFixture() {
+    model.Fit(city.train);
+    for (const auto& lt : city.test.trajs()) {
+      if (lt.traj.edges.size() > long_traj.edges.size()) long_traj = lt.traj;
+    }
+  }
+};
+
+MicroFixture& Fixture() {
+  static MicroFixture f;
+  return f;
+}
+
+void BM_LstmStreamingStep(benchmark::State& state) {
+  auto& f = Fixture();
+  core::RsrStream stream(f.model.rsrnet().config().hidden_dim);
+  size_t i = 0;
+  const auto& edges = f.long_traj.edges;
+  for (auto _ : state) {
+    auto z = f.model.rsrnet().StepForward(edges[i % edges.size()], 0, &stream,
+                                          nullptr);
+    benchmark::DoNotOptimize(z.data());
+    ++i;
+  }
+}
+BENCHMARK(BM_LstmStreamingStep);
+
+void BM_PolicyAction(benchmark::State& state) {
+  auto& f = Fixture();
+  nn::Vec z(f.model.rsrnet().z_dim(), 0.1f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.model.asdnet().GreedyAction(z.data(), 0));
+  }
+}
+BENCHMARK(BM_PolicyAction);
+
+void BM_DetectorPerPoint(benchmark::State& state) {
+  auto& f = Fixture();
+  const auto& t = f.long_traj;
+  auto session = f.model.StartSession(t.sd(), t.start_time);
+  size_t i = 0;
+  for (auto _ : state) {
+    if (i == t.edges.size()) {
+      state.PauseTiming();
+      session = f.model.StartSession(t.sd(), t.start_time);
+      i = 0;
+      state.ResumeTiming();
+    }
+    benchmark::DoNotOptimize(session.Feed(t.edges[i++]));
+  }
+}
+BENCHMARK(BM_DetectorPerPoint);
+
+void BM_TransitionFractionLookup(benchmark::State& state) {
+  auto& f = Fixture();
+  const auto& t = f.long_traj;
+  size_t i = 1;
+  for (auto _ : state) {
+    if (i + 1 >= t.edges.size()) i = 1;
+    benchmark::DoNotOptimize(f.model.preprocessor().TransitionFractionAt(
+        t.sd(), t.start_time, t.edges[i - 1], t.edges[i]));
+    ++i;
+  }
+}
+BENCHMARK(BM_TransitionFractionLookup);
+
+void BM_FrechetRow(benchmark::State& state) {
+  auto& f = Fixture();
+  baselines::CtssDetector ctss(&f.city.net);
+  ctss.Fit(f.city.train);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctss.Scores(f.long_traj));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(f.long_traj.edges.size()));
+}
+BENCHMARK(BM_FrechetRow);
+
+void BM_ShortestPathBetweenEdges(benchmark::State& state) {
+  auto& f = Fixture();
+  const auto& t = f.long_traj;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(roadnet::ShortestPathBetweenEdges(
+        f.city.net, t.edges.front(), t.edges.back()));
+  }
+}
+BENCHMARK(BM_ShortestPathBetweenEdges);
+
+void BM_RsrTrainStep(benchmark::State& state) {
+  auto& f = Fixture();
+  const auto& t = f.long_traj;
+  const auto nrf = f.model.preprocessor().NormalRouteFeatures(t);
+  const auto noisy = f.model.preprocessor().NoisyLabels(t);
+  // A scratch network so training does not perturb the shared fixture.
+  auto cfg = f.model.rsrnet().config();
+  core::RsrNet net(cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.TrainStep(t.edges, nrf, noisy));
+  }
+}
+BENCHMARK(BM_RsrTrainStep);
+
+void BM_GruStreamingStep(benchmark::State& state) {
+  // GRU counterpart of BM_LstmStreamingStep (same dims as the fixture's
+  // RSRNet core) for the architecture-ablation latency claim.
+  Rng rng(3);
+  auto& f = Fixture();
+  const size_t embed = f.model.rsrnet().config().embed_dim;
+  const size_t hidden = f.model.rsrnet().config().hidden_dim;
+  nn::Gru gru("micro", embed, hidden, &rng);
+  nn::GruState gru_state(hidden);
+  nn::Vec x(embed, 0.1f);
+  for (auto _ : state) {
+    gru.StepForward(x.data(), &gru_state);
+    benchmark::DoNotOptimize(gru_state.h.data());
+  }
+}
+BENCHMARK(BM_GruStreamingStep);
+
+void BM_FleetFeed(benchmark::State& state) {
+  // Per-point cost through the full service layer (shard lock + session +
+  // run bookkeeping) vs the bare detector Feed above.
+  auto& f = Fixture();
+  serve::FleetMonitor monitor(&f.model, {}, nullptr);
+  const auto& t = f.long_traj;
+  (void)monitor.StartTrip(1, t.sd(), t.start_time);
+  size_t i = 0;
+  for (auto _ : state) {
+    if (i == t.edges.size()) {
+      state.PauseTiming();
+      (void)monitor.EndTrip(1);
+      (void)monitor.StartTrip(1, t.sd(), t.start_time);
+      i = 0;
+      state.ResumeTiming();
+    }
+    benchmark::DoNotOptimize(monitor.Feed(1, t.edges[i++], t.start_time));
+  }
+}
+BENCHMARK(BM_FleetFeed);
+
+void BM_ModelBundleSaveLoad(benchmark::State& state) {
+  auto& f = Fixture();
+  const std::string path = "/tmp/rl4oasd_micro_model.rlmb";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(io::SaveModel(f.model, path).ok());
+    auto loaded = io::LoadModel(&f.city.net, path);
+    benchmark::DoNotOptimize(loaded.ok());
+  }
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_ModelBundleSaveLoad);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+// Table III reproduction: effectiveness (F1 / TF1) of RL4OASD against the
+// seven baselines, per trajectory-length group G1..G4 and overall, on both
+// cities. The expected shape (paper): RL4OASD best everywhere, CTSS the
+// strongest baseline, the VSAE family behind the task-specific methods.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+
+using namespace rl4oasd;
+
+namespace {
+
+void RunCity(bench::CityData city) {
+  printf("--- %s (train=%zu test=%zu pairs=%zu) ---\n", city.name.c_str(),
+         city.train.size(), city.test.size(), city.train.NumSdPairs());
+  printf("%-22s  %-11s  %-11s  %-11s  %-11s  | %-11s\n", "Method",
+         "G1 F1 TF1", "G2 F1 TF1", "G3 F1 TF1", "G4 F1 TF1", "Overall");
+
+  const auto dev = bench::DevSet(city.test);
+
+  for (auto& baseline : bench::MakeBaselines(&city.net)) {
+    Stopwatch sw;
+    baseline->Fit(city.train);
+    baseline->Tune(dev);
+    const auto scores = bench::Evaluate(
+        city.test,
+        [&](const traj::MapMatchedTrajectory& t) { return baseline->Detect(t); });
+    printf("%s   [fit %.1fs]\n",
+           eval::FormatGroupedRow(baseline->name(), scores).c_str(),
+           sw.ElapsedSeconds());
+  }
+
+  Stopwatch sw;
+  core::Rl4Oasd model(&city.net, bench::TunedConfig());
+  model.Fit(city.train);
+  const auto scores = bench::Evaluate(
+      city.test,
+      [&](const traj::MapMatchedTrajectory& t) { return model.Detect(t); });
+  printf("%s   [fit %.1fs]\n",
+         eval::FormatGroupedRow("RL4OASD", scores).c_str(),
+         sw.ElapsedSeconds());
+  printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  printf("=== Table III: effectiveness comparison (F1-score, TF1-score) ===\n\n");
+  RunCity(bench::MakeChengduLike());
+  RunCity(bench::MakeXianLike());
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Table V reproduction: preprocessing (map matching, noisy labeling) and
+// training time as the training-data size grows, plus the F1 the trained
+// model reaches. Expected shape (paper): all stages scale linearly with data
+// size; F1 saturates. (Sizes are scaled down ~4x from the paper's 4k-12k to
+// keep the bench suite fast; the linear trend is the claim under test.)
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "mapmatch/hmm_matcher.h"
+#include "traj/gps_sampler.h"
+
+using namespace rl4oasd;
+
+int main() {
+  printf("=== Table V: preprocessing and training time ===\n\n");
+  auto city = bench::MakeChengduLike(/*num_pairs=*/48, /*seed=*/12);
+  mapmatch::HmmMapMatcher matcher(&city.net);
+  traj::GpsSampler sampler(&city.net, {});
+
+  printf("%-10s %14s %14s %14s %10s\n", "Data size", "MapMatch (s)",
+         "NoisyLabel (s)", "Training (s)", "F1-score");
+  for (size_t size : {1000u, 1500u, 2000u, 2500u, 3000u}) {
+    if (size > city.train.size()) break;
+    traj::Dataset subset;
+    for (size_t i = 0; i < size; ++i) subset.Add(city.train[i]);
+
+    // Map matching: raw GPS -> edge sequences (the paper times the FMM C++
+    // map matcher over the training data).
+    Stopwatch mm;
+    size_t matched = 0;
+    for (size_t i = 0; i < size; ++i) {
+      const auto raw = sampler.Sample(subset[i].traj);
+      if (raw.points.size() < 3) continue;
+      matched += matcher.Match(raw).ok();
+    }
+    const double mm_s = mm.ElapsedSeconds();
+
+    // Noisy labeling: grouping + transition fractions + labels.
+    Stopwatch nl;
+    core::Preprocessor pre(bench::TunedConfig().preprocess);
+    pre.Fit(subset);
+    size_t ones = 0;
+    for (const auto& lt : subset.trajs()) {
+      for (uint8_t l : pre.NoisyLabels(lt.traj)) ones += l;
+    }
+    const double nl_s = nl.ElapsedSeconds();
+
+    // Model training.
+    Stopwatch tr;
+    core::Rl4Oasd model(&city.net, bench::TunedConfig());
+    model.Fit(subset);
+    const double tr_s = tr.ElapsedSeconds();
+
+    const auto scores = bench::Evaluate(
+        city.test,
+        [&](const traj::MapMatchedTrajectory& t) { return model.Detect(t); });
+    printf("%-10zu %14.2f %14.2f %14.2f %10.3f   (matched %zu, noisy 1s %zu)\n",
+           size, mm_s, nl_s, tr_s, scores.overall.f1, matched, ones);
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+#include "baselines/ctss.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+namespace rl4oasd::baselines {
+
+void CtssDetector::Fit(const traj::Dataset& train) {
+  reference_.clear();
+  for (const auto& [sd, idxs] : train.Groups()) {
+    // Most frequent edge sequence in the group becomes the reference route.
+    std::map<std::vector<traj::EdgeId>, int64_t> counts;
+    for (size_t i : idxs) {
+      counts[train[i].traj.edges] += 1;
+    }
+    const std::vector<traj::EdgeId>* best = nullptr;
+    int64_t best_count = -1;
+    for (const auto& [route, count] : counts) {
+      if (count > best_count) {
+        best_count = count;
+        best = &route;
+      }
+    }
+    if (best != nullptr) reference_[sd] = *best;
+  }
+}
+
+std::vector<double> CtssDetector::Scores(
+    const traj::MapMatchedTrajectory& t) const {
+  const size_t n = t.edges.size();
+  std::vector<double> scores(n, 0.0);
+  auto it = reference_.find(t.sd());
+  if (it == reference_.end() || it->second.empty() || n == 0) return scores;
+  const auto& ref = it->second;
+  const size_t m = ref.size();
+
+  // Midpoint polylines.
+  std::vector<roadnet::LatLon> p(n), q(m);
+  for (size_t i = 0; i < n; ++i) p[i] = net_->EdgeMidpoint(t.edges[i]);
+  for (size_t j = 0; j < m; ++j) q[j] = net_->EdgeMidpoint(ref[j]);
+
+  // Incremental discrete Frechet DP: row i holds dF(P[0..i], Q[0..j]).
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> prev(m, kInf), cur(m, kInf);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < m; ++j) {
+      const double d = roadnet::ApproxDistanceMeters(p[i], q[j]);
+      double reach;
+      if (i == 0 && j == 0) {
+        reach = d;
+      } else if (i == 0) {
+        reach = std::max(cur[j - 1], d);
+      } else if (j == 0) {
+        reach = std::max(prev[j], d);
+      } else {
+        reach = std::max(std::min({prev[j - 1], prev[j], cur[j - 1]}), d);
+      }
+      cur[j] = reach;
+    }
+    // Deviation of the current partial route: best alignment against any
+    // reference prefix.
+    scores[i] = *std::min_element(cur.begin(), cur.end());
+    std::swap(prev, cur);
+    std::fill(cur.begin(), cur.end(), kInf);
+  }
+  return scores;
+}
+
+}  // namespace rl4oasd::baselines

@@ -1,0 +1,40 @@
+// CTSS (Zhang et al., TKDE 2020): continuous trajectory similarity search
+// for online outlier detection. The ongoing trajectory is compared against a
+// reference (most popular) route of its SD pair with discrete Frechet
+// distance; the per-point anomaly score is the deviation of the current
+// partial route from the best-matching reference prefix. The DP row update
+// per incoming point gives the quadratic per-trajectory cost the paper's
+// efficiency study observes (Figures 3-4).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/detector_iface.h"
+#include "roadnet/road_network.h"
+
+namespace rl4oasd::baselines {
+
+class CtssDetector : public ScoreBasedDetector {
+ public:
+  explicit CtssDetector(const roadnet::RoadNetwork* net) : net_(net) {
+    threshold_ = 300.0;  // meters; tuned on the dev set
+  }
+
+  std::string name() const override { return "CTSS"; }
+
+  /// Learns the reference route (most frequent) per SD pair.
+  void Fit(const traj::Dataset& train) override;
+
+  /// Per-point Frechet deviation (meters) from the reference route.
+  std::vector<double> Scores(
+      const traj::MapMatchedTrajectory& t) const override;
+
+ private:
+  const roadnet::RoadNetwork* net_;
+  std::unordered_map<traj::SdPair, std::vector<traj::EdgeId>,
+                     traj::SdPairHash>
+      reference_;
+};
+
+}  // namespace rl4oasd::baselines

@@ -1,0 +1,138 @@
+#include "baselines/dbtod.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace rl4oasd::baselines {
+
+namespace {
+int64_t Key(traj::EdgeId a, traj::EdgeId b) {
+  return (static_cast<int64_t>(a) << 32) | static_cast<uint32_t>(b);
+}
+}  // namespace
+
+DbtodDetector::DbtodDetector(const roadnet::RoadNetwork* net,
+                             DbtodConfig config)
+    : net_(net), config_(config) {
+  threshold_ = 1.5;
+}
+
+double DbtodDetector::TurnAngle(traj::EdgeId a, traj::EdgeId b) const {
+  const auto& ea = net_->edge(a);
+  const auto& eb = net_->edge(b);
+  const auto& a0 = net_->vertex(ea.from).pos;
+  const auto& a1 = net_->vertex(ea.to).pos;
+  const auto& b0 = net_->vertex(eb.from).pos;
+  const auto& b1 = net_->vertex(eb.to).pos;
+  const double v1x = a1.lon - a0.lon, v1y = a1.lat - a0.lat;
+  const double v2x = b1.lon - b0.lon, v2y = b1.lat - b0.lat;
+  const double n1 = std::hypot(v1x, v1y), n2 = std::hypot(v2x, v2y);
+  if (n1 == 0.0 || n2 == 0.0) return 0.0;
+  double c = (v1x * v2x + v1y * v2y) / (n1 * n2);
+  c = std::clamp(c, -1.0, 1.0);
+  return std::acos(c);
+}
+
+void DbtodDetector::Features(traj::EdgeId prev, traj::EdgeId cand,
+                             double out[kNumFeatures]) const {
+  auto it = transition_count_.find(Key(prev, cand));
+  const double pop = it == transition_count_.end() ? 0.0 : it->second;
+  out[0] = std::log1p(pop);
+  const auto rc = net_->edge(cand).road_class;
+  out[1] = rc == roadnet::RoadClass::kArterial ? 1.0 : 0.0;
+  out[2] = rc == roadnet::RoadClass::kCollector ? 1.0 : 0.0;
+  out[3] = rc == roadnet::RoadClass::kLocal ? 1.0 : 0.0;
+  const double angle = TurnAngle(prev, cand);
+  out[4] = angle < 0.5 ? 1.0 : 0.0;  // going straight
+  out[5] = angle;                    // turning magnitude
+  out[6] = net_->edge(cand).road_class == net_->edge(prev).road_class
+               ? 1.0
+               : 0.0;  // stays on the same road level
+}
+
+double DbtodDetector::TransitionLogProb(traj::EdgeId prev,
+                                        traj::EdgeId next) const {
+  const auto& succ = net_->NextEdges(prev);
+  if (succ.empty()) return 0.0;
+  double feats[kNumFeatures];
+  double max_logit = -1e30;
+  std::vector<double> logits(succ.size());
+  int next_idx = -1;
+  for (size_t k = 0; k < succ.size(); ++k) {
+    Features(prev, succ[k], feats);
+    double logit = 0.0;
+    for (int f = 0; f < kNumFeatures; ++f) logit += weights_[f] * feats[f];
+    logits[k] = logit;
+    max_logit = std::max(max_logit, logit);
+    if (succ[k] == next) next_idx = static_cast<int>(k);
+  }
+  if (next_idx < 0) return -10.0;  // transition not even on the graph
+  double z = 0.0;
+  for (double logit : logits) z += std::exp(logit - max_logit);
+  return logits[next_idx] - max_logit - std::log(z);
+}
+
+void DbtodDetector::Fit(const traj::Dataset& train) {
+  transition_count_.clear();
+  for (const auto& lt : train.trajs()) {
+    const auto& edges = lt.traj.edges;
+    for (size_t i = 1; i < edges.size(); ++i) {
+      transition_count_[Key(edges[i - 1], edges[i])] += 1.0;
+    }
+  }
+  // Maximum-likelihood training of the multinomial logistic model with SGD.
+  std::fill(std::begin(weights_), std::end(weights_), 0.0);
+  Rng rng(config_.seed);
+  std::vector<size_t> order(train.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  double feats[kNumFeatures];
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    const double lr = config_.lr / (1.0 + epoch);
+    for (size_t idx : order) {
+      const auto& edges = train[idx].traj.edges;
+      for (size_t i = 1; i < edges.size(); ++i) {
+        const auto& succ = net_->NextEdges(edges[i - 1]);
+        if (succ.size() < 2) continue;
+        // Softmax gradient: sum_k (p_k - 1[k==obs]) * f_k.
+        std::vector<double> logits(succ.size());
+        double max_logit = -1e30;
+        for (size_t k = 0; k < succ.size(); ++k) {
+          Features(edges[i - 1], succ[k], feats);
+          double logit = 0.0;
+          for (int f = 0; f < kNumFeatures; ++f) {
+            logit += weights_[f] * feats[f];
+          }
+          logits[k] = logit;
+          max_logit = std::max(max_logit, logit);
+        }
+        double z = 0.0;
+        for (double& logit : logits) {
+          logit = std::exp(logit - max_logit);
+          z += logit;
+        }
+        for (size_t k = 0; k < succ.size(); ++k) {
+          const double p = logits[k] / z;
+          const double indicator = succ[k] == edges[i] ? 1.0 : 0.0;
+          Features(edges[i - 1], succ[k], feats);
+          for (int f = 0; f < kNumFeatures; ++f) {
+            weights_[f] -= lr * (p - indicator) * feats[f];
+          }
+        }
+      }
+    }
+  }
+}
+
+std::vector<double> DbtodDetector::Scores(
+    const traj::MapMatchedTrajectory& t) const {
+  std::vector<double> scores(t.edges.size(), 0.0);
+  for (size_t i = 1; i < t.edges.size(); ++i) {
+    scores[i] = -TransitionLogProb(t.edges[i - 1], t.edges[i]);
+  }
+  return scores;
+}
+
+}  // namespace rl4oasd::baselines

@@ -1,0 +1,56 @@
+// DBTOD (Wu et al., CIKM 2017): a probabilistic model of human driving
+// behaviour. The probability of taking a successor segment at an
+// intersection is a multinomial logistic model over cheap per-candidate
+// features (historical transition popularity, road level, turning angle);
+// the per-point anomaly score of an ongoing trajectory is the negative
+// log-likelihood of the observed transition. A light model with
+// low-dimensional features, which is why it is the fastest method in the
+// paper's efficiency study.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/detector_iface.h"
+#include "roadnet/road_network.h"
+
+namespace rl4oasd::baselines {
+
+struct DbtodConfig {
+  int epochs = 3;
+  double lr = 0.05;
+  uint64_t seed = 77;
+};
+
+class DbtodDetector : public ScoreBasedDetector {
+ public:
+  DbtodDetector(const roadnet::RoadNetwork* net, DbtodConfig config = {});
+
+  std::string name() const override { return "DBTOD"; }
+
+  void Fit(const traj::Dataset& train) override;
+
+  std::vector<double> Scores(
+      const traj::MapMatchedTrajectory& t) const override;
+
+  static constexpr int kNumFeatures = 7;
+
+ private:
+  /// Feature vector of candidate successor `cand` after `prev`.
+  void Features(traj::EdgeId prev, traj::EdgeId cand,
+                double out[kNumFeatures]) const;
+
+  /// P(cand | prev) over NextEdges(prev) under the current weights.
+  double TransitionLogProb(traj::EdgeId prev, traj::EdgeId next) const;
+
+  /// Turning angle (radians, [0, pi]) between two consecutive segments.
+  double TurnAngle(traj::EdgeId a, traj::EdgeId b) const;
+
+  const roadnet::RoadNetwork* net_;
+  DbtodConfig config_;
+  double weights_[kNumFeatures] = {0};
+  /// Global transition popularity: count of historical traversals.
+  std::unordered_map<int64_t, double> transition_count_;
+};
+
+}  // namespace rl4oasd::baselines

@@ -1,0 +1,62 @@
+#include "baselines/detector_iface.h"
+
+#include <algorithm>
+
+#include "eval/metrics.h"
+
+namespace rl4oasd::baselines {
+
+std::vector<uint8_t> ScoreBasedDetector::Detect(
+    const traj::MapMatchedTrajectory& t) const {
+  const auto scores = Scores(t);
+  std::vector<uint8_t> labels(scores.size(), 0);
+  for (size_t i = 1; i + 1 < scores.size(); ++i) {
+    labels[i] = scores[i] > threshold_ ? 1 : 0;
+  }
+  return labels;
+}
+
+void ScoreBasedDetector::Tune(const traj::Dataset& dev) {
+  // Gather the dev-set score distribution once.
+  std::vector<std::vector<double>> all_scores;
+  all_scores.reserve(dev.size());
+  std::vector<double> pool;
+  for (const auto& lt : dev.trajs()) {
+    all_scores.push_back(Scores(lt.traj));
+    for (double s : all_scores.back()) pool.push_back(s);
+  }
+  if (pool.empty()) return;
+  std::sort(pool.begin(), pool.end());
+
+  // Candidate thresholds: quantiles of the pooled score distribution.
+  std::vector<double> candidates;
+  constexpr int kNumQuantiles = 40;
+  for (int q = 1; q < kNumQuantiles; ++q) {
+    candidates.push_back(
+        pool[pool.size() * static_cast<size_t>(q) / kNumQuantiles]);
+  }
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  double best_f1 = -1.0;
+  double best_threshold = threshold_;
+  for (double cand : candidates) {
+    eval::F1Evaluator evaluator;
+    for (size_t k = 0; k < dev.size(); ++k) {
+      const auto& scores = all_scores[k];
+      std::vector<uint8_t> labels(scores.size(), 0);
+      for (size_t i = 1; i + 1 < scores.size(); ++i) {
+        labels[i] = scores[i] > cand ? 1 : 0;
+      }
+      evaluator.Add(dev[k].labels, labels);
+    }
+    const double f1 = evaluator.Compute().f1;
+    if (f1 > best_f1) {
+      best_f1 = f1;
+      best_threshold = cand;
+    }
+  }
+  threshold_ = best_threshold;
+}
+
+}  // namespace rl4oasd::baselines

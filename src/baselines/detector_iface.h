@@ -1,0 +1,60 @@
+// Common interface for all online anomalous-subtrajectory detectors (the
+// baselines of Table III plus RL4OASD itself), and the score-threshold
+// machinery used to adapt whole-trajectory methods to the subtrajectory
+// task (paper Section V-A, "Baseline"): score-based methods emit a per-point
+// anomaly score, and the threshold is tuned on a small labeled development
+// set to maximize F1.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "traj/dataset.h"
+#include "traj/types.h"
+
+namespace rl4oasd::baselines {
+
+/// A detector labels every road segment of an ongoing trajectory as normal
+/// (0) or anomalous (1).
+class SubtrajectoryDetector {
+ public:
+  virtual ~SubtrajectoryDetector() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Trains / fits on historical data.
+  virtual void Fit(const traj::Dataset& train) = 0;
+
+  /// Labels one trajectory.
+  virtual std::vector<uint8_t> Detect(
+      const traj::MapMatchedTrajectory& t) const = 0;
+
+  /// Hook for threshold tuning on a labeled development set. Default: no-op.
+  virtual void Tune(const traj::Dataset& dev) { (void)dev; }
+};
+
+/// Base for detectors that compute a per-point anomaly score and then apply
+/// a tuned threshold (DBTOD, CTSS, the VSAE family, transition frequency).
+class ScoreBasedDetector : public SubtrajectoryDetector {
+ public:
+  /// Per-point anomaly scores (higher = more anomalous).
+  virtual std::vector<double> Scores(
+      const traj::MapMatchedTrajectory& t) const = 0;
+
+  /// score > threshold -> label 1; source/destination forced to 0.
+  std::vector<uint8_t> Detect(
+      const traj::MapMatchedTrajectory& t) const override;
+
+  /// Sweeps candidate thresholds (score quantiles on the dev set) and keeps
+  /// the one maximizing F1.
+  void Tune(const traj::Dataset& dev) override;
+
+  double threshold() const { return threshold_; }
+  void set_threshold(double t) { threshold_ = t; }
+
+ protected:
+  double threshold_ = 0.5;
+};
+
+}  // namespace rl4oasd::baselines

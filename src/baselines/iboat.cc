@@ -1,0 +1,92 @@
+#include "baselines/iboat.h"
+
+#include <algorithm>
+
+#include "eval/metrics.h"
+
+namespace rl4oasd::baselines {
+
+void IboatDetector::Fit(const traj::Dataset& train) {
+  groups_.clear();
+  for (const auto& [sd, idxs] : train.Groups()) {
+    Group& g = groups_[sd];
+    g.num_trajs = static_cast<int64_t>(idxs.size());
+    for (int32_t local = 0; local < static_cast<int32_t>(idxs.size());
+         ++local) {
+      const auto& edges = train[idxs[local]].traj.edges;
+      for (size_t i = 1; i < edges.size(); ++i) {
+        auto& ids = g.support[TransitionKey(edges[i - 1], edges[i])];
+        if (ids.empty() || ids.back() != local) ids.push_back(local);
+      }
+    }
+  }
+}
+
+std::vector<uint8_t> IboatDetector::DetectWithThreshold(
+    const traj::MapMatchedTrajectory& t, double threshold) const {
+  std::vector<uint8_t> labels(t.edges.size(), 0);
+  if (t.edges.size() < 2) return labels;
+  auto git = groups_.find(t.sd());
+  if (git == groups_.end()) return labels;  // unknown SD pair: no evidence
+  const Group& g = git->second;
+
+  // Adaptive window: `window` holds the ids of historical trajectories
+  // consistent with every transition currently in the window.
+  std::vector<int32_t> window;
+  bool window_all = true;  // window == all trajectories (initial state)
+  std::vector<int32_t> scratch;
+  for (size_t i = 1; i < t.edges.size(); ++i) {
+    auto it = g.support.find(TransitionKey(t.edges[i - 1], t.edges[i]));
+    static const std::vector<int32_t> kEmpty;
+    const std::vector<int32_t>& ids =
+        it == g.support.end() ? kEmpty : it->second;
+    if (window_all) {
+      scratch = ids;
+    } else {
+      scratch.clear();
+      std::set_intersection(window.begin(), window.end(), ids.begin(),
+                            ids.end(), std::back_inserter(scratch));
+    }
+    const double support = static_cast<double>(scratch.size()) /
+                           static_cast<double>(std::max<int64_t>(1, g.num_trajs));
+    if (support < threshold) {
+      labels[i] = 1;
+      // Shrink the window to only the latest transition.
+      window = ids;
+      window_all = false;
+    } else {
+      labels[i] = 0;
+      window = std::move(scratch);
+      window_all = false;
+    }
+  }
+  labels.front() = 0;
+  labels.back() = 0;
+  return labels;
+}
+
+std::vector<uint8_t> IboatDetector::Detect(
+    const traj::MapMatchedTrajectory& t) const {
+  return DetectWithThreshold(t, threshold_);
+}
+
+void IboatDetector::Tune(const traj::Dataset& dev) {
+  static constexpr double kCandidates[] = {0.01, 0.02, 0.05, 0.08, 0.1,
+                                           0.15, 0.2,  0.3,  0.4,  0.5};
+  double best_f1 = -1.0;
+  double best = threshold_;
+  for (double cand : kCandidates) {
+    eval::F1Evaluator evaluator;
+    for (const auto& lt : dev.trajs()) {
+      evaluator.Add(lt.labels, DetectWithThreshold(lt.traj, cand));
+    }
+    const double f1 = evaluator.Compute().f1;
+    if (f1 > best_f1) {
+      best_f1 = f1;
+      best = cand;
+    }
+  }
+  threshold_ = best;
+}
+
+}  // namespace rl4oasd::baselines

@@ -1,0 +1,54 @@
+// IBOAT (Chen et al., T-ITS 2013): isolation-based online anomalous
+// trajectory detection. An adaptive window of the latest incoming transitions
+// is checked against the historical trajectories of the same SD pair; when
+// the fraction of historical trajectories supporting the window drops below
+// a threshold, the incoming point is anomalous and the window shrinks to the
+// latest transition.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/detector_iface.h"
+
+namespace rl4oasd::baselines {
+
+class IboatDetector : public SubtrajectoryDetector {
+ public:
+  explicit IboatDetector(double support_threshold = 0.1)
+      : threshold_(support_threshold) {}
+
+  std::string name() const override { return "IBOAT"; }
+
+  void Fit(const traj::Dataset& train) override;
+
+  std::vector<uint8_t> Detect(
+      const traj::MapMatchedTrajectory& t) const override;
+
+  /// Tunes the support threshold on a labeled dev set (the detection logic
+  /// itself depends on the threshold, so this re-runs detection per
+  /// candidate).
+  void Tune(const traj::Dataset& dev) override;
+
+  double threshold() const { return threshold_; }
+
+ private:
+  std::vector<uint8_t> DetectWithThreshold(const traj::MapMatchedTrajectory& t,
+                                           double threshold) const;
+
+  struct Group {
+    int64_t num_trajs = 0;
+    /// transition key -> ids (indices within the group) of trajectories
+    /// containing that transition; sorted for fast intersection.
+    std::unordered_map<int64_t, std::vector<int32_t>> support;
+  };
+
+  static int64_t TransitionKey(traj::EdgeId a, traj::EdgeId b) {
+    return (static_cast<int64_t>(a) << 32) | static_cast<uint32_t>(b);
+  }
+
+  double threshold_;
+  std::unordered_map<traj::SdPair, Group, traj::SdPairHash> groups_;
+};
+
+}  // namespace rl4oasd::baselines

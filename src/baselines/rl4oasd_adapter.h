@@ -1,0 +1,38 @@
+// Adapter exposing the RL4OASD model through the common detector interface
+// so benches can iterate over all methods uniformly.
+#pragma once
+
+#include <memory>
+
+#include "baselines/detector_iface.h"
+#include "core/rl4oasd.h"
+
+namespace rl4oasd::baselines {
+
+class Rl4OasdAdapter : public SubtrajectoryDetector {
+ public:
+  Rl4OasdAdapter(const roadnet::RoadNetwork* net,
+                 core::Rl4OasdConfig config = {})
+      : net_(net), config_(config) {}
+
+  std::string name() const override { return "RL4OASD"; }
+
+  void Fit(const traj::Dataset& train) override {
+    model_ = std::make_unique<core::Rl4Oasd>(net_, config_);
+    model_->Fit(train);
+  }
+
+  std::vector<uint8_t> Detect(
+      const traj::MapMatchedTrajectory& t) const override {
+    return model_->Detect(t);
+  }
+
+  core::Rl4Oasd* model() { return model_.get(); }
+
+ private:
+  const roadnet::RoadNetwork* net_;
+  core::Rl4OasdConfig config_;
+  std::unique_ptr<core::Rl4Oasd> model_;
+};
+
+}  // namespace rl4oasd::baselines

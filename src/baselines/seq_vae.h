@@ -1,0 +1,92 @@
+// The generative sequence-model family of Liu et al. (ICDE 2020), covering
+// four baselines of Table III with one implementation:
+//   * SAE     — deterministic seq2seq autoencoder (reconstruction error),
+//   * VSAE    — variational autoencoder with a single Gaussian latent,
+//   * GM-VSAE — Gaussian-mixture latent: each component represents one
+//               category of normal routes; detection decodes under every
+//               component and keeps the best-generated likelihood,
+//   * SD-VSAE — fast variant: a single component is selected per SD pair
+//               (one decoding pass instead of K).
+// The decoder is an LSTM over edge embeddings whose next-edge distribution
+// is a softmax restricted to the road graph's successor edges; the per-point
+// anomaly score is the negative log-likelihood of the observed transition.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/detector_iface.h"
+#include "nn/adam.h"
+#include "nn/embedding.h"
+#include "nn/linear.h"
+#include "nn/lstm.h"
+#include "roadnet/road_network.h"
+
+namespace rl4oasd::baselines {
+
+enum class VaeVariant { kSae, kVsae, kGmVsae, kSdVsae };
+
+const char* VaeVariantName(VaeVariant v);
+
+struct SeqVaeConfig {
+  VaeVariant variant = VaeVariant::kGmVsae;
+  size_t embed_dim = 32;
+  size_t hidden_dim = 32;
+  size_t latent_dim = 16;
+  int num_components = 5;      // K (GM variants)
+  int epochs = 2;
+  size_t max_train_trajs = 2000;
+  float lr = 0.005f;
+  float kl_weight = 0.05f;
+  float grad_clip = 5.0f;
+  uint64_t seed = 55;
+};
+
+class SeqVaeDetector : public ScoreBasedDetector {
+ public:
+  SeqVaeDetector(const roadnet::RoadNetwork* net, SeqVaeConfig config);
+
+  std::string name() const override { return VaeVariantName(config_.variant); }
+
+  void Fit(const traj::Dataset& train) override;
+
+  std::vector<double> Scores(
+      const traj::MapMatchedTrajectory& t) const override;
+
+ private:
+  /// One training step on a trajectory; returns (recon + KL) loss.
+  double TrainStep(const std::vector<traj::EdgeId>& edges);
+
+  /// Decodes the trajectory under latent z, returning per-point negative
+  /// log-likelihoods (index 0 is 0).
+  std::vector<double> DecodeNll(const std::vector<traj::EdgeId>& edges,
+                                const nn::Vec& z) const;
+
+  /// Runs the encoder and returns mu (mean latent).
+  nn::Vec EncodeMu(const std::vector<traj::EdgeId>& edges) const;
+
+  /// Index of the mixture component nearest to mu.
+  int NearestComponent(const nn::Vec& mu) const;
+
+  nn::Vec ComponentMean(int k) const;
+
+  const roadnet::RoadNetwork* net_;
+  SeqVaeConfig config_;
+  Rng rng_;
+  nn::Embedding edge_embed_;   // shared encoder/decoder input embedding
+  nn::Embedding out_embed_;    // hidden-to-edge output embedding
+  nn::Lstm encoder_;
+  nn::Lstm decoder_;
+  nn::Linear mu_head_;         // hidden -> latent
+  nn::Linear logvar_head_;     // hidden -> latent
+  nn::Linear z_to_h0_;         // latent -> decoder initial hidden
+  nn::Parameter components_;   // K x latent mixture means
+  nn::ParameterRegistry registry_;
+  std::unique_ptr<nn::AdamOptimizer> optimizer_;
+  /// SD-VSAE: per-SD-pair selected component.
+  std::unordered_map<traj::SdPair, int, traj::SdPairHash> sd_component_;
+  int global_best_component_ = 0;
+};
+
+}  // namespace rl4oasd::baselines

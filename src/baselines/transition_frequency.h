@@ -1,0 +1,36 @@
+// The simplest detector (Table IV, "only transition frequency"): anomaly
+// score of a segment is 1 minus the historical fraction of same-group
+// trajectories traveling the incoming transition.
+#pragma once
+
+#include "baselines/detector_iface.h"
+#include "core/preprocess.h"
+
+namespace rl4oasd::baselines {
+
+class TransitionFrequencyDetector : public ScoreBasedDetector {
+ public:
+  TransitionFrequencyDetector()
+      : preprocessor_(core::PreprocessConfig{}) {
+    threshold_ = 0.5;
+  }
+
+  std::string name() const override { return "TransitionFrequency"; }
+
+  void Fit(const traj::Dataset& train) override { preprocessor_.Fit(train); }
+
+  std::vector<double> Scores(
+      const traj::MapMatchedTrajectory& t) const override {
+    std::vector<double> scores(t.edges.size(), 0.0);
+    const auto fractions = preprocessor_.TransitionFractions(t);
+    for (size_t i = 0; i < fractions.size(); ++i) {
+      scores[i] = 1.0 - fractions[i];
+    }
+    return scores;
+  }
+
+ private:
+  core::Preprocessor preprocessor_;
+};
+
+}  // namespace rl4oasd::baselines

@@ -1,0 +1,51 @@
+#include "common/csv.h"
+
+#include <fstream>
+
+#include "common/strings.h"
+
+namespace rl4oasd {
+
+int CsvTable::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Result<CsvTable> ReadCsv(const std::string& path, char delim,
+                         bool has_header) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  CsvTable table;
+  std::string line;
+  bool header_pending = has_header;
+  while (std::getline(in, line)) {
+    std::string_view sv = Trim(line);
+    if (sv.empty() || sv.front() == '#') continue;
+    auto fields = Split(sv, delim);
+    if (header_pending) {
+      table.header = std::move(fields);
+      header_pending = false;
+    } else {
+      table.rows.push_back(std::move(fields));
+    }
+  }
+  return table;
+}
+
+Status WriteCsv(const std::string& path, const CsvTable& table, char delim) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  const std::string sep(1, delim);
+  if (!table.header.empty()) {
+    out << Join(table.header, sep) << "\n";
+  }
+  for (const auto& row : table.rows) {
+    out << Join(row, sep) << "\n";
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace rl4oasd

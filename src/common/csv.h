@@ -1,0 +1,31 @@
+// Minimal CSV reader/writer used for road-network and trajectory persistence
+// and for dumping benchmark series. Intentionally simple: no quoting, fields
+// must not contain the delimiter.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rl4oasd {
+
+/// A parsed CSV file: optional header row plus data rows.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of a named column, or -1 if absent.
+  int ColumnIndex(const std::string& name) const;
+};
+
+/// Reads a CSV file. If `has_header` the first row populates
+/// `CsvTable::header`. Empty lines and lines starting with '#' are skipped.
+Result<CsvTable> ReadCsv(const std::string& path, char delim = ',',
+                         bool has_header = true);
+
+/// Writes rows (with optional header) to `path`, creating or truncating it.
+Status WriteCsv(const std::string& path, const CsvTable& table,
+                char delim = ',');
+
+}  // namespace rl4oasd

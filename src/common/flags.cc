@@ -1,0 +1,232 @@
+#include "common/flags.h"
+
+#include <charconv>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace rl4oasd {
+
+namespace {
+
+bool ParseBoolText(const std::string& s, bool* out) {
+  if (s == "true" || s == "1" || s == "yes" || s == "on") {
+    *out = true;
+    return true;
+  }
+  if (s == "false" || s == "0" || s == "no" || s == "off") {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void FlagSet::Declare(const std::string& name, Flag flag) {
+  RL4_CHECK(flags_.emplace(name, std::move(flag)).second)
+      << "duplicate flag --" << name;
+}
+
+void FlagSet::AddString(const std::string& name, std::string default_value,
+                        std::string help) {
+  Flag f;
+  f.type = Type::kString;
+  f.help = std::move(help);
+  f.default_text = "\"" + default_value + "\"";
+  f.string_value = std::move(default_value);
+  Declare(name, std::move(f));
+}
+
+void FlagSet::AddInt(const std::string& name, int64_t default_value,
+                     std::string help) {
+  Flag f;
+  f.type = Type::kInt;
+  f.help = std::move(help);
+  f.int_value = default_value;
+  f.default_text = std::to_string(default_value);
+  Declare(name, std::move(f));
+}
+
+void FlagSet::AddDouble(const std::string& name, double default_value,
+                        std::string help) {
+  Flag f;
+  f.type = Type::kDouble;
+  f.help = std::move(help);
+  f.double_value = default_value;
+  std::ostringstream os;
+  os << default_value;
+  f.default_text = os.str();
+  Declare(name, std::move(f));
+}
+
+void FlagSet::AddBool(const std::string& name, bool default_value,
+                      std::string help) {
+  Flag f;
+  f.type = Type::kBool;
+  f.help = std::move(help);
+  f.bool_value = default_value;
+  f.default_text = default_value ? "true" : "false";
+  Declare(name, std::move(f));
+}
+
+Status FlagSet::SetValue(const std::string& name, const std::string& value) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return Status::InvalidArgument("unknown flag --" + name);
+  }
+  Flag& f = it->second;
+  switch (f.type) {
+    case Type::kString:
+      f.string_value = value;
+      break;
+    case Type::kInt: {
+      int64_t v = 0;
+      auto [end, ec] =
+          std::from_chars(value.data(), value.data() + value.size(), v);
+      if (ec != std::errc() || end != value.data() + value.size()) {
+        return Status::InvalidArgument("--" + name +
+                                       " expects an integer, got '" + value +
+                                       "'");
+      }
+      f.int_value = v;
+      break;
+    }
+    case Type::kDouble: {
+      // std::from_chars for doubles is not universally available; strtod with
+      // full-consumption check is equivalent here.
+      char* end = nullptr;
+      const double v = std::strtod(value.c_str(), &end);
+      if (end != value.c_str() + value.size() || value.empty()) {
+        return Status::InvalidArgument("--" + name +
+                                       " expects a number, got '" + value +
+                                       "'");
+      }
+      f.double_value = v;
+      break;
+    }
+    case Type::kBool: {
+      bool v = false;
+      if (!ParseBoolText(value, &v)) {
+        return Status::InvalidArgument("--" + name +
+                                       " expects true/false, got '" + value +
+                                       "'");
+      }
+      f.bool_value = v;
+      break;
+    }
+  }
+  f.set = true;
+  return Status::OK();
+}
+
+Status FlagSet::Parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      return Status::OK();
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string body = arg.substr(2);
+    const size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      RL4_RETURN_NOT_OK(SetValue(body.substr(0, eq), body.substr(eq + 1)));
+      continue;
+    }
+    // --no-name for booleans.
+    if (body.rfind("no-", 0) == 0) {
+      const std::string name = body.substr(3);
+      auto it = flags_.find(name);
+      if (it != flags_.end() && it->second.type == Type::kBool) {
+        it->second.bool_value = false;
+        it->second.set = true;
+        continue;
+      }
+    }
+    auto it = flags_.find(body);
+    if (it == flags_.end()) {
+      return Status::InvalidArgument("unknown flag --" + body);
+    }
+    if (it->second.type == Type::kBool) {
+      // Bare boolean: --name. A following true/false token is also accepted.
+      if (i + 1 < argc) {
+        bool v;
+        if (ParseBoolText(argv[i + 1], &v)) {
+          it->second.bool_value = v;
+          it->second.set = true;
+          ++i;
+          continue;
+        }
+      }
+      it->second.bool_value = true;
+      it->second.set = true;
+      continue;
+    }
+    if (i + 1 >= argc) {
+      return Status::InvalidArgument("flag --" + body + " is missing a value");
+    }
+    RL4_RETURN_NOT_OK(SetValue(body, argv[++i]));
+  }
+  return Status::OK();
+}
+
+const FlagSet::Flag& FlagSet::Get(const std::string& name, Type type) const {
+  auto it = flags_.find(name);
+  RL4_CHECK(it != flags_.end()) << "undeclared flag --" << name;
+  RL4_CHECK(it->second.type == type) << "type mismatch for flag --" << name;
+  return it->second;
+}
+
+const std::string& FlagSet::GetString(const std::string& name) const {
+  return Get(name, Type::kString).string_value;
+}
+
+int64_t FlagSet::GetInt(const std::string& name) const {
+  return Get(name, Type::kInt).int_value;
+}
+
+double FlagSet::GetDouble(const std::string& name) const {
+  return Get(name, Type::kDouble).double_value;
+}
+
+bool FlagSet::GetBool(const std::string& name) const {
+  return Get(name, Type::kBool).bool_value;
+}
+
+bool FlagSet::IsSet(const std::string& name) const {
+  auto it = flags_.find(name);
+  RL4_CHECK(it != flags_.end()) << "undeclared flag --" << name;
+  return it->second.set;
+}
+
+std::string FlagSet::Help() const {
+  std::ostringstream os;
+  os << program_ << " — " << description_ << "\n\nFlags:\n";
+  for (const auto& [name, f] : flags_) {
+    const char* type = "";
+    switch (f.type) {
+      case Type::kString:
+        type = "string";
+        break;
+      case Type::kInt:
+        type = "int";
+        break;
+      case Type::kDouble:
+        type = "double";
+        break;
+      case Type::kBool:
+        type = "bool";
+        break;
+    }
+    os << "  --" << name << " (" << type << ", default " << f.default_text
+       << ")\n      " << f.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace rl4oasd

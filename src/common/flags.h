@@ -1,0 +1,81 @@
+// Minimal command-line flag parsing for the tools/ binaries. Supports
+// `--name=value`, `--name value`, bare boolean `--name` / `--no-name`,
+// `--help`, and positional arguments. Unknown flags are an error (typos must
+// not silently fall through to defaults in a training run).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rl4oasd {
+
+/// A declared-then-parsed flag set for one binary.
+class FlagSet {
+ public:
+  FlagSet(std::string program, std::string description)
+      : program_(std::move(program)), description_(std::move(description)) {}
+
+  FlagSet(const FlagSet&) = delete;
+  FlagSet& operator=(const FlagSet&) = delete;
+
+  // Declaration. Each registers a flag with its default and help text.
+  void AddString(const std::string& name, std::string default_value,
+                 std::string help);
+  void AddInt(const std::string& name, int64_t default_value,
+              std::string help);
+  void AddDouble(const std::string& name, double default_value,
+                 std::string help);
+  void AddBool(const std::string& name, bool default_value, std::string help);
+
+  /// Parses argv. On `--help` returns OK with help_requested() set; callers
+  /// print Help() and exit. Unknown flags, malformed values, and type
+  /// mismatches return InvalidArgument.
+  Status Parse(int argc, const char* const* argv);
+
+  bool help_requested() const { return help_requested_; }
+
+  /// Typed access; the flag must have been declared with the matching Add*.
+  const std::string& GetString(const std::string& name) const;
+  int64_t GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+  /// True when the flag appeared on the command line (vs default).
+  bool IsSet(const std::string& name) const;
+
+  /// Non-flag arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Usage text listing every flag with type, default, and help.
+  std::string Help() const;
+
+ private:
+  enum class Type { kString, kInt, kDouble, kBool };
+
+  struct Flag {
+    Type type;
+    std::string help;
+    std::string string_value;
+    int64_t int_value = 0;
+    double double_value = 0.0;
+    bool bool_value = false;
+    std::string default_text;  // rendered for help output
+    bool set = false;
+  };
+
+  void Declare(const std::string& name, Flag flag);
+  const Flag& Get(const std::string& name, Type type) const;
+  Status SetValue(const std::string& name, const std::string& value);
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+  bool help_requested_ = false;
+};
+
+}  // namespace rl4oasd

@@ -1,0 +1,63 @@
+#include "common/logging.h"
+
+#include <atomic>
+
+namespace rl4oasd {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+void SetLogLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  stream_ << "\n";
+  std::ostream& out = (level_ >= LogLevel::kWarning) ? std::cerr : std::clog;
+  out << stream_.str();
+}
+
+FatalMessage::FatalMessage(const char* file, int line, const char* expr) {
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << "[FATAL " << base << ":" << line << "] Check failed: " << expr
+          << " ";
+}
+
+FatalMessage::~FatalMessage() {
+  stream_ << "\n";
+  std::cerr << stream_.str() << std::flush;
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace rl4oasd

@@ -1,0 +1,68 @@
+// Minimal leveled logging plus CHECK macros (Google-glog style) used for
+// internal invariant enforcement.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace rl4oasd {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global log threshold; messages below it are discarded. Defaults to kInfo.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* expr);
+  [[noreturn]] ~FatalMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define RL4_LOG(level)                                                  \
+  if (::rl4oasd::LogLevel::k##level < ::rl4oasd::GetLogLevel()) {       \
+  } else                                                                \
+    ::rl4oasd::internal::LogMessage(::rl4oasd::LogLevel::k##level,      \
+                                    __FILE__, __LINE__)                 \
+        .stream()
+
+/// Aborts with a message when `cond` is false. Enabled in all build types:
+/// these guard logic invariants, not user input.
+#define RL4_CHECK(cond)                                              \
+  if (cond) {                                                        \
+  } else                                                             \
+    ::rl4oasd::internal::FatalMessage(__FILE__, __LINE__, #cond).stream()
+
+#define RL4_CHECK_OP(a, b, op) RL4_CHECK((a)op(b))                   \
+    << " (" << (a) << " vs " << (b) << ") "
+#define RL4_CHECK_EQ(a, b) RL4_CHECK_OP(a, b, ==)
+#define RL4_CHECK_NE(a, b) RL4_CHECK_OP(a, b, !=)
+#define RL4_CHECK_LT(a, b) RL4_CHECK_OP(a, b, <)
+#define RL4_CHECK_LE(a, b) RL4_CHECK_OP(a, b, <=)
+#define RL4_CHECK_GT(a, b) RL4_CHECK_OP(a, b, >)
+#define RL4_CHECK_GE(a, b) RL4_CHECK_OP(a, b, >=)
+
+}  // namespace rl4oasd

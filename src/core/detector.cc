@@ -1,0 +1,147 @@
+#include "core/detector.h"
+
+#include "common/logging.h"
+
+namespace rl4oasd::core {
+
+void ApplyDelayedLabeling(std::vector<uint8_t>* labels, int delay_d) {
+  if (delay_d <= 0) return;
+  auto& l = *labels;
+  const int n = static_cast<int>(l.size());
+  int last_one = -1;
+  for (int i = 0; i < n; ++i) {
+    if (!l[i]) continue;
+    // A boundary formed at `last_one`; this 1 at `i` is within the D-segment
+    // lookahead if the zero gap is shorter than D.
+    if (last_one >= 0 && i - last_one <= delay_d && i - last_one > 1) {
+      for (int k = last_one + 1; k < i; ++k) l[k] = 1;
+    }
+    last_one = i;
+  }
+}
+
+int RnelDeterministicLabel(const roadnet::RoadNetwork& net,
+                           traj::EdgeId prev_edge, int prev_label,
+                           traj::EdgeId cur_edge) {
+  const int prev_out = net.EdgeOutDegree(prev_edge);
+  const int cur_in = net.EdgeInDegree(cur_edge);
+  // (1) No alternative transition exists in either direction: the label
+  //     cannot change.
+  if (prev_out == 1 && cur_in == 1) return prev_label;
+  // (2) Leaving a normal segment with no alternative exit cannot start an
+  //     anomaly.
+  if (prev_out == 1 && cur_in > 1 && prev_label == 0) return 0;
+  // (3) Entering a segment with no alternative entrance cannot end an
+  //     anomaly.
+  if (prev_out > 1 && cur_in == 1 && prev_label == 1) return 1;
+  return -1;
+}
+
+OnlineDetector::OnlineDetector(const roadnet::RoadNetwork* net,
+                               const Preprocessor* preprocessor,
+                               const RsrNet* rsr, const AsdNet* asd,
+                               DetectorConfig config)
+    : net_(net),
+      preprocessor_(preprocessor),
+      rsr_(rsr),
+      asd_(asd),
+      config_(config) {
+  RL4_CHECK(net != nullptr);
+  RL4_CHECK(preprocessor != nullptr);
+  RL4_CHECK(rsr != nullptr);
+  RL4_CHECK(asd != nullptr);
+}
+
+OnlineDetector::Session::Session(const OnlineDetector* owner, traj::SdPair sd,
+                                 double start_time)
+    : owner_(owner),
+      sd_(sd),
+      start_time_(start_time),
+      stream_(owner->rsr_->config().hidden_dim),
+      rng_(owner->config_.seed) {}
+
+int OnlineDetector::Session::Feed(traj::EdgeId edge) {
+  int label;
+  if (labels_.empty()) {
+    // The source segment is normal by definition (Algorithm 1, line 2). The
+    // LSTM still consumes it so downstream states see the full history.
+    owner_->rsr_->StepForward(edge, /*nrf_bit=*/0, &stream_, nullptr);
+    label = 0;
+  } else {
+    const uint8_t nrf = owner_->preprocessor_->NormalRouteFeatureAt(
+        sd_, start_time_, prev_edge_, edge);
+    const nn::Vec z =
+        owner_->rsr_->StepForward(edge, nrf, &stream_, nullptr);
+    int det = -1;
+    if (owner_->config_.use_rnel) {
+      det = RnelDeterministicLabel(*owner_->net_, prev_edge_, prev_label_,
+                                   edge);
+    }
+    if (det >= 0) {
+      label = det;
+    } else if (owner_->config_.stochastic) {
+      label = owner_->asd_->SampleAction(z.data(), prev_label_, &rng_);
+    } else {
+      label = owner_->asd_->GreedyAction(z.data(), prev_label_);
+    }
+    // The destination segment is also normal by definition; Finish()
+    // enforces it once the trajectory is known to be complete.
+  }
+  labels_.push_back(static_cast<uint8_t>(label));
+  edges_.push_back(edge);
+  prev_edge_ = edge;
+  prev_label_ = label;
+  return label;
+}
+
+std::vector<uint8_t> OnlineDetector::Session::Finish() {
+  if (!labels_.empty()) labels_.back() = 0;
+  Postprocess(&labels_);
+  return labels_;
+}
+
+void OnlineDetector::Session::Postprocess(std::vector<uint8_t>* labels) const {
+  if (owner_->config_.use_dl) {
+    ApplyDelayedLabeling(labels, owner_->config_.delay_d);
+  }
+  if (owner_->config_.use_boundary_trim) {
+    TrimRunBoundaries(labels);
+  }
+}
+
+void OnlineDetector::Session::TrimRunBoundaries(
+    std::vector<uint8_t>* labels) const {
+  auto& l = *labels;
+  const auto& pre = *owner_->preprocessor_;
+  for (const auto& run : traj::ExtractAnomalousRuns(l)) {
+    // Walk the run ends inward while the boundary edge itself lies on a
+    // normal route of the group (the transition into it was rare, the
+    // segment is not).
+    int b = run.begin;
+    int e = run.end;  // exclusive
+    while (b < e &&
+           pre.EdgeOnNormalRouteAt(sd_, start_time_, edges_[b])) {
+      l[b++] = 0;
+    }
+    while (e > b &&
+           pre.EdgeOnNormalRouteAt(sd_, start_time_, edges_[e - 1])) {
+      l[--e] = 0;
+    }
+  }
+}
+
+std::vector<traj::Subtrajectory> OnlineDetector::Session::CurrentAnomalies()
+    const {
+  std::vector<uint8_t> copy = labels_;
+  Postprocess(&copy);
+  return traj::ExtractAnomalousRuns(copy);
+}
+
+std::vector<uint8_t> OnlineDetector::Detect(
+    const traj::MapMatchedTrajectory& t) const {
+  Session session(this, t.sd(), t.start_time);
+  for (traj::EdgeId e : t.edges) session.Feed(e);
+  return session.Finish();
+}
+
+}  // namespace rl4oasd::core

@@ -1,0 +1,108 @@
+// The online RL4OASD detector (paper Algorithm 1) with its two enhancements:
+//   * Road Network Enhanced Labeling (RNEL) — degree-based rules make some
+//     labels deterministic, skipping the policy network, and
+//   * Delayed Labeling (DL) — a D-segment lookahead merges anomalous
+//     fragments separated by short normal gaps.
+// The detector is streaming: Session consumes one road segment at a time,
+// which is what the per-point efficiency experiments (Figure 3) measure.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/asdnet.h"
+#include "core/preprocess.h"
+#include "core/rsrnet.h"
+#include "roadnet/road_network.h"
+#include "traj/types.h"
+
+namespace rl4oasd::core {
+
+struct DetectorConfig {
+  bool use_rnel = true;
+  bool use_dl = true;
+  int delay_d = 8;          // paper: D = 8
+  // Route-level boundary trimming: edges at the ends of a formed anomalous
+  // run that lie on an inferred normal route are relabeled normal. A
+  // transition-level detector always flags the segment where a detour
+  // rejoins the normal route (its incoming transition is rare even though
+  // the segment itself is normal); trimming aligns the reported boundary
+  // with the route-level ground truth. Uses only historical statistics and
+  // one segment of lookahead, so it stays online-compatible.
+  bool use_boundary_trim = true;
+  bool stochastic = false;  // sample vs argmax actions at detection time
+  uint64_t seed = 11;
+};
+
+/// Applies the Delayed-Labeling merge to a finished label sequence: a run of
+/// 0s of length < D sandwiched between 1s is converted to 1s (paper: scan D
+/// more segments after a boundary and extend to the last 1 found).
+void ApplyDelayedLabeling(std::vector<uint8_t>* labels, int delay_d);
+
+/// RNEL rule (paper Section IV-E). Returns 0/1 when the label of the current
+/// segment is deterministic given the previous segment's label and the graph
+/// degrees, or -1 when the policy must decide.
+int RnelDeterministicLabel(const roadnet::RoadNetwork& net,
+                           traj::EdgeId prev_edge, int prev_label,
+                           traj::EdgeId cur_edge);
+
+class OnlineDetector {
+ public:
+  OnlineDetector(const roadnet::RoadNetwork* net,
+                 const Preprocessor* preprocessor, const RsrNet* rsr,
+                 const AsdNet* asd, DetectorConfig config);
+
+  /// Streaming detection session over one trajectory. The SD pair and start
+  /// time are known at trip start (ride-hailing setting).
+  class Session {
+   public:
+    Session(const OnlineDetector* owner, traj::SdPair sd, double start_time);
+
+    /// Consumes the next road segment, returning its (pre-DL) label.
+    int Feed(traj::EdgeId edge);
+
+    /// Marks the trajectory complete: forces the last label to 0 and applies
+    /// Delayed Labeling. Returns the final labels.
+    std::vector<uint8_t> Finish();
+
+    /// Anomalous subtrajectories formed so far (with DL applied to the
+    /// already-seen prefix). Usable mid-stream for monitoring.
+    std::vector<traj::Subtrajectory> CurrentAnomalies() const;
+
+    const std::vector<uint8_t>& labels() const { return labels_; }
+
+   private:
+    /// DL merge followed by route-level boundary trimming.
+    void Postprocess(std::vector<uint8_t>* labels) const;
+    void TrimRunBoundaries(std::vector<uint8_t>* labels) const;
+
+    const OnlineDetector* owner_;
+    traj::SdPair sd_;
+    double start_time_;
+    RsrStream stream_;
+    traj::EdgeId prev_edge_ = roadnet::kInvalidEdge;
+    int prev_label_ = 0;
+    std::vector<uint8_t> labels_;
+    std::vector<traj::EdgeId> edges_;
+    mutable Rng rng_;
+  };
+
+  /// Convenience: runs a full trajectory through a session.
+  std::vector<uint8_t> Detect(const traj::MapMatchedTrajectory& t) const;
+
+  Session StartSession(traj::SdPair sd, double start_time) const {
+    return Session(this, sd, start_time);
+  }
+
+  const DetectorConfig& config() const { return config_; }
+
+ private:
+  friend class Session;
+  const roadnet::RoadNetwork* net_;
+  const Preprocessor* preprocessor_;
+  const RsrNet* rsr_;
+  const AsdNet* asd_;
+  DetectorConfig config_;
+};
+
+}  // namespace rl4oasd::core

@@ -1,0 +1,99 @@
+#include "core/explainer.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+#include "roadnet/shortest_path.h"
+
+namespace rl4oasd::core {
+
+AnomalyExplainer::AnomalyExplainer(const roadnet::RoadNetwork* net,
+                                   const Preprocessor* preprocessor)
+    : net_(net), preprocessor_(preprocessor) {
+  RL4_CHECK(net != nullptr);
+  RL4_CHECK(preprocessor != nullptr);
+}
+
+std::vector<AnomalyReport> AnomalyExplainer::Explain(
+    const traj::MapMatchedTrajectory& t,
+    const std::vector<uint8_t>& labels) const {
+  RL4_CHECK_EQ(labels.size(), t.edges.size());
+  std::vector<AnomalyReport> reports;
+  const traj::SdPair sd = t.sd();
+  const auto fractions = preprocessor_->TransitionFractions(t);
+
+  for (const traj::Subtrajectory& run : traj::ExtractAnomalousRuns(labels)) {
+    AnomalyReport report;
+    report.range = run;
+    report.edges.assign(t.edges.begin() + run.begin,
+                        t.edges.begin() + run.end);
+
+    // Transition-fraction statistics over the run (the incoming transition
+    // of each run edge).
+    double sum = 0.0;
+    double min_frac = 1.0;
+    for (int i = run.begin; i < run.end; ++i) {
+      sum += fractions[i];
+      min_frac = std::min(min_frac, fractions[i]);
+    }
+    report.mean_transition_fraction = sum / static_cast<double>(run.length());
+    report.min_transition_fraction = min_frac;
+
+    // Anchors and detour geometry.
+    if (run.begin > 0) report.left_anchor = t.edges[run.begin - 1];
+    if (static_cast<size_t>(run.end) < t.edges.size()) {
+      report.right_anchor = t.edges[run.end];
+    }
+    report.detour_length_m = net_->PathLengthMeters(report.edges);
+
+    if (report.left_anchor != roadnet::kInvalidEdge &&
+        report.right_anchor != roadnet::kInvalidEdge) {
+      // The shortest anchor-to-anchor alternative, excluding the endpoints
+      // themselves from the detour comparison (both paths share them).
+      const auto alt = roadnet::ShortestPathBetweenEdges(
+          *net_, report.left_anchor, report.right_anchor);
+      if (alt.size() >= 2) {
+        std::vector<traj::EdgeId> interior(alt.begin() + 1, alt.end() - 1);
+        report.alternative_length_m = net_->PathLengthMeters(interior);
+        report.extra_distance_m =
+            report.detour_length_m - report.alternative_length_m;
+      }
+      // The most popular turn out of the left anchor that the vehicle did
+      // not take.
+      const traj::EdgeId taken = t.edges[run.begin];
+      for (traj::EdgeId successor : net_->NextEdges(report.left_anchor)) {
+        if (successor == taken) continue;
+        report.best_alternative_popularity =
+            std::max(report.best_alternative_popularity,
+                     preprocessor_->TransitionFractionAt(
+                         sd, t.start_time, report.left_anchor, successor));
+      }
+    }
+    reports.push_back(std::move(report));
+  }
+  return reports;
+}
+
+std::string AnomalyReport::Summary() const {
+  std::ostringstream os;
+  os.precision(2);
+  os << std::fixed;
+  os << "anomalous subtrajectory [" << range.begin << ", " << range.end
+     << "): " << range.length() << " segments, " << detour_length_m
+     << " m traveled";
+  if (alternative_length_m >= 0.0) {
+    os << " (+" << extra_distance_m << " m vs the " << alternative_length_m
+       << " m alternative)";
+  }
+  os << "; transitions traveled by " << 100.0 * mean_transition_fraction
+     << "% of historical trips (min " << 100.0 * min_transition_fraction
+     << "%)";
+  if (best_alternative_popularity > 0.0) {
+    os << "; a turn taken by " << 100.0 * best_alternative_popularity
+       << "% of trips was available at the deviation point";
+  }
+  return os.str();
+}
+
+}  // namespace rl4oasd::core

@@ -1,0 +1,71 @@
+// Evidence reports for detected anomalous subtrajectories. A label sequence
+// tells an operator *where* the detector fired; dispatch and audit teams
+// also need *why*. The explainer reconstructs, for each anomalous run, the
+// statistical evidence the detection rests on: how rarely the run's
+// transitions are traveled within the SD pair, which normal route the
+// vehicle left and rejoined, and how much extra distance the detour added
+// over the normal alternative between the same anchor segments.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/preprocess.h"
+#include "roadnet/road_network.h"
+#include "traj/types.h"
+
+namespace rl4oasd::core {
+
+/// Evidence for one anomalous run within a trajectory.
+struct AnomalyReport {
+  /// The run, as indices into the trajectory's edge sequence.
+  traj::Subtrajectory range;
+  /// The run's edges.
+  std::vector<traj::EdgeId> edges;
+
+  /// Mean and minimum historical transition fraction across the run (the
+  /// statistic the noisy labels threshold; near 0 = essentially untraveled).
+  double mean_transition_fraction = 0.0;
+  double min_transition_fraction = 0.0;
+
+  /// Anchor segments: the last normal segment before the run and the first
+  /// after it (kInvalidEdge when the run touches the trajectory boundary).
+  traj::EdgeId left_anchor = roadnet::kInvalidEdge;
+  traj::EdgeId right_anchor = roadnet::kInvalidEdge;
+
+  /// Detour length (meters) along the anomalous run, and the length of the
+  /// shortest alternative between the anchors (-1 when no anchor pair or no
+  /// alternative exists). extra_distance_m = detour - alternative.
+  double detour_length_m = 0.0;
+  double alternative_length_m = -1.0;
+  double extra_distance_m = 0.0;
+
+  /// Popularity of the best alternative turn the vehicle skipped: the
+  /// highest historical transition fraction out of the left anchor over
+  /// successors other than the detour's first edge. High values mean a
+  /// well-established route was available at the deviation point.
+  double best_alternative_popularity = 0.0;
+
+  /// One-line human-readable summary.
+  std::string Summary() const;
+};
+
+/// Builds AnomalyReports from a labeled trajectory and the trained
+/// preprocessor statistics. Stateless apart from the borrowed pointers;
+/// thread-safe once the preprocessor caches are warm.
+class AnomalyExplainer {
+ public:
+  AnomalyExplainer(const roadnet::RoadNetwork* net,
+                   const Preprocessor* preprocessor);
+
+  /// One report per maximal anomalous run in `labels` (parallel to
+  /// `t.edges`).
+  std::vector<AnomalyReport> Explain(const traj::MapMatchedTrajectory& t,
+                                     const std::vector<uint8_t>& labels) const;
+
+ private:
+  const roadnet::RoadNetwork* net_;
+  const Preprocessor* preprocessor_;
+};
+
+}  // namespace rl4oasd::core

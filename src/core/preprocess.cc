@@ -1,0 +1,216 @@
+#include "core/preprocess.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace rl4oasd::core {
+
+Preprocessor::Preprocessor(PreprocessConfig config) : config_(config) {
+  RL4_CHECK_GT(config_.time_slot_hours, 0);
+}
+
+std::string Preprocessor::RouteKey(const std::vector<traj::EdgeId>& edges) {
+  // Compact binary key: 4 bytes per edge id.
+  std::string key;
+  key.resize(edges.size() * sizeof(traj::EdgeId));
+  std::memcpy(key.data(), edges.data(), key.size());
+  return key;
+}
+
+void Preprocessor::IngestInto(GroupStats* g,
+                              const traj::MapMatchedTrajectory& t) {
+  g->num_trajs += 1;
+  // A trajectory contributes each distinct transition once (the fraction is
+  // "how many trajectories of the group travel this transition").
+  std::unordered_map<int64_t, bool> seen;
+  for (size_t i = 1; i < t.edges.size(); ++i) {
+    const int64_t key = TransitionKey(t.edges[i - 1], t.edges[i]);
+    if (seen.emplace(key, true).second) {
+      g->transition_count[key] += 1;
+    }
+  }
+  g->route_count[RouteKey(t.edges)] += 1;
+  g->normal_set_stale = true;
+}
+
+void Preprocessor::RebuildNormalSet(const GroupStats& g, double delta) {
+  g.normal_transitions.clear();
+  g.normal_edges.clear();
+  for (const auto& [route_key, count] : g.route_count) {
+    const double fraction =
+        static_cast<double>(count) / static_cast<double>(g.num_trajs);
+    if (fraction <= delta) continue;
+    const size_t n = route_key.size() / sizeof(traj::EdgeId);
+    const auto* edges =
+        reinterpret_cast<const traj::EdgeId*>(route_key.data());
+    for (size_t i = 0; i < n; ++i) {
+      g.normal_edges[edges[i]] = true;
+      if (i > 0) {
+        g.normal_transitions[TransitionKey(edges[i - 1], edges[i])] = true;
+      }
+    }
+  }
+  g.normal_set_stale = false;
+}
+
+bool Preprocessor::EdgeOnNormalRouteAt(const traj::SdPair& sd,
+                                       double start_time,
+                                       traj::EdgeId edge) const {
+  const GroupStats* g = FindGroup(sd, start_time);
+  if (g == nullptr || g->num_trajs == 0) return false;
+  if (g->normal_set_stale) RebuildNormalSet(*g, config_.delta);
+  return g->normal_edges.contains(edge);
+}
+
+void Preprocessor::Fit(const traj::Dataset& historical) {
+  groups_.clear();
+  all_slots_.clear();
+  for (const auto& lt : historical.trajs()) {
+    Update(lt.traj);
+  }
+}
+
+void Preprocessor::Update(const traj::MapMatchedTrajectory& t) {
+  if (t.edges.size() < 2) return;
+  const GroupKey key{t.sd(),
+                     traj::TimeSlotOf(t.start_time, config_.time_slot_hours)};
+  IngestInto(&groups_[key], t);
+  IngestInto(&all_slots_[t.sd()], t);
+}
+
+const GroupStats* Preprocessor::FindGroup(const traj::SdPair& sd,
+                                          double start_time) const {
+  const GroupKey key{sd,
+                     traj::TimeSlotOf(start_time, config_.time_slot_hours)};
+  auto it = groups_.find(key);
+  if (it != groups_.end() &&
+      it->second.num_trajs >= config_.min_slot_support) {
+    return &it->second;
+  }
+  auto it2 = all_slots_.find(sd);
+  if (it2 != all_slots_.end()) return &it2->second;
+  return nullptr;
+}
+
+std::vector<double> Preprocessor::TransitionFractions(
+    const traj::MapMatchedTrajectory& t) const {
+  std::vector<double> fractions(t.edges.size(), 0.0);
+  if (t.edges.empty()) return fractions;
+  // Source and destination are always traveled within their group.
+  fractions.front() = 1.0;
+  fractions.back() = 1.0;
+  const GroupStats* g = FindGroup(t.sd(), t.start_time);
+  for (size_t i = 1; i + 1 < t.edges.size(); ++i) {
+    if (g == nullptr || g->num_trajs == 0) continue;
+    auto it = g->transition_count.find(TransitionKey(t.edges[i - 1],
+                                                     t.edges[i]));
+    if (it != g->transition_count.end()) {
+      fractions[i] = static_cast<double>(it->second) /
+                     static_cast<double>(g->num_trajs);
+    }
+  }
+  return fractions;
+}
+
+std::vector<uint8_t> Preprocessor::NoisyLabels(
+    const traj::MapMatchedTrajectory& t) const {
+  const auto fractions = TransitionFractions(t);
+  std::vector<uint8_t> labels(fractions.size(), 0);
+  for (size_t i = 0; i < fractions.size(); ++i) {
+    labels[i] = fractions[i] > config_.alpha ? 0 : 1;
+  }
+  if (!labels.empty()) {
+    labels.front() = 0;
+    labels.back() = 0;
+  }
+  return labels;
+}
+
+std::vector<uint8_t> Preprocessor::NormalRouteFeatures(
+    const traj::MapMatchedTrajectory& t) const {
+  std::vector<uint8_t> nrf(t.edges.size(), 1);
+  if (t.edges.empty()) return nrf;
+  nrf.front() = 0;
+  nrf.back() = 0;
+  for (size_t i = 1; i + 1 < t.edges.size(); ++i) {
+    nrf[i] = NormalRouteFeatureAt(t.sd(), t.start_time, t.edges[i - 1],
+                                  t.edges[i]);
+  }
+  return nrf;
+}
+
+double Preprocessor::TransitionFractionAt(const traj::SdPair& sd,
+                                          double start_time,
+                                          traj::EdgeId prev,
+                                          traj::EdgeId cur) const {
+  const GroupStats* g = FindGroup(sd, start_time);
+  if (g == nullptr || g->num_trajs == 0) return 0.0;
+  auto it = g->transition_count.find(TransitionKey(prev, cur));
+  if (it == g->transition_count.end()) return 0.0;
+  return static_cast<double>(it->second) / static_cast<double>(g->num_trajs);
+}
+
+uint8_t Preprocessor::NormalRouteFeatureAt(const traj::SdPair& sd,
+                                           double start_time,
+                                           traj::EdgeId prev,
+                                           traj::EdgeId cur) const {
+  const GroupStats* g = FindGroup(sd, start_time);
+  if (g == nullptr || g->num_trajs == 0) return 1;
+  if (g->normal_set_stale) RebuildNormalSet(*g, config_.delta);
+  return g->normal_transitions.contains(TransitionKey(prev, cur)) ? 0 : 1;
+}
+
+std::vector<GroupSnapshot> Preprocessor::ExportState() const {
+  std::vector<GroupSnapshot> out;
+  out.reserve(groups_.size() + all_slots_.size());
+  auto snapshot_of = [](const traj::SdPair& sd, int slot,
+                        const GroupStats& g) {
+    GroupSnapshot s;
+    s.sd = sd;
+    s.slot = slot;
+    s.num_trajs = g.num_trajs;
+    s.transitions.assign(g.transition_count.begin(), g.transition_count.end());
+    std::sort(s.transitions.begin(), s.transitions.end());
+    s.routes.assign(g.route_count.begin(), g.route_count.end());
+    std::sort(s.routes.begin(), s.routes.end());
+    return s;
+  };
+  for (const auto& [key, g] : groups_) {
+    out.push_back(snapshot_of(key.sd, key.slot, g));
+  }
+  for (const auto& [sd, g] : all_slots_) {
+    out.push_back(snapshot_of(sd, -1, g));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const GroupSnapshot& a, const GroupSnapshot& b) {
+              if (!(a.sd == b.sd)) return a.sd < b.sd;
+              return a.slot < b.slot;
+            });
+  return out;
+}
+
+void Preprocessor::ImportState(const std::vector<GroupSnapshot>& snapshots) {
+  groups_.clear();
+  all_slots_.clear();
+  for (const GroupSnapshot& s : snapshots) {
+    GroupStats* g = s.slot < 0 ? &all_slots_[s.sd]
+                               : &groups_[GroupKey{s.sd, s.slot}];
+    g->num_trajs = s.num_trajs;
+    g->transition_count.insert(s.transitions.begin(), s.transitions.end());
+    g->route_count.insert(s.routes.begin(), s.routes.end());
+    g->normal_set_stale = true;
+  }
+}
+
+void Preprocessor::WarmNormalRouteCaches() const {
+  for (const auto& [key, g] : groups_) {
+    if (g.normal_set_stale) RebuildNormalSet(g, config_.delta);
+  }
+  for (const auto& [sd, g] : all_slots_) {
+    if (g.normal_set_stale) RebuildNormalSet(g, config_.delta);
+  }
+}
+
+}  // namespace rl4oasd::core

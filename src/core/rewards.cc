@@ -1,0 +1,25 @@
+#include "core/rewards.h"
+
+#include "common/logging.h"
+
+namespace rl4oasd::core {
+
+double EpisodeReward(const std::vector<nn::Vec>& z,
+                     const std::vector<uint8_t>& labels, double rsr_loss,
+                     bool use_local, bool use_global) {
+  RL4_CHECK_EQ(z.size(), labels.size());
+  double reward = 0.0;
+  if (use_local && z.size() >= 2) {
+    double local = 0.0;
+    for (size_t i = 1; i < z.size(); ++i) {
+      local += LocalReward(z[i - 1], z[i], labels[i - 1], labels[i]);
+    }
+    reward += local / static_cast<double>(z.size() - 1);
+  }
+  if (use_global) {
+    reward += GlobalReward(rsr_loss);
+  }
+  return reward;
+}
+
+}  // namespace rl4oasd::core

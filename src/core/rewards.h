@@ -1,0 +1,29 @@
+// Reward functions of the ASDNet MDP (paper Equations 2-5).
+#pragma once
+
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace rl4oasd::core {
+
+/// Local continuity reward at step i (Equation 2):
+///   r_i = sign(l_{i-1} == l_i) * cos(z_{i-1}, z_i).
+inline double LocalReward(const nn::Vec& z_prev, const nn::Vec& z_cur,
+                          int label_prev, int label_cur) {
+  const double sign = (label_prev == label_cur) ? 1.0 : -1.0;
+  return sign *
+         nn::CosineSimilarity(z_prev.data(), z_cur.data(), z_prev.size());
+}
+
+/// Global reward (Equation 3): 1 / (1 + L) where L is RSRNet's cross-entropy
+/// loss on the refined labels.
+inline double GlobalReward(double rsr_loss) { return 1.0 / (1.0 + rsr_loss); }
+
+/// Expected cumulative reward (Equation 5): mean local reward over steps
+/// 2..n plus the global reward.
+double EpisodeReward(const std::vector<nn::Vec>& z,
+                     const std::vector<uint8_t>& labels, double rsr_loss,
+                     bool use_local, bool use_global);
+
+}  // namespace rl4oasd::core

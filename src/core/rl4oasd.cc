@@ -1,0 +1,303 @@
+#include "core/rl4oasd.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "core/rewards.h"
+
+namespace rl4oasd::core {
+
+Rl4Oasd::Rl4Oasd(const roadnet::RoadNetwork* net, Rl4OasdConfig config)
+    : net_(net),
+      config_(config),
+      rng_(config.seed),
+      preprocessor_(config.preprocess) {
+  RL4_CHECK(net->built());
+  config_.rsr.num_edges = net->NumEdges();
+  rsr_ = std::make_unique<RsrNet>(config_.rsr);
+  config_.asd.z_dim = rsr_->z_dim();
+  asd_ = std::make_unique<AsdNet>(config_.asd);
+  detector_ = std::make_unique<OnlineDetector>(
+      net_, &preprocessor_, rsr_.get(), asd_.get(), config_.detector);
+}
+
+void Rl4Oasd::PretrainRsr(const traj::Dataset& train,
+                          const std::vector<size_t>& sample) {
+  for (int epoch = 0; epoch < config_.pretrain_epochs; ++epoch) {
+    for (size_t idx : sample) {
+      const auto& t = train[idx].traj;
+      if (t.edges.size() < 3) continue;
+      const auto nrf = preprocessor_.NormalRouteFeatures(t);
+      std::vector<uint8_t> labels;
+      if (config_.use_noisy_labels) {
+        labels = preprocessor_.NoisyLabels(t);
+      } else {
+        // Ablation: replace the warm-start signal with coin flips.
+        labels.resize(t.edges.size());
+        for (auto& l : labels) l = rng_.Bernoulli(0.5) ? 1 : 0;
+      }
+      rsr_->TrainStep(t.edges, nrf, labels);
+    }
+  }
+}
+
+void Rl4Oasd::PretrainAsd(const traj::Dataset& train,
+                          const std::vector<size_t>& sample) {
+  // Warm-start the policy by imitating the noisy labels (paper: "we specify
+  // its actions as the noisy labels"). Multiple epochs of supervised
+  // imitation are required: joint REINFORCE training starting from a policy
+  // that rarely emits 1s collapses to labeling everything normal.
+  for (int epoch = 0; epoch < config_.pretrain_epochs; ++epoch) {
+    for (size_t idx : sample) {
+      const auto& t = train[idx].traj;
+      if (t.edges.size() < 3) continue;
+      const auto nrf = preprocessor_.NormalRouteFeatures(t);
+      std::vector<uint8_t> labels =
+          config_.use_noisy_labels
+              ? preprocessor_.NoisyLabels(t)
+              : std::vector<uint8_t>(t.edges.size(), 0);
+      const RsrForward fwd = rsr_->Forward(t.edges, nrf);
+      std::vector<AsdStep> episode;
+      int prev_label = 0;
+      for (size_t i = 1; i + 1 < t.edges.size(); ++i) {
+        AsdStep step;
+        step.z = fwd.z[i];
+        step.prev_label = prev_label;
+        step.action = labels[i];
+        episode.push_back(std::move(step));
+        prev_label = labels[i];
+      }
+      asd_->ImitationUpdate(episode);
+    }
+  }
+}
+
+std::vector<uint8_t> Rl4Oasd::RolloutLabels(
+    const traj::MapMatchedTrajectory& t, const RsrForward& fwd,
+    bool stochastic, std::vector<AsdStep>* episode) {
+  const size_t n = t.edges.size();
+  std::vector<uint8_t> labels(n, 0);
+  int prev_label = 0;
+  for (size_t i = 1; i < n; ++i) {
+    if (i + 1 == n) {
+      labels[i] = 0;  // destination is normal by definition
+      break;
+    }
+    int det = -1;
+    if (config_.detector.use_rnel) {
+      det = RnelDeterministicLabel(*net_, t.edges[i - 1], prev_label,
+                                   t.edges[i]);
+    }
+    int action;
+    if (det >= 0) {
+      action = det;
+    } else if (stochastic) {
+      if (rng_.Bernoulli(config_.joint_explore_eps)) {
+        action = static_cast<int>(rng_.UniformInt(uint64_t{2}));
+      } else {
+        action = asd_->SampleAction(fwd.z[i].data(), prev_label, &rng_);
+      }
+      if (episode != nullptr) {
+        AsdStep step;
+        step.z = fwd.z[i];
+        step.prev_label = prev_label;
+        step.action = action;
+        episode->push_back(std::move(step));
+      }
+    } else {
+      action = asd_->GreedyAction(fwd.z[i].data(), prev_label);
+    }
+    labels[i] = static_cast<uint8_t>(action);
+    prev_label = action;
+  }
+  return labels;
+}
+
+void Rl4Oasd::JointStep(const traj::MapMatchedTrajectory& t) {
+  const auto nrf = preprocessor_.NormalRouteFeatures(t);
+  const RsrForward fwd = rsr_->Forward(t.edges, nrf);
+  std::vector<AsdStep> episode;
+  const auto refined =
+      RolloutLabels(t, fwd, /*stochastic=*/true, &episode);
+  const double loss = rsr_->Loss(t.edges, nrf, refined);
+  const double reward = EpisodeReward(fwd.z, refined, loss,
+                                      config_.use_local_reward,
+                                      config_.use_global_reward);
+  double advantage = reward;
+  ++joint_stats_.episodes;
+  int ones_delta = 0;
+  if (config_.use_reward_baseline) {
+    // Self-critical baseline: compare against the greedy rollout of the
+    // same trajectory.
+    const auto greedy = RolloutLabels(t, fwd, /*stochastic=*/false, nullptr);
+    const double greedy_loss = rsr_->Loss(t.edges, nrf, greedy);
+    advantage = reward - EpisodeReward(fwd.z, greedy, greedy_loss,
+                                       config_.use_local_reward,
+                                       config_.use_global_reward);
+    for (size_t i = 0; i < refined.size(); ++i) {
+      ones_delta += static_cast<int>(refined[i]) - static_cast<int>(greedy[i]);
+    }
+    // Self-imitation: only reinforce rollouts that beat the greedy policy.
+    // Under Adam's magnitude normalization, the frequent negative-advantage
+    // episodes otherwise dominate the rare positive ones and the policy
+    // degenerates to labeling everything normal.
+    if (advantage <= 0.0) {
+      last_mean_reward_ = reward;
+      if (config_.train_rsr_in_joint && config_.use_noisy_labels &&
+          rng_.Bernoulli(config_.noisy_anchor_prob)) {
+        rsr_->TrainStep(t.edges, nrf, preprocessor_.NoisyLabels(t));
+      }
+      return;
+    }
+  }
+  ++joint_stats_.applied;
+  joint_stats_.advantage_sum += advantage;
+  joint_stats_.ones_delta_sum += ones_delta;
+  asd_->ReinforceUpdate(episode, advantage);
+  // Refined labels retrain RSRNet, which then provides better states. The
+  // noisy labels stay in the mix as the weak-supervision anchor (see
+  // Rl4OasdConfig::noisy_anchor_prob).
+  if (config_.train_rsr_in_joint) {
+    if (config_.use_noisy_labels &&
+        rng_.Bernoulli(config_.noisy_anchor_prob)) {
+      rsr_->TrainStep(t.edges, nrf, preprocessor_.NoisyLabels(t));
+    } else {
+      rsr_->TrainStep(t.edges, nrf, refined);
+    }
+  }
+  last_mean_reward_ = reward;
+}
+
+void Rl4Oasd::Fit(const traj::Dataset& train) {
+  RL4_CHECK(!train.empty());
+  preprocessor_.Fit(train);
+
+  if (config_.transition_frequency_only) return;  // nothing neural to train
+
+  if (config_.use_pretrained_embeddings) {
+    embed::SkipGramConfig ecfg = config_.embedding;
+    ecfg.dim = config_.rsr.embed_dim;
+    embed::SkipGramTrainer trainer(net_, ecfg);
+    rsr_->LoadTcfEmbeddings(trainer.Train(train));
+  }
+
+  // Warm start on a small sample (paper: 200 trajectories). The sample is
+  // stratified so that up to half of it contains noisy-anomalous segments:
+  // at realistic anomaly ratios (~1% of segments) a uniform sample starves
+  // the warm start of anomalous examples entirely.
+  const size_t pre_n = std::min<size_t>(config_.pretrain_samples,
+                                        train.size());
+  std::vector<size_t> pre_sample;
+  if (config_.use_noisy_labels) {
+    std::vector<size_t> with_anomaly, without;
+    for (size_t i = 0; i < train.size(); ++i) {
+      const auto& t = train[i].traj;
+      if (t.edges.size() < 3) continue;
+      const auto noisy = preprocessor_.NoisyLabels(t);
+      bool any = false;
+      for (uint8_t l : noisy) any |= (l != 0);
+      (any ? with_anomaly : without).push_back(i);
+    }
+    rng_.Shuffle(&with_anomaly);
+    rng_.Shuffle(&without);
+    const size_t take_anomalous = std::min(with_anomaly.size(), pre_n / 2);
+    pre_sample.assign(with_anomaly.begin(),
+                      with_anomaly.begin() + take_anomalous);
+    for (size_t i = 0; i < without.size() && pre_sample.size() < pre_n;
+         ++i) {
+      pre_sample.push_back(without[i]);
+    }
+    rng_.Shuffle(&pre_sample);
+  } else {
+    pre_sample = rng_.SampleWithoutReplacement(train.size(), pre_n);
+  }
+  PretrainRsr(train, pre_sample);
+  if (config_.use_asdnet) {
+    PretrainAsd(train, pre_sample);
+  }
+
+  if (!config_.use_asdnet) return;  // classifier-only ablation stops here
+
+  // Joint training (paper: 10,000 sampled trajectories, 5 epochs each).
+  const size_t joint_n =
+      std::min<size_t>(config_.joint_samples, train.size());
+  auto joint_sample = rng_.SampleWithoutReplacement(train.size(), joint_n);
+  double reward_sum = 0.0;
+  int64_t reward_n = 0;
+  for (size_t idx : joint_sample) {
+    const auto& t = train[idx].traj;
+    if (t.edges.size() < 3) continue;
+    for (int e = 0; e < config_.epochs_per_traj; ++e) {
+      JointStep(t);
+      reward_sum += last_mean_reward_;
+      ++reward_n;
+    }
+  }
+  if (reward_n > 0) last_mean_reward_ = reward_sum / reward_n;
+}
+
+void Rl4Oasd::JointTrain(const traj::Dataset& data, int max_samples) {
+  if (config_.transition_frequency_only || !config_.use_asdnet) return;
+  size_t n = data.size();
+  if (max_samples >= 0) n = std::min<size_t>(n, max_samples);
+  auto sample = rng_.SampleWithoutReplacement(data.size(), n);
+  for (size_t idx : sample) {
+    const auto& t = data[idx].traj;
+    if (t.edges.size() < 3) continue;
+    JointStep(t);
+  }
+}
+
+void Rl4Oasd::FineTune(const traj::Dataset& new_data, int max_samples) {
+  // Keep the historical statistics current, then run a light pass of both
+  // warm-start training and policy refinement on the new data (the
+  // RL4OASD-FT strategy of Section V-G).
+  for (const auto& lt : new_data.trajs()) {
+    preprocessor_.Update(lt.traj);
+  }
+  if (config_.transition_frequency_only) return;
+  size_t n = new_data.size();
+  if (max_samples >= 0) n = std::min<size_t>(n, max_samples);
+  auto sample = rng_.SampleWithoutReplacement(new_data.size(), n);
+  // The drifted statistics change the noisy labels and NRF features, so the
+  // networks re-anchor on them (this is what adapts to concept drift).
+  PretrainRsr(new_data, sample);
+  if (config_.use_asdnet) {
+    PretrainAsd(new_data, sample);
+    for (size_t idx : sample) {
+      const auto& t = new_data[idx].traj;
+      if (t.edges.size() < 3) continue;
+      JointStep(t);
+    }
+  }
+}
+
+std::vector<uint8_t> Rl4Oasd::Detect(
+    const traj::MapMatchedTrajectory& t) const {
+  if (config_.transition_frequency_only) {
+    // The paper's "simplest method": raw transition-frequency thresholding,
+    // with none of the detector's smoothing.
+    return preprocessor_.NoisyLabels(t);
+  }
+  if (!config_.use_asdnet) {
+    // Classifier-only ablation: argmax over RSRNet's softmax head.
+    const auto nrf = preprocessor_.NormalRouteFeatures(t);
+    const RsrForward fwd = rsr_->Forward(t.edges, nrf);
+    std::vector<uint8_t> labels(t.edges.size(), 0);
+    for (size_t i = 1; i + 1 < labels.size(); ++i) {
+      labels[i] = fwd.probs[i][1] > fwd.probs[i][0] ? 1 : 0;
+    }
+    if (config_.detector.use_dl) {
+      ApplyDelayedLabeling(&labels, config_.detector.delay_d);
+    }
+    return labels;
+  }
+  return detector_->Detect(t);
+}
+
+OnlineDetector::Session Rl4Oasd::StartSession(traj::SdPair sd,
+                                              double start_time) const {
+  return detector_->StartSession(sd, start_time);
+}
+
+}  // namespace rl4oasd::core

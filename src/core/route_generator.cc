@@ -1,0 +1,179 @@
+#include "core/route_generator.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "roadnet/shortest_path.h"
+
+namespace rl4oasd::core {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Route identity key for deduplication.
+uint64_t RouteHash(const std::vector<traj::EdgeId>& route) {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a
+  for (traj::EdgeId e : route) {
+    h ^= static_cast<uint32_t>(e);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+RouteGenerator::RouteGenerator(const roadnet::RoadNetwork* net,
+                               RouteGeneratorConfig config)
+    : net_(net), config_(config) {
+  RL4_CHECK(net->built());
+  RL4_CHECK_GT(config_.routes_per_pair, 0);
+  transition_counts_.resize(net->NumEdges());
+  for (size_t e = 0; e < net->NumEdges(); ++e) {
+    transition_counts_[e].assign(
+        net->NextEdges(static_cast<traj::EdgeId>(e)).size(), 0);
+  }
+}
+
+void RouteGenerator::Fit(const traj::Dataset& historical) {
+  for (auto& counts : transition_counts_) {
+    std::fill(counts.begin(), counts.end(), 0);
+  }
+  total_transitions_ = 0;
+  for (const traj::LabeledTrajectory& lt : historical.trajs()) {
+    const auto& edges = lt.traj.edges;
+    for (size_t i = 1; i < edges.size(); ++i) {
+      const traj::EdgeId prev = edges[i - 1];
+      if (prev < 0 || static_cast<size_t>(prev) >= transition_counts_.size()) {
+        continue;
+      }
+      const auto& successors = net_->NextEdges(prev);
+      for (size_t k = 0; k < successors.size(); ++k) {
+        if (successors[k] == edges[i]) {
+          transition_counts_[prev][k] += 1;
+          total_transitions_ += 1;
+          break;
+        }
+      }
+    }
+  }
+}
+
+std::vector<double> RouteGenerator::DistanceToDestination(
+    traj::EdgeId dst) const {
+  std::vector<double> dist(net_->NumEdges(), kInf);
+  using Item = std::pair<double, traj::EdgeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[dst] = net_->edge(dst).length_m;
+  heap.emplace(dist[dst], dst);
+  while (!heap.empty()) {
+    auto [d, e] = heap.top();
+    heap.pop();
+    if (d > dist[e]) continue;
+    for (traj::EdgeId p : net_->PrevEdges(e)) {
+      const double nd = d + net_->edge(p).length_m;
+      if (nd < dist[p]) {
+        dist[p] = nd;
+        heap.emplace(nd, p);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<traj::EdgeId> RouteGenerator::SampleRoute(traj::EdgeId src,
+                                                      traj::EdgeId dst,
+                                                      Rng* rng) const {
+  const std::vector<double> to_dst = DistanceToDestination(dst);
+  if (to_dst[src] == kInf) return {};  // disconnected
+
+  for (int attempt = 0; attempt < config_.max_attempts; ++attempt) {
+    std::vector<traj::EdgeId> route = {src};
+    std::unordered_set<traj::EdgeId> visited = {src};
+    traj::EdgeId cur = src;
+    bool ok = false;
+    for (int step = 0; step < config_.max_steps; ++step) {
+      if (cur == dst) {
+        ok = true;
+        break;
+      }
+      const auto& successors = net_->NextEdges(cur);
+      const auto& counts = transition_counts_[cur];
+      std::vector<double> weights(successors.size(), 0.0);
+      for (size_t k = 0; k < successors.size(); ++k) {
+        const traj::EdgeId next = successors[k];
+        if (visited.contains(next) || to_dst[next] == kInf) continue;
+        double w = static_cast<double>(counts[k]) + config_.smoothing;
+        // Destination guidance: boost successors that make progress.
+        if (to_dst[next] < to_dst[cur]) w *= config_.greedy_bias;
+        weights[k] = w;
+      }
+      double sum = 0.0;
+      for (double w : weights) sum += w;
+      if (sum <= 0.0) break;  // dead end: every successor visited/unreachable
+      const size_t pick = rng->Categorical(weights);
+      cur = successors[pick];
+      route.push_back(cur);
+      visited.insert(cur);
+    }
+    if (ok || (route.size() > 1 && route.back() == dst)) return route;
+  }
+  return {};
+}
+
+std::vector<std::vector<traj::EdgeId>> RouteGenerator::GenerateRoutes(
+    traj::EdgeId src, traj::EdgeId dst, int k) const {
+  Rng rng(config_.seed ^ (static_cast<uint64_t>(src) << 32) ^
+          static_cast<uint32_t>(dst));
+  std::vector<std::vector<traj::EdgeId>> routes;
+  std::unordered_set<uint64_t> seen;
+  for (int i = 0; i < k * config_.max_attempts &&
+                  static_cast<int>(routes.size()) < k;
+       ++i) {
+    std::vector<traj::EdgeId> route = SampleRoute(src, dst, &rng);
+    if (route.empty()) break;
+    if (seen.insert(RouteHash(route)).second) {
+      routes.push_back(std::move(route));
+    }
+  }
+  if (routes.empty()) {
+    // Markov sampling failed (e.g., an empty corpus on a sparse graph):
+    // the shortest path is always an acceptable normal route.
+    std::vector<traj::EdgeId> sp =
+        roadnet::ShortestPathBetweenEdges(*net_, src, dst);
+    if (!sp.empty()) routes.push_back(std::move(sp));
+  }
+  return routes;
+}
+
+traj::Dataset RouteGenerator::AugmentSparsePairs(
+    const traj::Dataset& data) const {
+  traj::Dataset out = data;
+  Rng rng(config_.seed + 1);
+  int64_t synthetic_id = -1;
+  for (const auto& [sd, indices] : data.Groups()) {
+    const int64_t missing =
+        config_.target_support - static_cast<int64_t>(indices.size());
+    if (missing <= 0) continue;
+    const auto routes =
+        GenerateRoutes(sd.source, sd.dest, config_.routes_per_pair);
+    if (routes.empty()) continue;
+    // Spread synthetic trips over the day so every time slot falls back to
+    // well-supported statistics, favoring earlier (more popular) routes.
+    for (int64_t i = 0; i < missing; ++i) {
+      const auto& route = routes[i % routes.size()];
+      traj::LabeledTrajectory lt;
+      lt.traj.id = synthetic_id--;
+      lt.traj.edges = route;
+      lt.traj.start_time = rng.Uniform(0.0, 24 * 3600.0);
+      lt.labels.assign(route.size(), 0);
+      out.Add(std::move(lt));
+    }
+  }
+  return out;
+}
+
+}  // namespace rl4oasd::core

@@ -1,0 +1,85 @@
+// Generative route synthesis for the cold-start problem (the paper's stated
+// future work: "some generative methods, e.g., to generate some routes
+// within the sparse SD pairs, can possibly be leveraged to overcome the
+// issue").
+//
+// The generator fits a global first-order Markov model over edge
+// transitions from the whole historical corpus — transition behaviour
+// (which turn drivers take at an intersection) generalizes across SD pairs
+// even when a specific pair has almost no data. Sparse pairs are then
+// augmented with synthetic trajectories sampled from this model, guided
+// toward the destination by a backward-Dijkstra distance field, and the
+// augmented dataset trains the preprocessor as usual.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "roadnet/road_network.h"
+#include "traj/dataset.h"
+#include "traj/types.h"
+
+namespace rl4oasd::core {
+
+struct RouteGeneratorConfig {
+  /// Sparse pairs are topped up to this many trajectories.
+  int target_support = 25;
+  /// Synthetic routes sampled per sparse pair (trajectories are distributed
+  /// over them round-robin, mirroring the popularity skew of real pairs).
+  int routes_per_pair = 3;
+  /// Per-route sampling attempts before falling back to the shortest path.
+  int max_attempts = 8;
+  /// Hard cap on route length, in edges.
+  int max_steps = 400;
+  /// Multiplier applied to a successor's sampling weight when it strictly
+  /// decreases the remaining network distance to the destination. 1.0 turns
+  /// the guidance off; larger values make walks beeline.
+  double greedy_bias = 4.0;
+  /// Add-k smoothing over graph successors, so turns never observed in the
+  /// corpus remain possible.
+  double smoothing = 0.25;
+  uint64_t seed = 47;
+};
+
+/// Markov-chain route generator with destination guidance.
+class RouteGenerator {
+ public:
+  RouteGenerator(const roadnet::RoadNetwork* net, RouteGeneratorConfig config);
+
+  /// Builds global transition counts from every trajectory in `historical`.
+  void Fit(const traj::Dataset& historical);
+
+  /// Total transition observations ingested (diagnostics).
+  int64_t total_transitions() const { return total_transitions_; }
+
+  /// Samples one route from `src` to `dst` (both edge ids, inclusive).
+  /// Returns an empty vector when no route is found within max_steps.
+  std::vector<traj::EdgeId> SampleRoute(traj::EdgeId src, traj::EdgeId dst,
+                                        Rng* rng) const;
+
+  /// Up to `k` distinct routes; falls back to the shortest path when
+  /// sampling fails, so the result is empty only for disconnected pairs.
+  std::vector<std::vector<traj::EdgeId>> GenerateRoutes(traj::EdgeId src,
+                                                        traj::EdgeId dst,
+                                                        int k) const;
+
+  /// Returns a copy of `data` where every SD pair with fewer than
+  /// `config.target_support` trajectories is topped up with synthetic
+  /// all-normal trajectories along generated routes. Synthetic trajectories
+  /// get negative ids so downstream code can tell them apart.
+  traj::Dataset AugmentSparsePairs(const traj::Dataset& data) const;
+
+ private:
+  /// Distance (meters) from every edge to `dst` along directed paths,
+  /// entering-edge inclusive; +inf where unreachable. Backward Dijkstra over
+  /// the edge graph.
+  std::vector<double> DistanceToDestination(traj::EdgeId dst) const;
+
+  const roadnet::RoadNetwork* net_;
+  RouteGeneratorConfig config_;
+  /// transition_counts_[e] holds counts aligned with net_->NextEdges(e).
+  std::vector<std::vector<int64_t>> transition_counts_;
+  int64_t total_transitions_ = 0;
+};
+
+}  // namespace rl4oasd::core

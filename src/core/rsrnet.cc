@@ -1,0 +1,167 @@
+#include "core/rsrnet.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "nn/stacked.h"
+
+namespace rl4oasd::core {
+
+RsrNet::RsrNet(RsrNetConfig config)
+    : config_(config),
+      rng_(config.seed),
+      tcf_embed_("rsr.tcf", config.num_edges, config.embed_dim, &rng_),
+      nrf_embed_("rsr.nrf", 2, config.nrf_dim, &rng_),
+      rnn_(config.num_layers > 1
+               ? std::make_unique<nn::StackedRnn>(
+                     config.rnn_kind, "rsr", config.embed_dim,
+                     config.hidden_dim, config.num_layers, &rng_)
+               : nn::MakeRecurrentNet(config.rnn_kind, "rsr",
+                                      config.embed_dim, config.hidden_dim,
+                                      &rng_)),
+      head_("rsr.head", config.hidden_dim + config.nrf_dim, 2, &rng_) {
+  RL4_CHECK_GT(config_.num_edges, 0u);
+  tcf_embed_.RegisterParams(&registry_);
+  nrf_embed_.RegisterParams(&registry_);
+  rnn_->RegisterParams(&registry_);
+  head_.RegisterParams(&registry_);
+  nn::AdamConfig adam;
+  adam.lr = config_.lr;
+  optimizer_ = std::make_unique<nn::AdamOptimizer>(&registry_, adam);
+}
+
+void RsrNet::LoadTcfEmbeddings(const nn::Matrix& table) {
+  RL4_CHECK_EQ(table.rows(), tcf_embed_.vocab());
+  RL4_CHECK_GE(table.cols(), tcf_embed_.dim());
+  for (size_t r = 0; r < table.rows(); ++r) {
+    tcf_embed_.SetRow(r, table.Row(r));
+  }
+}
+
+RsrForward RsrNet::ForwardImpl(const std::vector<traj::EdgeId>& edges,
+                               const std::vector<uint8_t>& nrf,
+                               std::unique_ptr<nn::RecurrentNet::SeqCache>*
+                                   caches) const {
+  RL4_CHECK_EQ(edges.size(), nrf.size());
+  RsrForward out;
+  const size_t n = edges.size();
+  std::vector<const float*> inputs(n);
+  for (size_t i = 0; i < n; ++i) {
+    inputs[i] = tcf_embed_.Lookup(static_cast<size_t>(edges[i]));
+  }
+  auto local_caches = rnn_->Forward(inputs);
+  out.z.resize(n);
+  out.probs.resize(n);
+  const size_t H = config_.hidden_dim;
+  const size_t N = config_.nrf_dim;
+  for (size_t i = 0; i < n; ++i) {
+    out.z[i].resize(H + N);
+    const nn::Vec& h = local_caches->h(i);
+    std::copy(h.begin(), h.end(), out.z[i].begin());
+    const float* nv = nrf_embed_.Lookup(nrf[i] ? 1 : 0);
+    std::copy(nv, nv + N, out.z[i].begin() + H);
+    float logits[2];
+    head_.Forward(out.z[i].data(), logits);
+    nn::SoftmaxInPlace(logits, 2);
+    out.probs[i] = {logits[0], logits[1]};
+  }
+  if (caches != nullptr) *caches = std::move(local_caches);
+  return out;
+}
+
+RsrForward RsrNet::Forward(const std::vector<traj::EdgeId>& edges,
+                           const std::vector<uint8_t>& nrf) const {
+  return ForwardImpl(edges, nrf, nullptr);
+}
+
+double RsrNet::Loss(const std::vector<traj::EdgeId>& edges,
+                    const std::vector<uint8_t>& nrf,
+                    const std::vector<uint8_t>& labels) const {
+  RL4_CHECK_EQ(edges.size(), labels.size());
+  if (edges.empty()) return 0.0;
+  const RsrForward fwd = Forward(edges, nrf);
+  double loss = 0.0;
+  for (size_t i = 0; i < edges.size(); ++i) {
+    loss += nn::CrossEntropy(fwd.probs[i].data(), 2, labels[i] ? 1 : 0);
+  }
+  return loss / static_cast<double>(edges.size());
+}
+
+double RsrNet::TrainStep(const std::vector<traj::EdgeId>& edges,
+                         const std::vector<uint8_t>& nrf,
+                         const std::vector<uint8_t>& labels) {
+  RL4_CHECK_EQ(edges.size(), labels.size());
+  const size_t n = edges.size();
+  if (n == 0) return 0.0;
+  std::unique_ptr<nn::RecurrentNet::SeqCache> caches;
+  const RsrForward fwd = ForwardImpl(edges, nrf, &caches);
+
+  registry_.ZeroGrad();
+  const size_t H = config_.hidden_dim;
+  const size_t N = config_.nrf_dim;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  float positive_weight = config_.positive_weight;
+  if (positive_weight <= 0.0f) {
+    size_t ones = 0;
+    for (uint8_t l : labels) ones += l ? 1 : 0;
+    positive_weight =
+        ones == 0 ? 1.0f
+                  : std::min(50.0f, static_cast<float>(n - ones) /
+                                        static_cast<float>(ones));
+  }
+  double loss = 0.0;
+  std::vector<nn::Vec> d_h(n, nn::Vec(H, 0.0f));
+  nn::Vec d_z(H + N);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t target = labels[i] ? 1 : 0;
+    loss += nn::CrossEntropy(fwd.probs[i].data(), 2, target);
+    // d logits = w * (p - smoothed onehot) / n, with anomalous positions
+    // upweighted.
+    const float w = inv_n * (target == 1 ? positive_weight : 1.0f);
+    const float s = config_.label_smoothing;
+    float soft[2] = {target == 0 ? 1.0f - s : s, target == 1 ? 1.0f - s : s};
+    float d_logits[2] = {(fwd.probs[i][0] - soft[0]) * w,
+                         (fwd.probs[i][1] - soft[1]) * w};
+    std::fill(d_z.begin(), d_z.end(), 0.0f);
+    head_.Backward(fwd.z[i].data(), d_logits, d_z.data());
+    // Split z gradient into the LSTM hidden part and the NRF embedding part.
+    std::copy(d_z.begin(), d_z.begin() + H, d_h[i].begin());
+    nrf_embed_.AccumulateGrad(nrf[i] ? 1 : 0, d_z.data() + H);
+  }
+  std::vector<nn::Vec> d_x;
+  rnn_->Backward(*caches, d_h, &d_x);
+  for (size_t i = 0; i < n; ++i) {
+    tcf_embed_.AccumulateGrad(static_cast<size_t>(edges[i]), d_x[i].data());
+  }
+  registry_.ClipGradNorm(config_.grad_clip);
+  optimizer_->Step();
+  return loss / static_cast<double>(n);
+}
+
+nn::Vec RsrNet::StepForward(traj::EdgeId edge, uint8_t nrf_bit,
+                            RsrStream* stream,
+                            std::array<float, 2>* probs) const {
+  if (stream->state.h.size() != rnn_->state_size()) {
+    stream->state = nn::RnnState(rnn_->state_size());
+  }
+  rnn_->StepForward(tcf_embed_.Lookup(static_cast<size_t>(edge)),
+                    &stream->state);
+  const size_t H = config_.hidden_dim;
+  const size_t N = config_.nrf_dim;
+  nn::Vec z(H + N);
+  // Multi-layer cores pack one slice per layer; the top layer's hidden
+  // output occupies the last H entries.
+  const float* h_top = stream->state.h.data() + stream->state.h.size() - H;
+  std::copy(h_top, h_top + H, z.begin());
+  const float* nv = nrf_embed_.Lookup(nrf_bit ? 1 : 0);
+  std::copy(nv, nv + N, z.begin() + H);
+  if (probs != nullptr) {
+    float logits[2];
+    head_.Forward(z.data(), logits);
+    nn::SoftmaxInPlace(logits, 2);
+    (*probs) = {logits[0], logits[1]};
+  }
+  return z;
+}
+
+}  // namespace rl4oasd::core

@@ -1,0 +1,115 @@
+// RSRNet (paper Section IV-C): road segment representation network.
+// An LSTM consumes pre-trained traffic-context-feature (TCF) embeddings of
+// the road segments; its hidden state h_i is concatenated with an embedded
+// normal-route feature (NRF) to form the representation z_i = [h_i; x^n_i].
+// A softmax head predicts a normal/anomalous label per segment; the network
+// is trained with cross-entropy against noisy labels (pre-training) and
+// against ASDNet's refined labels (joint training).
+#pragma once
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/adam.h"
+#include "nn/embedding.h"
+#include "nn/linear.h"
+#include "nn/rnn.h"
+#include "traj/types.h"
+
+namespace rl4oasd::core {
+
+struct RsrNetConfig {
+  size_t num_edges = 0;    // road-network vocabulary (required)
+  size_t embed_dim = 64;   // TCF embedding size (paper: 128)
+  size_t nrf_dim = 64;     // NRF embedding size
+  size_t hidden_dim = 64;  // LSTM hidden units (paper: 128)
+  float lr = 0.01f;        // paper setting
+  float grad_clip = 5.0f;
+  // Cross-entropy weight on anomalous-label positions (<= 0 picks a
+  // class-balancing weight per sequence, capped at 50). The default is
+  // unweighted: RSRNet's features separate the classes cleanly, and an
+  // unweighted fit keeps the probabilities calibrated — the global reward
+  // divides by this network's loss, and inflated p(anomalous) at borderline
+  // positions drags the policy toward over-labeling.
+  float positive_weight = 1.0f;
+  // Label smoothing for TrainStep targets: the hard target (0,1) becomes
+  // (smoothing, 1 - smoothing). Keeps the network from collapsing its
+  // cross-entropy to zero — the ASDNet global reward divides by this loss,
+  // and an overconfident RSRNet leaves the policy no room to refine
+  // boundaries.
+  float label_smoothing = 0.05f;
+  // Recurrent core: LSTM (paper setting) or GRU (architecture ablation).
+  nn::RnnKind rnn_kind = nn::RnnKind::kLstm;
+  // Stacked recurrent layers (1 = the paper's single-layer setting).
+  size_t num_layers = 1;
+  uint64_t seed = 17;
+};
+
+/// Output of a full-sequence forward pass.
+struct RsrForward {
+  /// z_i = [h_i; nrf_embed_i], one per segment (dim = hidden + nrf_dim).
+  std::vector<nn::Vec> z;
+  /// Class probabilities per segment: {p(normal), p(anomalous)}.
+  std::vector<std::array<float, 2>> probs;
+};
+
+/// Streaming state for the online detector: one recurrent state per
+/// trajectory.
+struct RsrStream {
+  nn::RnnState state;
+  explicit RsrStream(size_t hidden = 0) : state(hidden) {}
+};
+
+class RsrNet {
+ public:
+  explicit RsrNet(RsrNetConfig config);
+
+  size_t z_dim() const { return config_.hidden_dim + config_.nrf_dim; }
+  const RsrNetConfig& config() const { return config_; }
+
+  /// Loads pre-trained TCF embeddings (rows must match num_edges; extra
+  /// columns are truncated, missing columns are an error).
+  void LoadTcfEmbeddings(const nn::Matrix& table);
+
+  /// Full-sequence forward (no gradients retained).
+  RsrForward Forward(const std::vector<traj::EdgeId>& edges,
+                     const std::vector<uint8_t>& nrf) const;
+
+  /// Mean cross-entropy of the sequence against `labels` (Equation 1).
+  double Loss(const std::vector<traj::EdgeId>& edges,
+              const std::vector<uint8_t>& nrf,
+              const std::vector<uint8_t>& labels) const;
+
+  /// One Adam step of cross-entropy training; returns the pre-update loss.
+  double TrainStep(const std::vector<traj::EdgeId>& edges,
+                   const std::vector<uint8_t>& nrf,
+                   const std::vector<uint8_t>& labels);
+
+  /// Streaming step: consumes one segment and its NRF bit, returns z_i and
+  /// fills `probs`. O(hidden * (hidden + embed)) per call.
+  nn::Vec StepForward(traj::EdgeId edge, uint8_t nrf_bit, RsrStream* stream,
+                      std::array<float, 2>* probs) const;
+
+  nn::ParameterRegistry* registry() { return &registry_; }
+  float lr() const { return optimizer_->lr(); }
+  void set_lr(float lr) { optimizer_->set_lr(lr); }
+
+ private:
+  /// Shared forward that optionally retains caches for backprop.
+  RsrForward ForwardImpl(
+      const std::vector<traj::EdgeId>& edges, const std::vector<uint8_t>& nrf,
+      std::unique_ptr<nn::RecurrentNet::SeqCache>* caches) const;
+
+  RsrNetConfig config_;
+  Rng rng_;
+  nn::Embedding tcf_embed_;  // num_edges x embed_dim
+  nn::Embedding nrf_embed_;  // 2 x nrf_dim
+  std::unique_ptr<nn::RecurrentNet> rnn_;  // embed_dim -> hidden_dim
+  nn::Linear head_;          // (hidden + nrf_dim) -> 2
+  nn::ParameterRegistry registry_;
+  std::unique_ptr<nn::AdamOptimizer> optimizer_;
+};
+
+}  // namespace rl4oasd::core

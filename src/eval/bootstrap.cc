@@ -1,0 +1,73 @@
+#include "eval/bootstrap.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace rl4oasd::eval {
+
+BootstrapEvaluator::BootstrapEvaluator(int resamples, double confidence,
+                                       uint64_t seed)
+    : resamples_(resamples), confidence_(confidence), seed_(seed) {
+  RL4_CHECK_GT(resamples, 0);
+  RL4_CHECK_GT(confidence, 0.0);
+  RL4_CHECK_LT(confidence, 1.0);
+}
+
+void BootstrapEvaluator::Add(std::vector<uint8_t> ground_truth,
+                             std::vector<uint8_t> predicted) {
+  RL4_CHECK_EQ(ground_truth.size(), predicted.size());
+  pairs_.push_back({std::move(ground_truth), std::move(predicted)});
+}
+
+Scores BootstrapEvaluator::ScoresOf(const std::vector<size_t>& indices) const {
+  F1Evaluator ev;
+  for (size_t i : indices) {
+    ev.Add(pairs_[i].gt, pairs_[i].pred);
+  }
+  return ev.Compute();
+}
+
+Scores BootstrapEvaluator::PointEstimate() const {
+  std::vector<size_t> all(pairs_.size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+  return ScoresOf(all);
+}
+
+BootstrapCi BootstrapEvaluator::Ci(MetricFn metric) const {
+  BootstrapCi ci;
+  ci.point = metric(PointEstimate());
+  if (pairs_.empty()) return ci;
+
+  Rng rng(seed_);
+  std::vector<double> values;
+  values.reserve(resamples_);
+  std::vector<size_t> sample(pairs_.size());
+  for (int b = 0; b < resamples_; ++b) {
+    for (auto& idx : sample) idx = rng.UniformInt(pairs_.size());
+    values.push_back(metric(ScoresOf(sample)));
+  }
+  std::sort(values.begin(), values.end());
+  const double tail = (1.0 - confidence_) / 2.0;
+  const auto at = [&](double quantile) {
+    const double pos = quantile * static_cast<double>(values.size() - 1);
+    const size_t k = static_cast<size_t>(pos);
+    const double frac = pos - static_cast<double>(k);
+    if (k + 1 >= values.size()) return values.back();
+    return values[k] * (1.0 - frac) + values[k + 1] * frac;
+  };
+  ci.lo = at(tail);
+  ci.hi = at(1.0 - tail);
+  return ci;
+}
+
+BootstrapCi BootstrapEvaluator::F1Ci() const {
+  return Ci([](const Scores& s) { return s.f1; });
+}
+
+BootstrapCi BootstrapEvaluator::Tf1Ci() const {
+  return Ci([](const Scores& s) { return s.tf1; });
+}
+
+}  // namespace rl4oasd::eval

@@ -1,0 +1,158 @@
+#include "io/dataset_io.h"
+
+#include <string_view>
+#include <vector>
+
+#include "common/binary.h"
+
+namespace rl4oasd::io {
+
+namespace {
+
+constexpr char kDatasetMagic[4] = {'R', 'L', 'D', 'S'};
+constexpr char kRoadNetMagic[4] = {'R', 'L', 'R', 'N'};
+
+Status ExpectMagic(BinaryReader* r, const char* magic, const char* what) {
+  char got[4];
+  RL4_RETURN_NOT_OK(r->ReadBytes(got, 4));
+  if (std::string_view(got, 4) != std::string_view(magic, 4)) {
+    return Status::IOError(std::string("not a ") + what + " file (bad magic)");
+  }
+  return Status::OK();
+}
+
+Status ExpectVersion(BinaryReader* r, uint32_t expected, const char* what) {
+  uint32_t version;
+  RL4_RETURN_NOT_OK(r->ReadU32(&version));
+  if (version != expected) {
+    return Status::IOError(std::string("unsupported ") + what + " version " +
+                           std::to_string(version));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveDataset(const traj::Dataset& dataset, const std::string& path) {
+  BinaryWriter w;
+  w.WriteBytes(kDatasetMagic, 4);
+  w.WriteU32(kDatasetFormatVersion);
+  w.WriteU32(static_cast<uint32_t>(dataset.size()));
+  for (const traj::LabeledTrajectory& lt : dataset.trajs()) {
+    if (lt.labels.size() != lt.traj.edges.size()) {
+      return Status::InvalidArgument(
+          "trajectory " + std::to_string(lt.traj.id) +
+          ": labels and edges differ in length");
+    }
+    w.WriteI64(lt.traj.id);
+    w.WriteF64(lt.traj.start_time);
+    w.WriteI32Vector(lt.traj.edges);
+    // Labels are 0/1: bit-pack, LSB-first within each byte.
+    const size_t n = lt.labels.size();
+    for (size_t base = 0; base < n; base += 8) {
+      uint8_t byte = 0;
+      for (size_t k = 0; k < 8 && base + k < n; ++k) {
+        if (lt.labels[base + k]) byte |= static_cast<uint8_t>(1u << k);
+      }
+      w.WriteU8(byte);
+    }
+  }
+  return w.WriteToFile(path);
+}
+
+Result<traj::Dataset> LoadDataset(const std::string& path) {
+  RL4_ASSIGN_OR_RETURN(BinaryReader r, BinaryReader::OpenFile(path));
+  RL4_RETURN_NOT_OK(ExpectMagic(&r, kDatasetMagic, "dataset"));
+  RL4_RETURN_NOT_OK(ExpectVersion(&r, kDatasetFormatVersion, "dataset"));
+  uint32_t count;
+  RL4_RETURN_NOT_OK(r.ReadU32(&count));
+  std::vector<traj::LabeledTrajectory> trajs;
+  trajs.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    traj::LabeledTrajectory lt;
+    RL4_RETURN_NOT_OK(r.ReadI64(&lt.traj.id));
+    RL4_RETURN_NOT_OK(r.ReadF64(&lt.traj.start_time));
+    RL4_RETURN_NOT_OK(r.ReadI32Vector(&lt.traj.edges));
+    const size_t n = lt.traj.edges.size();
+    lt.labels.resize(n);
+    for (size_t base = 0; base < n; base += 8) {
+      uint8_t byte;
+      RL4_RETURN_NOT_OK(r.ReadU8(&byte));
+      for (size_t k = 0; k < 8 && base + k < n; ++k) {
+        lt.labels[base + k] = (byte >> k) & 1u;
+      }
+    }
+    trajs.push_back(std::move(lt));
+  }
+  if (!r.AtEnd()) {
+    return Status::IOError("trailing bytes after dataset payload");
+  }
+  return traj::Dataset(std::move(trajs));
+}
+
+Status SaveRoadNetwork(const roadnet::RoadNetwork& net,
+                       const std::string& path) {
+  BinaryWriter w;
+  w.WriteBytes(kRoadNetMagic, 4);
+  w.WriteU32(kRoadNetFormatVersion);
+  w.WriteU32(static_cast<uint32_t>(net.NumVertices()));
+  for (size_t v = 0; v < net.NumVertices(); ++v) {
+    const roadnet::Vertex& vx = net.vertex(static_cast<roadnet::VertexId>(v));
+    w.WriteF64(vx.pos.lat);
+    w.WriteF64(vx.pos.lon);
+  }
+  w.WriteU32(static_cast<uint32_t>(net.NumEdges()));
+  for (size_t e = 0; e < net.NumEdges(); ++e) {
+    const roadnet::Edge& ed = net.edge(static_cast<roadnet::EdgeId>(e));
+    w.WriteI32(ed.from);
+    w.WriteI32(ed.to);
+    w.WriteF64(ed.length_m);
+    w.WriteF64(ed.speed_limit_mps);
+    w.WriteU8(static_cast<uint8_t>(ed.road_class));
+  }
+  return w.WriteToFile(path);
+}
+
+Result<roadnet::RoadNetwork> LoadRoadNetwork(const std::string& path) {
+  RL4_ASSIGN_OR_RETURN(BinaryReader r, BinaryReader::OpenFile(path));
+  RL4_RETURN_NOT_OK(ExpectMagic(&r, kRoadNetMagic, "road network"));
+  RL4_RETURN_NOT_OK(ExpectVersion(&r, kRoadNetFormatVersion, "road network"));
+  roadnet::RoadNetwork net;
+  uint32_t num_vertices;
+  RL4_RETURN_NOT_OK(r.ReadU32(&num_vertices));
+  for (uint32_t v = 0; v < num_vertices; ++v) {
+    roadnet::LatLon pos;
+    RL4_RETURN_NOT_OK(r.ReadF64(&pos.lat));
+    RL4_RETURN_NOT_OK(r.ReadF64(&pos.lon));
+    net.AddVertex(pos);
+  }
+  uint32_t num_edges;
+  RL4_RETURN_NOT_OK(r.ReadU32(&num_edges));
+  for (uint32_t e = 0; e < num_edges; ++e) {
+    int32_t from, to;
+    double length_m, speed;
+    uint8_t road_class;
+    RL4_RETURN_NOT_OK(r.ReadI32(&from));
+    RL4_RETURN_NOT_OK(r.ReadI32(&to));
+    RL4_RETURN_NOT_OK(r.ReadF64(&length_m));
+    RL4_RETURN_NOT_OK(r.ReadF64(&speed));
+    RL4_RETURN_NOT_OK(r.ReadU8(&road_class));
+    if (from < 0 || to < 0 || from >= static_cast<int32_t>(num_vertices) ||
+        to >= static_cast<int32_t>(num_vertices)) {
+      return Status::IOError("edge endpoint out of range");
+    }
+    if (road_class > static_cast<uint8_t>(roadnet::RoadClass::kLocal)) {
+      return Status::IOError("invalid road class value " +
+                             std::to_string(road_class));
+    }
+    net.AddEdge(from, to, length_m, speed,
+                static_cast<roadnet::RoadClass>(road_class));
+  }
+  if (!r.AtEnd()) {
+    return Status::IOError("trailing bytes after road network payload");
+  }
+  net.Build();
+  return net;
+}
+
+}  // namespace rl4oasd::io

@@ -1,0 +1,335 @@
+#include "io/model_io.h"
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "io/checkpoint.h"
+
+namespace rl4oasd::io {
+
+namespace {
+
+constexpr char kMagic[4] = {'R', 'L', 'M', 'B'};
+
+/// Flat key->double view of every tunable in Rl4OasdConfig. Pointers into
+/// the config let one table serve both directions.
+class ConfigKvView {
+ public:
+  explicit ConfigKvView(core::Rl4OasdConfig* c) {
+    // Mirror integral/bool fields through doubles (exact for the ranges
+    // involved).
+    Bind("preprocess.alpha", &c->preprocess.alpha);
+    Bind("preprocess.delta", &c->preprocess.delta);
+    BindInt("preprocess.time_slot_hours", &c->preprocess.time_slot_hours);
+    BindI64("preprocess.min_slot_support", &c->preprocess.min_slot_support);
+
+    BindSize("rsr.num_edges", &c->rsr.num_edges);
+    BindSize("rsr.embed_dim", &c->rsr.embed_dim);
+    BindSize("rsr.nrf_dim", &c->rsr.nrf_dim);
+    BindSize("rsr.hidden_dim", &c->rsr.hidden_dim);
+    BindFloat("rsr.lr", &c->rsr.lr);
+    BindFloat("rsr.grad_clip", &c->rsr.grad_clip);
+    BindFloat("rsr.positive_weight", &c->rsr.positive_weight);
+    BindFloat("rsr.label_smoothing", &c->rsr.label_smoothing);
+    BindU64("rsr.seed", &c->rsr.seed);
+    BindRnnKind("rsr.rnn_kind", &c->rsr.rnn_kind);
+    BindSize("rsr.num_layers", &c->rsr.num_layers);
+
+    BindSize("asd.label_dim", &c->asd.label_dim);
+    BindFloat("asd.lr", &c->asd.lr);
+    BindFloat("asd.grad_clip", &c->asd.grad_clip);
+    BindU64("asd.seed", &c->asd.seed);
+
+    BindBool("detector.use_rnel", &c->detector.use_rnel);
+    BindBool("detector.use_dl", &c->detector.use_dl);
+    BindInt("detector.delay_d", &c->detector.delay_d);
+    BindBool("detector.use_boundary_trim", &c->detector.use_boundary_trim);
+    BindBool("detector.stochastic", &c->detector.stochastic);
+    BindU64("detector.seed", &c->detector.seed);
+
+    BindSize("embedding.dim", &c->embedding.dim);
+    BindInt("embedding.window", &c->embedding.window);
+    BindInt("embedding.negatives", &c->embedding.negatives);
+    BindInt("embedding.epochs", &c->embedding.epochs);
+    Bind("embedding.lr", &c->embedding.lr);
+    Bind("embedding.min_lr", &c->embedding.min_lr);
+    BindInt("embedding.random_walks_per_edge",
+            &c->embedding.random_walks_per_edge);
+    BindInt("embedding.walk_length", &c->embedding.walk_length);
+    Bind("embedding.aux_weight", &c->embedding.aux_weight);
+    BindU64("embedding.seed", &c->embedding.seed);
+
+    BindInt("train.pretrain_samples", &c->pretrain_samples);
+    BindInt("train.pretrain_epochs", &c->pretrain_epochs);
+    BindInt("train.joint_samples", &c->joint_samples);
+    BindInt("train.epochs_per_traj", &c->epochs_per_traj);
+    BindBool("train.use_reward_baseline", &c->use_reward_baseline);
+    Bind("train.noisy_anchor_prob", &c->noisy_anchor_prob);
+    BindBool("train.train_rsr_in_joint", &c->train_rsr_in_joint);
+    Bind("train.joint_explore_eps", &c->joint_explore_eps);
+
+    BindBool("ablation.use_noisy_labels", &c->use_noisy_labels);
+    BindBool("ablation.use_pretrained_embeddings",
+             &c->use_pretrained_embeddings);
+    BindBool("ablation.use_local_reward", &c->use_local_reward);
+    BindBool("ablation.use_global_reward", &c->use_global_reward);
+    BindBool("ablation.use_asdnet", &c->use_asdnet);
+    BindBool("ablation.transition_frequency_only",
+             &c->transition_frequency_only);
+    BindU64("seed", &c->seed);
+  }
+
+  void Write(BinaryWriter* w) const {
+    w->WriteU32(static_cast<uint32_t>(getters_.size()));
+    for (const auto& [key, get] : getters_) {
+      w->WriteString(key);
+      w->WriteF64(get());
+    }
+  }
+
+  Status Read(BinaryReader* r) {
+    uint32_t count;
+    RL4_RETURN_NOT_OK(r->ReadU32(&count));
+    for (uint32_t i = 0; i < count; ++i) {
+      std::string key;
+      double value;
+      RL4_RETURN_NOT_OK(r->ReadString(&key));
+      RL4_RETURN_NOT_OK(r->ReadF64(&value));
+      // Unknown keys are skipped: bundles written by newer builds still load.
+      auto it = setters_.find(key);
+      if (it != setters_.end()) it->second(value);
+    }
+    return Status::OK();
+  }
+
+ private:
+  void Bind(const char* key, double* p) {
+    getters_.emplace(key, [p] { return *p; });
+    setters_.emplace(key, [p](double v) { *p = v; });
+  }
+  void BindFloat(const char* key, float* p) {
+    getters_.emplace(key, [p] { return static_cast<double>(*p); });
+    setters_.emplace(key, [p](double v) { *p = static_cast<float>(v); });
+  }
+  void BindInt(const char* key, int* p) {
+    getters_.emplace(key, [p] { return static_cast<double>(*p); });
+    setters_.emplace(key, [p](double v) { *p = static_cast<int>(v); });
+  }
+  void BindI64(const char* key, int64_t* p) {
+    getters_.emplace(key, [p] { return static_cast<double>(*p); });
+    setters_.emplace(key, [p](double v) { *p = static_cast<int64_t>(v); });
+  }
+  void BindSize(const char* key, size_t* p) {
+    getters_.emplace(key, [p] { return static_cast<double>(*p); });
+    setters_.emplace(key, [p](double v) { *p = static_cast<size_t>(v); });
+  }
+  void BindU64(const char* key, uint64_t* p) {
+    getters_.emplace(key, [p] { return static_cast<double>(*p); });
+    setters_.emplace(key, [p](double v) { *p = static_cast<uint64_t>(v); });
+  }
+  void BindRnnKind(const char* key, nn::RnnKind* p) {
+    getters_.emplace(key, [p] { return static_cast<double>(*p); });
+    setters_.emplace(key, [p](double v) {
+      *p = v != 0.0 ? nn::RnnKind::kGru : nn::RnnKind::kLstm;
+    });
+  }
+  void BindBool(const char* key, bool* p) {
+    getters_.emplace(key, [p] { return *p ? 1.0 : 0.0; });
+    setters_.emplace(key, [p](double v) { *p = v != 0.0; });
+  }
+
+  std::map<std::string, std::function<double()>> getters_;
+  std::map<std::string, std::function<void(double)>> setters_;
+};
+
+void WriteSnapshots(const std::vector<core::GroupSnapshot>& snaps,
+                    BinaryWriter* w) {
+  w->WriteU32(static_cast<uint32_t>(snaps.size()));
+  for (const core::GroupSnapshot& s : snaps) {
+    w->WriteI32(s.sd.source);
+    w->WriteI32(s.sd.dest);
+    w->WriteI32(s.slot);
+    w->WriteI64(s.num_trajs);
+    w->WriteU32(static_cast<uint32_t>(s.transitions.size()));
+    for (const auto& [key, count] : s.transitions) {
+      w->WriteI64(key);
+      w->WriteI64(count);
+    }
+    w->WriteU32(static_cast<uint32_t>(s.routes.size()));
+    for (const auto& [route, count] : s.routes) {
+      w->WriteString(route);
+      w->WriteI64(count);
+    }
+  }
+}
+
+Status ReadSnapshots(BinaryReader* r,
+                     std::vector<core::GroupSnapshot>* snaps) {
+  uint32_t count;
+  RL4_RETURN_NOT_OK(r->ReadU32(&count));
+  snaps->clear();
+  snaps->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    core::GroupSnapshot s;
+    RL4_RETURN_NOT_OK(r->ReadI32(&s.sd.source));
+    RL4_RETURN_NOT_OK(r->ReadI32(&s.sd.dest));
+    RL4_RETURN_NOT_OK(r->ReadI32(&s.slot));
+    RL4_RETURN_NOT_OK(r->ReadI64(&s.num_trajs));
+    uint32_t num_transitions;
+    RL4_RETURN_NOT_OK(r->ReadU32(&num_transitions));
+    s.transitions.resize(num_transitions);
+    for (auto& [key, c] : s.transitions) {
+      RL4_RETURN_NOT_OK(r->ReadI64(&key));
+      RL4_RETURN_NOT_OK(r->ReadI64(&c));
+    }
+    uint32_t num_routes;
+    RL4_RETURN_NOT_OK(r->ReadU32(&num_routes));
+    s.routes.resize(num_routes);
+    for (auto& [route, c] : s.routes) {
+      RL4_RETURN_NOT_OK(r->ReadString(&route));
+      RL4_RETURN_NOT_OK(r->ReadI64(&c));
+    }
+    snaps->push_back(std::move(s));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void WriteConfigKv(const core::Rl4OasdConfig& config, BinaryWriter* w) {
+  core::Rl4OasdConfig copy = config;
+  ConfigKvView(&copy).Write(w);
+}
+
+Status ReadConfigKv(BinaryReader* r, core::Rl4OasdConfig* config) {
+  return ConfigKvView(config).Read(r);
+}
+
+Status SaveModel(const core::Rl4Oasd& model, const std::string& path) {
+  BinaryWriter w;
+  w.WriteBytes(kMagic, 4);
+  w.WriteU32(kModelBundleVersion);
+  WriteConfigKv(model.config(), &w);
+  WriteSnapshots(model.preprocessor().ExportState(), &w);
+  // Registries are const-correct at the layer level but parameter access for
+  // serialization is value-only.
+  WriteRegistry(*const_cast<core::Rl4Oasd&>(model).mutable_rsrnet()->registry(),
+                &w);
+  WriteRegistry(*const_cast<core::Rl4Oasd&>(model).mutable_asdnet()->registry(),
+                &w);
+  return w.WriteToFile(path);
+}
+
+Result<std::unique_ptr<core::Rl4Oasd>> LoadModel(
+    const roadnet::RoadNetwork* net, const std::string& path) {
+  RL4_ASSIGN_OR_RETURN(BinaryReader r, BinaryReader::OpenFile(path));
+  char magic[4];
+  RL4_RETURN_NOT_OK(r.ReadBytes(magic, 4));
+  if (std::string_view(magic, 4) != std::string_view(kMagic, 4)) {
+    return Status::IOError("not a model bundle (bad magic): " + path);
+  }
+  uint32_t version;
+  RL4_RETURN_NOT_OK(r.ReadU32(&version));
+  if (version != kModelBundleVersion) {
+    return Status::IOError("unsupported model bundle version " +
+                           std::to_string(version));
+  }
+  core::Rl4OasdConfig config;
+  RL4_RETURN_NOT_OK(ReadConfigKv(&r, &config));
+  if (config.rsr.num_edges != 0 && config.rsr.num_edges != net->NumEdges()) {
+    return Status::FailedPrecondition(
+        "bundle was trained on a network with " +
+        std::to_string(config.rsr.num_edges) + " edges; this network has " +
+        std::to_string(net->NumEdges()));
+  }
+  auto model = std::make_unique<core::Rl4Oasd>(net, config);
+
+  std::vector<core::GroupSnapshot> snaps;
+  RL4_RETURN_NOT_OK(ReadSnapshots(&r, &snaps));
+  model->mutable_preprocessor()->ImportState(snaps);
+
+  RL4_RETURN_NOT_OK(ReadRegistry(&r, model->mutable_rsrnet()->registry()));
+  RL4_RETURN_NOT_OK(ReadRegistry(&r, model->mutable_asdnet()->registry()));
+  if (!r.AtEnd()) {
+    return Status::IOError("trailing bytes after model bundle payload");
+  }
+  return model;
+}
+
+
+namespace {
+
+/// Reads one tensor section (as written by WriteRegistry), keeping headers
+/// and skipping the float payloads.
+Status SkimTensors(BinaryReader* r, std::vector<TensorInfo>* out,
+                   size_t* total_weights) {
+  char magic[4];
+  RL4_RETURN_NOT_OK(r->ReadBytes(magic, 4));
+  if (std::string_view(magic, 4) != "RLTF") {
+    return Status::IOError("expected a tensor section");
+  }
+  uint32_t version, count;
+  RL4_RETURN_NOT_OK(r->ReadU32(&version));
+  RL4_RETURN_NOT_OK(r->ReadU32(&count));
+  for (uint32_t i = 0; i < count; ++i) {
+    TensorInfo info;
+    RL4_RETURN_NOT_OK(r->ReadString(&info.name));
+    RL4_RETURN_NOT_OK(r->ReadU64(&info.rows));
+    RL4_RETURN_NOT_OK(r->ReadU64(&info.cols));
+    const uint64_t n = info.rows * info.cols;
+    if (r->remaining() < n * 4) {
+      return Status::OutOfRange("tensor payload exceeds file");
+    }
+    for (uint64_t k = 0; k < n; ++k) {
+      float unused;
+      RL4_RETURN_NOT_OK(r->ReadF32(&unused));
+    }
+    *total_weights += n;
+    out->push_back(std::move(info));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ModelDescription> DescribeModel(const std::string& path) {
+  RL4_ASSIGN_OR_RETURN(BinaryReader r, BinaryReader::OpenFile(path));
+  char magic[4];
+  RL4_RETURN_NOT_OK(r.ReadBytes(magic, 4));
+  if (std::string_view(magic, 4) != std::string_view(kMagic, 4)) {
+    return Status::IOError("not a model bundle (bad magic): " + path);
+  }
+  ModelDescription desc;
+  RL4_RETURN_NOT_OK(r.ReadU32(&desc.version));
+
+  uint32_t kv_count;
+  RL4_RETURN_NOT_OK(r.ReadU32(&kv_count));
+  for (uint32_t i = 0; i < kv_count; ++i) {
+    std::string key;
+    double value;
+    RL4_RETURN_NOT_OK(r.ReadString(&key));
+    RL4_RETURN_NOT_OK(r.ReadF64(&value));
+    desc.config.emplace_back(std::move(key), value);
+  }
+
+  std::vector<core::GroupSnapshot> snaps;
+  RL4_RETURN_NOT_OK(ReadSnapshots(&r, &snaps));
+  for (const auto& s : snaps) {
+    if (s.slot >= 0) {
+      desc.num_groups += 1;
+    } else {
+      // The all-slots aggregates count each trajectory exactly once.
+      desc.num_trajs += s.num_trajs;
+    }
+  }
+
+  RL4_RETURN_NOT_OK(SkimTensors(&r, &desc.rsr_tensors, &desc.total_weights));
+  RL4_RETURN_NOT_OK(SkimTensors(&r, &desc.asd_tensors, &desc.total_weights));
+  if (!r.AtEnd()) {
+    return Status::IOError("trailing bytes after model bundle payload");
+  }
+  return desc;
+}
+
+}  // namespace rl4oasd::io

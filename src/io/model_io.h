@@ -1,0 +1,61 @@
+// Whole-model persistence for a trained Rl4Oasd detector. A model bundle is
+// one CRC32-protected file holding
+//   magic "RLMB" | format version | config (key-value doubles) |
+//   preprocessor statistics | RSRNet tensors | ASDNet tensors.
+//
+// The config travels as an extensible string->double map, so adding a field
+// never invalidates existing bundles: absent keys keep the compiled-in
+// default. Loading reconstructs a ready-to-serve detector without access to
+// the training data.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/binary.h"
+#include "common/status.h"
+#include "core/rl4oasd.h"
+#include "roadnet/road_network.h"
+
+namespace rl4oasd::io {
+
+inline constexpr uint32_t kModelBundleVersion = 1;
+
+/// Serializes a trained model (config, historical statistics, both
+/// networks) to `path`.
+Status SaveModel(const core::Rl4Oasd& model, const std::string& path);
+
+/// Restores a model bundle against the road network it was trained on. The
+/// network must have the same number of edges as at save time.
+Result<std::unique_ptr<core::Rl4Oasd>> LoadModel(
+    const roadnet::RoadNetwork* net, const std::string& path);
+
+/// Config <-> key-value-double conversion (exposed for tests and tooling).
+void WriteConfigKv(const core::Rl4OasdConfig& config, BinaryWriter* w);
+Status ReadConfigKv(BinaryReader* r, core::Rl4OasdConfig* config);
+
+/// Shape metadata of one stored tensor.
+struct TensorInfo {
+  std::string name;
+  uint64_t rows = 0;
+  uint64_t cols = 0;
+};
+
+/// Bundle metadata readable without reconstructing the model (and without
+/// the road network it was trained on) — backs the oasd_inspect tool.
+struct ModelDescription {
+  uint32_t version = 0;
+  std::vector<std::pair<std::string, double>> config;  // sorted by key
+  size_t num_groups = 0;         // preprocessor (SD pair, slot) groups
+  int64_t num_trajs = 0;         // historical trajectories ingested
+  std::vector<TensorInfo> rsr_tensors;
+  std::vector<TensorInfo> asd_tensors;
+  size_t total_weights = 0;
+};
+
+/// Parses a bundle's structure (CRC-verified) without building the model.
+Result<ModelDescription> DescribeModel(const std::string& path);
+
+}  // namespace rl4oasd::io

@@ -1,0 +1,174 @@
+#include "mapmatch/hmm_matcher.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+
+#include "roadnet/shortest_path.h"
+
+namespace rl4oasd::mapmatch {
+
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+/// Bounded Dijkstra on the edge graph: distance (meters of edges traversed
+/// after `src`) from `src` to every edge within `max_dist_m`.
+std::unordered_map<roadnet::EdgeId, double> BoundedEdgeDistances(
+    const roadnet::RoadNetwork& net, roadnet::EdgeId src, double max_dist_m) {
+  std::unordered_map<roadnet::EdgeId, double> dist;
+  using Entry = std::pair<double, roadnet::EdgeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+  dist[src] = 0.0;
+  pq.push({0.0, src});
+  while (!pq.empty()) {
+    auto [d, e] = pq.top();
+    pq.pop();
+    auto it = dist.find(e);
+    if (it != dist.end() && d > it->second) continue;
+    for (roadnet::EdgeId next : net.NextEdges(e)) {
+      const double nd = d + net.edge(next).length_m;
+      if (nd > max_dist_m) continue;
+      auto [nit, inserted] = dist.try_emplace(next, nd);
+      if (!inserted && nit->second <= nd) continue;
+      nit->second = nd;
+      pq.push({nd, next});
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+HmmMapMatcher::HmmMapMatcher(const roadnet::RoadNetwork* net, HmmConfig config)
+    : net_(net), config_(config), index_(net) {}
+
+Result<traj::MapMatchedTrajectory> HmmMapMatcher::Match(
+    const traj::RawTrajectory& raw) const {
+  if (raw.points.empty()) {
+    return Status::InvalidArgument("empty raw trajectory");
+  }
+
+  // Build the candidate lattice, skipping fixes with no nearby segment.
+  struct Layer {
+    size_t point_index;
+    std::vector<EdgeCandidate> candidates;
+  };
+  std::vector<Layer> lattice;
+  for (size_t i = 0; i < raw.points.size(); ++i) {
+    auto cands = index_.Query(raw.points[i].pos, config_.candidate_radius_m,
+                              config_.max_candidates);
+    if (!cands.empty()) lattice.push_back({i, std::move(cands)});
+  }
+  if (lattice.empty()) {
+    return Status::NotFound("no candidate segments near any GPS fix");
+  }
+
+  // Viterbi in log space.
+  const double sigma = config_.gps_sigma_m;
+  auto log_emission = [sigma](double d) {
+    return -0.5 * (d / sigma) * (d / sigma);
+  };
+  const double beta_m = 50.0 * config_.transition_beta;
+
+  std::vector<std::vector<double>> score(lattice.size());
+  std::vector<std::vector<int>> back(lattice.size());
+  score[0].resize(lattice[0].candidates.size());
+  back[0].assign(lattice[0].candidates.size(), -1);
+  for (size_t c = 0; c < lattice[0].candidates.size(); ++c) {
+    score[0][c] = log_emission(lattice[0].candidates[c].distance_m);
+  }
+
+  for (size_t t = 1; t < lattice.size(); ++t) {
+    const auto& prev_pt = raw.points[lattice[t - 1].point_index].pos;
+    const auto& cur_pt = raw.points[lattice[t].point_index].pos;
+    const double gc = roadnet::ApproxDistanceMeters(prev_pt, cur_pt);
+    const double max_net =
+        std::max(gc * config_.max_network_detour, gc + 300.0);
+
+    // One bounded Dijkstra per previous candidate covers all transitions.
+    std::vector<std::unordered_map<roadnet::EdgeId, double>> netdist(
+        lattice[t - 1].candidates.size());
+    for (size_t p = 0; p < lattice[t - 1].candidates.size(); ++p) {
+      netdist[p] = BoundedEdgeDistances(
+          *net_, lattice[t - 1].candidates[p].edge, max_net);
+    }
+
+    score[t].assign(lattice[t].candidates.size(), kNegInf);
+    back[t].assign(lattice[t].candidates.size(), -1);
+    for (size_t c = 0; c < lattice[t].candidates.size(); ++c) {
+      const roadnet::EdgeId ce = lattice[t].candidates[c].edge;
+      double best = kNegInf;
+      int best_p = -1;
+      for (size_t p = 0; p < lattice[t - 1].candidates.size(); ++p) {
+        if (score[t - 1][p] == kNegInf) continue;
+        auto it = netdist[p].find(ce);
+        if (it == netdist[p].end()) continue;
+        const double log_trans = -std::abs(gc - it->second) / beta_m;
+        const double s = score[t - 1][p] + log_trans;
+        if (s > best) {
+          best = s;
+          best_p = static_cast<int>(p);
+        }
+      }
+      if (best_p >= 0) {
+        score[t][c] = best + log_emission(lattice[t].candidates[c].distance_m);
+        back[t][c] = best_p;
+      }
+    }
+    // If the whole layer is unreachable (GPS gap), restart from emissions;
+    // the gap is stitched with a shortest path afterwards.
+    bool any = std::any_of(score[t].begin(), score[t].end(),
+                           [](double s) { return s != kNegInf; });
+    if (!any) {
+      for (size_t c = 0; c < lattice[t].candidates.size(); ++c) {
+        score[t][c] = log_emission(lattice[t].candidates[c].distance_m);
+        back[t][c] = -1;
+      }
+    }
+  }
+
+  // Backtrack.
+  std::vector<roadnet::EdgeId> matched(lattice.size());
+  int cur = static_cast<int>(std::distance(
+      score.back().begin(),
+      std::max_element(score.back().begin(), score.back().end())));
+  for (size_t t = lattice.size(); t-- > 0;) {
+    matched[t] = lattice[t].candidates[cur].edge;
+    cur = back[t][cur];
+    if (cur < 0 && t > 0) {
+      // Restarted layer: greedily pick the best-scoring candidate below.
+      cur = static_cast<int>(std::distance(
+          score[t - 1].begin(),
+          std::max_element(score[t - 1].begin(), score[t - 1].end())));
+    }
+  }
+
+  // Collapse duplicates and stitch non-adjacent consecutive edges.
+  traj::MapMatchedTrajectory out;
+  out.id = raw.id;
+  out.start_time = raw.points.front().t;
+  for (roadnet::EdgeId e : matched) {
+    if (!out.edges.empty() && out.edges.back() == e) continue;
+    if (!out.edges.empty() && !net_->AreConsecutive(out.edges.back(), e)) {
+      auto bridge = roadnet::ShortestPathBetweenEdges(*net_, out.edges.back(), e);
+      if (bridge.size() >= 2) {
+        // Skip the first (already present) and append the rest.
+        for (size_t k = 1; k + 1 < bridge.size(); ++k) {
+          out.edges.push_back(bridge[k]);
+        }
+      } else {
+        return Status::Internal("could not stitch matched edges");
+      }
+    }
+    out.edges.push_back(e);
+  }
+  if (!net_->IsConnectedPath(out.edges)) {
+    return Status::Internal("matched trajectory is not connected");
+  }
+  return out;
+}
+
+}  // namespace rl4oasd::mapmatch

@@ -1,0 +1,42 @@
+// HMM map matching in the style of FMM (Yang & Gidófalvi 2018) / Newson &
+// Krumm: hidden states are candidate road segments per GPS fix, emission
+// probabilities are Gaussian in point-to-segment distance, transition
+// probabilities compare great-circle displacement to network distance, and
+// Viterbi decodes the most likely segment sequence. Gaps in the decoded
+// sequence are stitched with shortest paths so the output is a connected
+// map-matched trajectory.
+#pragma once
+
+#include "common/status.h"
+#include "mapmatch/spatial_index.h"
+#include "roadnet/road_network.h"
+#include "traj/types.h"
+
+namespace rl4oasd::mapmatch {
+
+struct HmmConfig {
+  double gps_sigma_m = 15.0;       // emission noise scale
+  double candidate_radius_m = 60;  // candidate search radius
+  size_t max_candidates = 6;
+  double transition_beta = 2.0;    // penalty scale for route-length mismatch
+  double max_network_detour = 5.0; // bound on network/GC distance ratio
+};
+
+/// Stateless matcher; Match() can be called concurrently from one thread
+/// each.
+class HmmMapMatcher {
+ public:
+  HmmMapMatcher(const roadnet::RoadNetwork* net, HmmConfig config = {});
+
+  /// Matches one raw trajectory. Fails if no candidate lattice can be built
+  /// (e.g. all fixes are off-network).
+  Result<traj::MapMatchedTrajectory> Match(
+      const traj::RawTrajectory& raw) const;
+
+ private:
+  const roadnet::RoadNetwork* net_;
+  HmmConfig config_;
+  SpatialIndex index_;
+};
+
+}  // namespace rl4oasd::mapmatch

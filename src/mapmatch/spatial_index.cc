@@ -1,0 +1,80 @@
+#include "mapmatch/spatial_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace rl4oasd::mapmatch {
+
+namespace {
+constexpr double kMetersPerDegLat = 111320.0;
+}
+
+SpatialIndex::SpatialIndex(const roadnet::RoadNetwork* net,
+                           double cell_size_m)
+    : net_(net) {
+  // Use the latitude of the first vertex to fix the longitude scale; city
+  // extents are small enough that one scale suffices.
+  double ref_lat = 0.0;
+  if (net->NumVertices() > 0) ref_lat = net->vertex(0).pos.lat;
+  const double meters_per_deg_lon =
+      kMetersPerDegLat * std::cos(ref_lat * 3.14159265358979 / 180.0);
+  cell_deg_lat_ = cell_size_m / kMetersPerDegLat;
+  cell_deg_lon_ = cell_size_m / meters_per_deg_lon;
+
+  for (roadnet::EdgeId e = 0; e < static_cast<roadnet::EdgeId>(net->NumEdges());
+       ++e) {
+    const auto& edge = net->edge(e);
+    const auto& a = net->vertex(edge.from).pos;
+    const auto& b = net->vertex(edge.to).pos;
+    const int x0 = CellX(std::min(a.lon, b.lon));
+    const int x1 = CellX(std::max(a.lon, b.lon));
+    const int y0 = CellY(std::min(a.lat, b.lat));
+    const int y1 = CellY(std::max(a.lat, b.lat));
+    for (int cx = x0; cx <= x1; ++cx) {
+      for (int cy = y0; cy <= y1; ++cy) {
+        cells_[CellKey(cx, cy)].push_back(e);
+      }
+    }
+  }
+}
+
+int SpatialIndex::CellX(double lon) const {
+  return static_cast<int>(std::floor(lon / cell_deg_lon_));
+}
+int SpatialIndex::CellY(double lat) const {
+  return static_cast<int>(std::floor(lat / cell_deg_lat_));
+}
+
+std::vector<EdgeCandidate> SpatialIndex::Query(const roadnet::LatLon& p,
+                                               double radius_m,
+                                               size_t max_candidates) const {
+  const int rx = static_cast<int>(
+                     std::ceil(radius_m / kMetersPerDegLat / cell_deg_lat_)) +
+                 1;
+  const int cx = CellX(p.lon);
+  const int cy = CellY(p.lat);
+  std::unordered_set<roadnet::EdgeId> seen;
+  std::vector<EdgeCandidate> out;
+  for (int dx = -rx; dx <= rx; ++dx) {
+    for (int dy = -rx; dy <= rx; ++dy) {
+      auto it = cells_.find(CellKey(cx + dx, cy + dy));
+      if (it == cells_.end()) continue;
+      for (roadnet::EdgeId e : it->second) {
+        if (!seen.insert(e).second) continue;
+        const auto& edge = net_->edge(e);
+        const double d = roadnet::PointToSegmentMeters(
+            p, net_->vertex(edge.from).pos, net_->vertex(edge.to).pos);
+        if (d <= radius_m) out.push_back({e, d});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const EdgeCandidate& a, const EdgeCandidate& b) {
+              return a.distance_m < b.distance_m;
+            });
+  if (out.size() > max_candidates) out.resize(max_candidates);
+  return out;
+}
+
+}  // namespace rl4oasd::mapmatch

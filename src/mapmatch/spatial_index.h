@@ -1,0 +1,42 @@
+// Uniform-grid spatial index over road segments, used to find candidate
+// edges near a GPS fix in O(1) expected time.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "roadnet/road_network.h"
+
+namespace rl4oasd::mapmatch {
+
+/// A candidate edge near a query point.
+struct EdgeCandidate {
+  roadnet::EdgeId edge = roadnet::kInvalidEdge;
+  double distance_m = 0.0;  // point-to-segment distance
+};
+
+/// Buckets edges by the grid cells their bounding boxes overlap.
+class SpatialIndex {
+ public:
+  /// Builds the index with the given cell size (meters).
+  SpatialIndex(const roadnet::RoadNetwork* net, double cell_size_m = 250.0);
+
+  /// Returns up to `max_candidates` edges within `radius_m` of `p`, sorted by
+  /// distance (closest first).
+  std::vector<EdgeCandidate> Query(const roadnet::LatLon& p, double radius_m,
+                                   size_t max_candidates = 8) const;
+
+ private:
+  int64_t CellKey(int cx, int cy) const {
+    return (static_cast<int64_t>(cx) << 32) ^ static_cast<uint32_t>(cy);
+  }
+  int CellX(double lon) const;
+  int CellY(double lat) const;
+
+  const roadnet::RoadNetwork* net_;
+  double cell_deg_lat_;
+  double cell_deg_lon_;
+  std::unordered_map<int64_t, std::vector<roadnet::EdgeId>> cells_;
+};
+
+}  // namespace rl4oasd::mapmatch

@@ -1,0 +1,50 @@
+#include "nn/adam.h"
+
+#include <cmath>
+
+namespace rl4oasd::nn {
+
+AdamOptimizer::AdamOptimizer(ParameterRegistry* registry, AdamConfig config)
+    : registry_(registry), config_(config) {
+  m_.reserve(registry->params().size());
+  v_.reserve(registry->params().size());
+  for (const auto* p : registry->params()) {
+    m_.emplace_back(p->value.rows(), p->value.cols());
+    v_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void AdamOptimizer::Step() {
+  ++t_;
+  const float b1 = config_.beta1;
+  const float b2 = config_.beta2;
+  const float bias1 = 1.0f - std::pow(b1, static_cast<float>(t_));
+  const float bias2 = 1.0f - std::pow(b2, static_cast<float>(t_));
+  const auto& params = registry_->params();
+  for (size_t k = 0; k < params.size(); ++k) {
+    Parameter* p = params[k];
+    float* w = p->value.data();
+    const float* g = p->grad.data();
+    float* m = m_[k].data();
+    float* v = v_[k].data();
+    const size_t n = p->value.size();
+    for (size_t i = 0; i < n; ++i) {
+      float gi = g[i] + config_.weight_decay * w[i];
+      m[i] = b1 * m[i] + (1.0f - b1) * gi;
+      v[i] = b2 * v[i] + (1.0f - b2) * gi * gi;
+      const float mhat = m[i] / bias1;
+      const float vhat = v[i] / bias2;
+      w[i] -= config_.lr * mhat / (std::sqrt(vhat) + config_.eps);
+    }
+  }
+}
+
+void SgdOptimizer::Step() {
+  for (Parameter* p : registry_->params()) {
+    float* w = p->value.data();
+    const float* g = p->grad.data();
+    for (size_t i = 0; i < p->value.size(); ++i) w[i] -= lr_ * g[i];
+  }
+}
+
+}  // namespace rl4oasd::nn

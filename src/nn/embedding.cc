@@ -1,0 +1,11 @@
+#include "nn/embedding.h"
+
+namespace rl4oasd::nn {
+
+Embedding::Embedding(std::string name, size_t vocab, size_t dim,
+                     rl4oasd::Rng* rng)
+    : param_(std::move(name), vocab, dim) {
+  param_.UniformInit(rng, 0.5f / static_cast<float>(dim));
+}
+
+}  // namespace rl4oasd::nn

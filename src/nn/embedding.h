@@ -1,0 +1,55 @@
+// Trainable embedding table: token id -> dense vector.
+#pragma once
+
+#include <string>
+
+#include "nn/param.h"
+
+namespace rl4oasd::nn {
+
+/// Embedding lookup layer. Rows of `table()` are the vectors; gradients are
+/// accumulated sparsely into the parameter's grad buffer via AccumulateGrad.
+class Embedding {
+ public:
+  /// Creates a `vocab x dim` table initialized U(-0.5/dim, 0.5/dim).
+  Embedding(std::string name, size_t vocab, size_t dim, rl4oasd::Rng* rng);
+
+  size_t vocab() const { return param_.value.rows(); }
+  size_t dim() const { return param_.value.cols(); }
+
+  /// Pointer to the embedding row for `id` (valid until the table is resized).
+  const float* Lookup(size_t id) const {
+    RL4_CHECK_LT(id, vocab());
+    return param_.value.Row(id);
+  }
+  float* MutableLookup(size_t id) {
+    RL4_CHECK_LT(id, vocab());
+    return param_.value.Row(id);
+  }
+
+  /// Adds `grad` (length dim()) into the gradient row for `id`.
+  void AccumulateGrad(size_t id, const float* grad) {
+    RL4_CHECK_LT(id, vocab());
+    float* row = param_.grad.Row(id);
+    for (size_t i = 0; i < dim(); ++i) row[i] += grad[i];
+  }
+
+  /// Overwrites the row for `id` with an externally pre-trained vector
+  /// (used to load Toast-substitute embeddings into RSRNet).
+  void SetRow(size_t id, const float* v) {
+    float* row = param_.value.Row(id);
+    for (size_t i = 0; i < dim(); ++i) row[i] = v[i];
+  }
+
+  Parameter* param() { return &param_; }
+  const Parameter& param() const { return param_; }
+
+  void RegisterParams(ParameterRegistry* registry) {
+    registry->Register(&param_);
+  }
+
+ private:
+  Parameter param_;
+};
+
+}  // namespace rl4oasd::nn

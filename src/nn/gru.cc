@@ -1,0 +1,160 @@
+#include "nn/gru.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace rl4oasd::nn {
+
+Gru::Gru(std::string name, size_t input_dim, size_t hidden_dim,
+         rl4oasd::Rng* rng)
+    : input_dim_(input_dim),
+      hidden_dim_(hidden_dim),
+      wx_(name + ".wx", 3 * hidden_dim, input_dim),
+      wh_(name + ".wh", 3 * hidden_dim, hidden_dim),
+      b_(name + ".b", 1, 3 * hidden_dim) {
+  wx_.XavierInit(rng);
+  wh_.XavierInit(rng);
+  // Positive update-gate bias starts the network close to h = h_prev
+  // (identity), the GRU analogue of the LSTM forget-bias trick.
+  for (size_t i = 0; i < hidden_dim_; ++i) {
+    b_.value(0, i) = 1.0f;
+  }
+}
+
+void Gru::ComputeGates(const float* x, const float* h_prev, float* gates,
+                       float* q) const {
+  const size_t H = hidden_dim_;
+  // Pre-activations from the input path for all three blocks.
+  MatVec(wx_.value, x, gates);
+  // z and r blocks: += U h_prev + b, then sigmoid.
+  for (size_t r = 0; r < 2 * H; ++r) {
+    const float* row = wh_.value.Row(r);
+    float acc = gates[r] + b_.value(0, r);
+    for (size_t c = 0; c < H; ++c) acc += row[c] * h_prev[c];
+    gates[r] = Sigmoid(acc);
+  }
+  // q = r ⊙ h_prev feeds the candidate's recurrent term.
+  for (size_t i = 0; i < H; ++i) q[i] = gates[H + i] * h_prev[i];
+  // n block: += Un q + b, then tanh.
+  for (size_t r = 2 * H; r < 3 * H; ++r) {
+    const float* row = wh_.value.Row(r);
+    float acc = gates[r] + b_.value(0, r);
+    for (size_t c = 0; c < H; ++c) acc += row[c] * q[c];
+    gates[r] = std::tanh(acc);
+  }
+}
+
+void Gru::StepForward(const float* x, GruState* state) const {
+  const size_t H = hidden_dim_;
+  Vec gates(3 * H);
+  Vec q(H);
+  ComputeGates(x, state->h.data(), gates.data(), q.data());
+  const float* z = gates.data();
+  const float* n = gates.data() + 2 * H;
+  for (size_t i = 0; i < H; ++i) {
+    state->h[i] = (1.0f - z[i]) * n[i] + z[i] * state->h[i];
+  }
+}
+
+std::vector<GruStepCache> Gru::Forward(
+    const std::vector<const float*>& inputs) const {
+  const size_t H = hidden_dim_;
+  std::vector<GruStepCache> caches(inputs.size());
+  Vec h_prev(H, 0.0f);
+  for (size_t t = 0; t < inputs.size(); ++t) {
+    GruStepCache& cache = caches[t];
+    cache.x.assign(inputs[t], inputs[t] + input_dim_);
+    cache.gates.resize(3 * H);
+    cache.q.resize(H);
+    ComputeGates(inputs[t], h_prev.data(), cache.gates.data(),
+                 cache.q.data());
+    cache.h.resize(H);
+    const float* z = cache.gates.data();
+    const float* n = cache.gates.data() + 2 * H;
+    for (size_t i = 0; i < H; ++i) {
+      cache.h[i] = (1.0f - z[i]) * n[i] + z[i] * h_prev[i];
+    }
+    h_prev = cache.h;
+  }
+  return caches;
+}
+
+void Gru::Backward(const std::vector<GruStepCache>& caches,
+                   const std::vector<Vec>& d_h, std::vector<Vec>* d_x) {
+  RL4_CHECK_EQ(caches.size(), d_h.size());
+  const size_t H = hidden_dim_;
+  const size_t T = caches.size();
+  if (d_x != nullptr) {
+    d_x->assign(T, Vec(input_dim_, 0.0f));
+  }
+  Vec dh_next(H, 0.0f);   // recurrent gradient from step t+1
+  Vec d_gates(3 * H);     // pre-activation gradients [dz, dr, dn]
+  Vec d_q(H);
+  const Vec zero(H, 0.0f);
+  for (size_t t = T; t-- > 0;) {
+    const GruStepCache& cache = caches[t];
+    const float* h_prev = (t == 0) ? zero.data() : caches[t - 1].h.data();
+    const float* z = cache.gates.data();
+    const float* r = cache.gates.data() + H;
+    const float* n = cache.gates.data() + 2 * H;
+
+    // dn (pre-activation) and the direct h_prev path through the blend.
+    Vec dh_prev(H, 0.0f);
+    for (size_t i = 0; i < H; ++i) {
+      const float dh = d_h[t][i] + dh_next[i];
+      const float dz = dh * (h_prev[i] - n[i]);
+      const float dn = dh * (1.0f - z[i]);
+      dh_prev[i] = dh * z[i];
+      d_gates[i] = dz * z[i] * (1.0f - z[i]);
+      d_gates[2 * H + i] = dn * (1.0f - n[i] * n[i]);
+    }
+    // d_q = Un^T dn_pre; then dr = d_q ⊙ h_prev and dh_prev += d_q ⊙ r.
+    std::fill(d_q.begin(), d_q.end(), 0.0f);
+    for (size_t row = 0; row < H; ++row) {
+      const float g = d_gates[2 * H + row];
+      const float* w = wh_.value.Row(2 * H + row);
+      for (size_t c = 0; c < H; ++c) d_q[c] += w[c] * g;
+    }
+    for (size_t i = 0; i < H; ++i) {
+      const float dr = d_q[i] * h_prev[i];
+      d_gates[H + i] = dr * r[i] * (1.0f - r[i]);
+      dh_prev[i] += d_q[i] * r[i];
+    }
+
+    // Parameter gradients. wx and b take the full 3H gate-gradient block;
+    // wh splits: z/r rows pair with h_prev, n rows pair with q.
+    OuterAccum(&wx_.grad, d_gates.data(), cache.x.data());
+    float* db = b_.grad.Row(0);
+    for (size_t i = 0; i < 3 * H; ++i) db[i] += d_gates[i];
+    for (size_t row = 0; row < 2 * H; ++row) {
+      const float g = d_gates[row];
+      float* w = wh_.grad.Row(row);
+      for (size_t c = 0; c < H; ++c) w[c] += g * h_prev[c];
+    }
+    for (size_t row = 0; row < H; ++row) {
+      const float g = d_gates[2 * H + row];
+      float* w = wh_.grad.Row(2 * H + row);
+      for (size_t c = 0; c < H; ++c) w[c] += g * cache.q[c];
+    }
+
+    // Input gradient.
+    if (d_x != nullptr) {
+      MatTransVecAccum(wx_.value, d_gates.data(), (*d_x)[t].data());
+    }
+
+    // Recurrent gradient into step t-1: the blend path (dh_prev) plus the
+    // z and r pre-activation paths through Uz/Ur.
+    std::fill(dh_next.begin(), dh_next.end(), 0.0f);
+    if (t > 0) {
+      for (size_t row = 0; row < 2 * H; ++row) {
+        const float g = d_gates[row];
+        const float* w = wh_.value.Row(row);
+        for (size_t c = 0; c < H; ++c) dh_next[c] += w[c] * g;
+      }
+      for (size_t i = 0; i < H; ++i) dh_next[i] += dh_prev[i];
+    }
+  }
+}
+
+}  // namespace rl4oasd::nn

@@ -1,0 +1,26 @@
+#include "nn/linear.h"
+
+namespace rl4oasd::nn {
+
+Linear::Linear(std::string name, size_t in_dim, size_t out_dim,
+               rl4oasd::Rng* rng)
+    : w_(name + ".w", out_dim, in_dim), b_(name + ".b", 1, out_dim) {
+  w_.XavierInit(rng);
+}
+
+void Linear::Forward(const float* x, float* out) const {
+  MatVec(w_.value, x, out);
+  const float* b = b_.value.Row(0);
+  for (size_t i = 0; i < out_dim(); ++i) out[i] += b[i];
+}
+
+void Linear::Backward(const float* x, const float* d_out, float* d_x) {
+  OuterAccum(&w_.grad, d_out, x);
+  float* db = b_.grad.Row(0);
+  for (size_t i = 0; i < out_dim(); ++i) db[i] += d_out[i];
+  if (d_x != nullptr) {
+    MatTransVecAccum(w_.value, d_out, d_x);
+  }
+}
+
+}  // namespace rl4oasd::nn

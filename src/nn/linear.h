@@ -1,0 +1,39 @@
+// Fully connected layer y = W x + b with manual forward/backward.
+#pragma once
+
+#include <string>
+
+#include "nn/param.h"
+
+namespace rl4oasd::nn {
+
+/// Affine layer. Forward writes `out` (length out_dim); Backward accumulates
+/// weight/bias gradients and optionally the input gradient.
+class Linear {
+ public:
+  Linear(std::string name, size_t in_dim, size_t out_dim, rl4oasd::Rng* rng);
+
+  size_t in_dim() const { return w_.value.cols(); }
+  size_t out_dim() const { return w_.value.rows(); }
+
+  /// out = W x + b.
+  void Forward(const float* x, float* out) const;
+
+  /// Given d(out), accumulates dW += d_out outer x, db += d_out, and (when
+  /// `d_x` is non-null) d_x += W^T d_out.
+  void Backward(const float* x, const float* d_out, float* d_x);
+
+  Parameter* weight() { return &w_; }
+  Parameter* bias() { return &b_; }
+
+  void RegisterParams(ParameterRegistry* registry) {
+    registry->Register(&w_);
+    registry->Register(&b_);
+  }
+
+ private:
+  Parameter w_;  // out_dim x in_dim
+  Parameter b_;  // 1 x out_dim
+};
+
+}  // namespace rl4oasd::nn

@@ -1,0 +1,140 @@
+#include "nn/lstm.h"
+
+#include <cmath>
+
+namespace rl4oasd::nn {
+
+Lstm::Lstm(std::string name, size_t input_dim, size_t hidden_dim,
+           rl4oasd::Rng* rng)
+    : input_dim_(input_dim),
+      hidden_dim_(hidden_dim),
+      wx_(name + ".wx", 4 * hidden_dim, input_dim),
+      wh_(name + ".wh", 4 * hidden_dim, hidden_dim),
+      b_(name + ".b", 1, 4 * hidden_dim) {
+  wx_.XavierInit(rng);
+  wh_.XavierInit(rng);
+  // Forget-gate bias of 1.0 is the standard trick for gradient flow early in
+  // training.
+  for (size_t i = 0; i < hidden_dim_; ++i) {
+    b_.value(0, hidden_dim_ + i) = 1.0f;
+  }
+}
+
+void Lstm::ComputeGates(const float* x, const float* h_prev,
+                        float* gates) const {
+  const size_t h4 = 4 * hidden_dim_;
+  MatVec(wx_.value, x, gates);
+  // gates += Wh h_prev + b
+  const size_t rows = h4;
+  for (size_t r = 0; r < rows; ++r) {
+    const float* row = wh_.value.Row(r);
+    float acc = gates[r] + b_.value(0, r);
+    for (size_t c = 0; c < hidden_dim_; ++c) acc += row[c] * h_prev[c];
+    gates[r] = acc;
+  }
+  // Activations: [i, f] sigmoid, [g] tanh, [o] sigmoid.
+  const size_t H = hidden_dim_;
+  for (size_t i = 0; i < H; ++i) gates[i] = Sigmoid(gates[i]);
+  for (size_t i = H; i < 2 * H; ++i) gates[i] = Sigmoid(gates[i]);
+  for (size_t i = 2 * H; i < 3 * H; ++i) gates[i] = std::tanh(gates[i]);
+  for (size_t i = 3 * H; i < 4 * H; ++i) gates[i] = Sigmoid(gates[i]);
+}
+
+void Lstm::StepForward(const float* x, LstmState* state) const {
+  const size_t H = hidden_dim_;
+  Vec gates(4 * H);
+  ComputeGates(x, state->h.data(), gates.data());
+  const float* ig = gates.data();
+  const float* fg = gates.data() + H;
+  const float* gg = gates.data() + 2 * H;
+  const float* og = gates.data() + 3 * H;
+  for (size_t i = 0; i < H; ++i) {
+    state->c[i] = fg[i] * state->c[i] + ig[i] * gg[i];
+    state->h[i] = og[i] * std::tanh(state->c[i]);
+  }
+}
+
+std::vector<LstmStepCache> Lstm::Forward(
+    const std::vector<const float*>& inputs) const {
+  const size_t H = hidden_dim_;
+  std::vector<LstmStepCache> caches(inputs.size());
+  Vec h_prev(H, 0.0f);
+  Vec c_prev(H, 0.0f);
+  for (size_t t = 0; t < inputs.size(); ++t) {
+    LstmStepCache& cache = caches[t];
+    cache.x.assign(inputs[t], inputs[t] + input_dim_);
+    cache.gates.resize(4 * H);
+    ComputeGates(inputs[t], h_prev.data(), cache.gates.data());
+    cache.c_prev = c_prev;
+    cache.c.resize(H);
+    cache.tanh_c.resize(H);
+    cache.h.resize(H);
+    const float* ig = cache.gates.data();
+    const float* fg = cache.gates.data() + H;
+    const float* gg = cache.gates.data() + 2 * H;
+    const float* og = cache.gates.data() + 3 * H;
+    for (size_t i = 0; i < H; ++i) {
+      cache.c[i] = fg[i] * c_prev[i] + ig[i] * gg[i];
+      cache.tanh_c[i] = std::tanh(cache.c[i]);
+      cache.h[i] = og[i] * cache.tanh_c[i];
+    }
+    h_prev = cache.h;
+    c_prev = cache.c;
+  }
+  return caches;
+}
+
+void Lstm::Backward(const std::vector<LstmStepCache>& caches,
+                    const std::vector<Vec>& d_h, std::vector<Vec>* d_x) {
+  RL4_CHECK_EQ(caches.size(), d_h.size());
+  const size_t H = hidden_dim_;
+  const size_t T = caches.size();
+  if (d_x != nullptr) {
+    d_x->assign(T, Vec(input_dim_, 0.0f));
+  }
+  Vec dc_next(H, 0.0f);   // dL/dc flowing from step t+1
+  Vec dh_next(H, 0.0f);   // dL/dh flowing from step t+1 (recurrent path)
+  Vec d_gates(4 * H);     // pre-activation gate gradients
+  for (size_t t = T; t-- > 0;) {
+    const LstmStepCache& cache = caches[t];
+    const float* ig = cache.gates.data();
+    const float* fg = cache.gates.data() + H;
+    const float* gg = cache.gates.data() + 2 * H;
+    const float* og = cache.gates.data() + 3 * H;
+    for (size_t i = 0; i < H; ++i) {
+      const float dh = d_h[t][i] + dh_next[i];
+      const float dc = dh * og[i] * (1.0f - cache.tanh_c[i] * cache.tanh_c[i]) +
+                       dc_next[i];
+      const float di = dc * gg[i];
+      const float df = dc * cache.c_prev[i];
+      const float dg = dc * ig[i];
+      const float dout = dh * cache.tanh_c[i];
+      // Pre-activation gradients through sigmoid/tanh.
+      d_gates[i] = di * ig[i] * (1.0f - ig[i]);
+      d_gates[H + i] = df * fg[i] * (1.0f - fg[i]);
+      d_gates[2 * H + i] = dg * (1.0f - gg[i] * gg[i]);
+      d_gates[3 * H + i] = dout * og[i] * (1.0f - og[i]);
+      dc_next[i] = dc * fg[i];
+    }
+    // Parameter gradients.
+    OuterAccum(&wx_.grad, d_gates.data(), cache.x.data());
+    const float* h_prev =
+        (t == 0) ? nullptr : caches[t - 1].h.data();
+    if (h_prev != nullptr) {
+      OuterAccum(&wh_.grad, d_gates.data(), h_prev);
+    }
+    float* db = b_.grad.Row(0);
+    for (size_t i = 0; i < 4 * H; ++i) db[i] += d_gates[i];
+    // Input gradient.
+    if (d_x != nullptr) {
+      MatTransVecAccum(wx_.value, d_gates.data(), (*d_x)[t].data());
+    }
+    // Recurrent hidden gradient for step t-1.
+    std::fill(dh_next.begin(), dh_next.end(), 0.0f);
+    if (t > 0) {
+      MatTransVecAccum(wh_.value, d_gates.data(), dh_next.data());
+    }
+  }
+}
+
+}  // namespace rl4oasd::nn

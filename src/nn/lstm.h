@@ -1,0 +1,79 @@
+// LSTM (Hochreiter & Schmidhuber) with full backpropagation through time.
+// Two usage modes:
+//   * Sequence mode (training): Lstm::Forward stores per-step caches so
+//     Lstm::Backward can run BPTT over the whole trajectory.
+//   * Streaming mode (online detection): LstmState carries (h, c) across
+//     incoming road segments; StepForward advances one segment in O(H^2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/param.h"
+
+namespace rl4oasd::nn {
+
+/// Recurrent state of a streaming LSTM: hidden and cell vectors.
+struct LstmState {
+  Vec h;
+  Vec c;
+
+  explicit LstmState(size_t hidden = 0) : h(hidden, 0.0f), c(hidden, 0.0f) {}
+  void Reset() {
+    std::fill(h.begin(), h.end(), 0.0f);
+    std::fill(c.begin(), c.end(), 0.0f);
+  }
+};
+
+/// Per-step cache retained by sequence-mode forward for BPTT.
+struct LstmStepCache {
+  Vec x;        // input at this step
+  Vec gates;    // post-activation [i, f, g, o], length 4H
+  Vec c_prev;   // cell state entering the step
+  Vec c;        // cell state leaving the step
+  Vec tanh_c;   // tanh(c)
+  Vec h;        // hidden output
+};
+
+/// Single-layer LSTM.
+class Lstm {
+ public:
+  Lstm(std::string name, size_t input_dim, size_t hidden_dim,
+       rl4oasd::Rng* rng);
+
+  size_t input_dim() const { return input_dim_; }
+  size_t hidden_dim() const { return hidden_dim_; }
+
+  /// Streaming step: consumes x (length input_dim), updates `state` in place.
+  /// No caches are kept; use for inference only.
+  void StepForward(const float* x, LstmState* state) const;
+
+  /// Sequence forward from the zero state. Returns per-step caches (the
+  /// hidden output of step t is caches[t].h).
+  std::vector<LstmStepCache> Forward(
+      const std::vector<const float*>& inputs) const;
+
+  /// BPTT. `d_h` holds the gradient flowing into each step's hidden output
+  /// (same length as caches). Parameter gradients are accumulated; if `d_x`
+  /// is non-null it receives per-step input gradients (resized internally).
+  void Backward(const std::vector<LstmStepCache>& caches,
+                const std::vector<Vec>& d_h, std::vector<Vec>* d_x);
+
+  void RegisterParams(ParameterRegistry* registry) {
+    registry->Register(&wx_);
+    registry->Register(&wh_);
+    registry->Register(&b_);
+  }
+
+ private:
+  /// Computes post-activation gates for one step into `gates` (length 4H).
+  void ComputeGates(const float* x, const float* h_prev, float* gates) const;
+
+  size_t input_dim_;
+  size_t hidden_dim_;
+  Parameter wx_;  // 4H x input_dim
+  Parameter wh_;  // 4H x hidden_dim
+  Parameter b_;   // 1 x 4H
+};
+
+}  // namespace rl4oasd::nn

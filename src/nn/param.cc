@@ -1,0 +1,38 @@
+#include "nn/param.h"
+
+#include <cmath>
+
+namespace rl4oasd::nn {
+
+void Parameter::XavierInit(rl4oasd::Rng* rng) {
+  const float limit =
+      std::sqrt(6.0f / static_cast<float>(value.rows() + value.cols()));
+  for (size_t i = 0; i < value.size(); ++i) {
+    value.data()[i] = static_cast<float>(rng->Uniform(-limit, limit));
+  }
+}
+
+void Parameter::UniformInit(rl4oasd::Rng* rng, float scale) {
+  for (size_t i = 0; i < value.size(); ++i) {
+    value.data()[i] = static_cast<float>(rng->Uniform(-scale, scale));
+  }
+}
+
+float ParameterRegistry::ClipGradNorm(float max_norm) {
+  double sq = 0.0;
+  for (auto* p : params_) {
+    const float* g = p->grad.data();
+    for (size_t i = 0; i < p->grad.size(); ++i) sq += double(g[i]) * g[i];
+  }
+  const float norm = static_cast<float>(std::sqrt(sq));
+  if (norm > max_norm && norm > 0.0f) {
+    const float scale = max_norm / norm;
+    for (auto* p : params_) {
+      float* g = p->grad.data();
+      for (size_t i = 0; i < p->grad.size(); ++i) g[i] *= scale;
+    }
+  }
+  return norm;
+}
+
+}  // namespace rl4oasd::nn

@@ -1,0 +1,57 @@
+// Trainable parameter = value matrix + gradient accumulator. Layers register
+// their parameters in a ParameterRegistry; optimizers walk the registry.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/tensor.h"
+
+namespace rl4oasd::nn {
+
+/// A named trainable tensor with a same-shaped gradient buffer.
+struct Parameter {
+  std::string name;
+  Matrix value;
+  Matrix grad;
+
+  Parameter() = default;
+  Parameter(std::string n, size_t rows, size_t cols)
+      : name(std::move(n)), value(rows, cols), grad(rows, cols) {}
+
+  void ZeroGrad() { grad.SetZero(); }
+
+  /// Glorot/Xavier uniform initialization: U(-limit, limit) with
+  /// limit = sqrt(6 / (fan_in + fan_out)).
+  void XavierInit(rl4oasd::Rng* rng);
+
+  /// U(-scale, scale) initialization (used for embedding tables).
+  void UniformInit(rl4oasd::Rng* rng, float scale);
+};
+
+/// Non-owning collection of parameters belonging to one model.
+class ParameterRegistry {
+ public:
+  void Register(Parameter* p) { params_.push_back(p); }
+  const std::vector<Parameter*>& params() const { return params_; }
+
+  void ZeroGrad() {
+    for (auto* p : params_) p->ZeroGrad();
+  }
+
+  /// Total number of scalar weights.
+  size_t NumWeights() const {
+    size_t n = 0;
+    for (auto* p : params_) n += p->value.size();
+    return n;
+  }
+
+  /// Global L2 gradient-norm clipping; returns the pre-clip norm.
+  float ClipGradNorm(float max_norm);
+
+ private:
+  std::vector<Parameter*> params_;
+};
+
+}  // namespace rl4oasd::nn

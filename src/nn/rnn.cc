@@ -1,0 +1,133 @@
+#include "nn/rnn.h"
+
+#include "common/logging.h"
+#include "nn/gru.h"
+#include "nn/lstm.h"
+
+namespace rl4oasd::nn {
+
+namespace {
+
+class LstmNet : public RecurrentNet {
+ public:
+  LstmNet(const std::string& name, size_t input_dim, size_t hidden_dim,
+          rl4oasd::Rng* rng)
+      : lstm_(name + ".lstm", input_dim, hidden_dim, rng) {}
+
+  class Cache : public SeqCache {
+   public:
+    explicit Cache(std::vector<LstmStepCache> steps)
+        : steps_(std::move(steps)) {}
+    size_t size() const override { return steps_.size(); }
+    const Vec& h(size_t t) const override { return steps_[t].h; }
+    const std::vector<LstmStepCache>& steps() const { return steps_; }
+
+   private:
+    std::vector<LstmStepCache> steps_;
+  };
+
+  size_t input_dim() const override { return lstm_.input_dim(); }
+  size_t hidden_dim() const override { return lstm_.hidden_dim(); }
+
+  void StepForward(const float* x, RnnState* state) const override {
+    // Borrow the state vectors for the step to avoid copies.
+    LstmState s;
+    s.h = std::move(state->h);
+    s.c = std::move(state->c);
+    lstm_.StepForward(x, &s);
+    state->h = std::move(s.h);
+    state->c = std::move(s.c);
+  }
+
+  std::unique_ptr<SeqCache> Forward(
+      const std::vector<const float*>& inputs) const override {
+    return std::make_unique<Cache>(lstm_.Forward(inputs));
+  }
+
+  void Backward(const SeqCache& cache, const std::vector<Vec>& d_h,
+                std::vector<Vec>* d_x) override {
+    lstm_.Backward(static_cast<const Cache&>(cache).steps(), d_h, d_x);
+  }
+
+  void RegisterParams(ParameterRegistry* registry) override {
+    lstm_.RegisterParams(registry);
+  }
+
+ private:
+  Lstm lstm_;
+};
+
+class GruNet : public RecurrentNet {
+ public:
+  GruNet(const std::string& name, size_t input_dim, size_t hidden_dim,
+         rl4oasd::Rng* rng)
+      : gru_(name + ".gru", input_dim, hidden_dim, rng) {}
+
+  class Cache : public SeqCache {
+   public:
+    explicit Cache(std::vector<GruStepCache> steps)
+        : steps_(std::move(steps)) {}
+    size_t size() const override { return steps_.size(); }
+    const Vec& h(size_t t) const override { return steps_[t].h; }
+    const std::vector<GruStepCache>& steps() const { return steps_; }
+
+   private:
+    std::vector<GruStepCache> steps_;
+  };
+
+  size_t input_dim() const override { return gru_.input_dim(); }
+  size_t hidden_dim() const override { return gru_.hidden_dim(); }
+
+  void StepForward(const float* x, RnnState* state) const override {
+    GruState s;
+    s.h = std::move(state->h);
+    gru_.StepForward(x, &s);
+    state->h = std::move(s.h);
+  }
+
+  std::unique_ptr<SeqCache> Forward(
+      const std::vector<const float*>& inputs) const override {
+    return std::make_unique<Cache>(gru_.Forward(inputs));
+  }
+
+  void Backward(const SeqCache& cache, const std::vector<Vec>& d_h,
+                std::vector<Vec>* d_x) override {
+    gru_.Backward(static_cast<const Cache&>(cache).steps(), d_h, d_x);
+  }
+
+  void RegisterParams(ParameterRegistry* registry) override {
+    gru_.RegisterParams(registry);
+  }
+
+ private:
+  Gru gru_;
+};
+
+}  // namespace
+
+const char* RnnKindName(RnnKind kind) {
+  switch (kind) {
+    case RnnKind::kLstm:
+      return "lstm";
+    case RnnKind::kGru:
+      return "gru";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<RecurrentNet> MakeRecurrentNet(RnnKind kind,
+                                               const std::string& name,
+                                               size_t input_dim,
+                                               size_t hidden_dim,
+                                               rl4oasd::Rng* rng) {
+  switch (kind) {
+    case RnnKind::kLstm:
+      return std::make_unique<LstmNet>(name, input_dim, hidden_dim, rng);
+    case RnnKind::kGru:
+      return std::make_unique<GruNet>(name, input_dim, hidden_dim, rng);
+  }
+  RL4_CHECK(false) << "unknown RnnKind";
+  return nullptr;
+}
+
+}  // namespace rl4oasd::nn

@@ -1,0 +1,78 @@
+// Recurrent-core abstraction over Lstm and Gru so RSRNet can swap its
+// sequence encoder (architecture ablation). The interface mirrors the two
+// concrete classes: a streaming step over an opaque RnnState, a sequence
+// forward that returns an opaque BPTT cache, and a Backward over that cache.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/param.h"
+
+namespace rl4oasd::nn {
+
+/// Which recurrent core to build.
+enum class RnnKind {
+  kLstm = 0,  // paper setting
+  kGru = 1,   // ablation alternative
+};
+
+const char* RnnKindName(RnnKind kind);
+
+/// Streaming state: hidden vector plus (LSTM only) cell vector.
+struct RnnState {
+  Vec h;
+  Vec c;  // unused by GRU
+
+  explicit RnnState(size_t hidden = 0) : h(hidden, 0.0f), c(hidden, 0.0f) {}
+  void Reset() {
+    std::fill(h.begin(), h.end(), 0.0f);
+    std::fill(c.begin(), c.end(), 0.0f);
+  }
+};
+
+/// Abstract single-layer recurrent network.
+class RecurrentNet {
+ public:
+  /// Opaque per-sequence BPTT cache; consumers only read hidden outputs.
+  class SeqCache {
+   public:
+    virtual ~SeqCache() = default;
+    virtual size_t size() const = 0;
+    virtual const Vec& h(size_t t) const = 0;
+  };
+
+  virtual ~RecurrentNet() = default;
+
+  virtual size_t input_dim() const = 0;
+  virtual size_t hidden_dim() const = 0;
+
+  /// Length of the streaming-state vectors this core needs (multi-layer
+  /// cores pack one slice per layer; the top layer's slice is last).
+  virtual size_t state_size() const { return hidden_dim(); }
+
+  /// Streaming step: consumes x (length input_dim), updates `state`.
+  virtual void StepForward(const float* x, RnnState* state) const = 0;
+
+  /// Sequence forward from the zero state, retaining caches for Backward.
+  virtual std::unique_ptr<SeqCache> Forward(
+      const std::vector<const float*>& inputs) const = 0;
+
+  /// BPTT over a cache previously returned by this object's Forward.
+  virtual void Backward(const SeqCache& cache, const std::vector<Vec>& d_h,
+                        std::vector<Vec>* d_x) = 0;
+
+  virtual void RegisterParams(ParameterRegistry* registry) = 0;
+};
+
+/// Factory. Parameter names are derived from `name` and the kind, so
+/// checkpoints reject silently loading one architecture into the other.
+std::unique_ptr<RecurrentNet> MakeRecurrentNet(RnnKind kind,
+                                               const std::string& name,
+                                               size_t input_dim,
+                                               size_t hidden_dim,
+                                               rl4oasd::Rng* rng);
+
+}  // namespace rl4oasd::nn

@@ -1,0 +1,73 @@
+#include "nn/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rl4oasd::nn {
+
+void MatVec(const Matrix& m, const float* x, float* y) {
+  const size_t rows = m.rows();
+  const size_t cols = m.cols();
+  for (size_t r = 0; r < rows; ++r) {
+    const float* row = m.Row(r);
+    float acc = 0.0f;
+    for (size_t c = 0; c < cols; ++c) acc += row[c] * x[c];
+    y[r] = acc;
+  }
+}
+
+void MatTransVecAccum(const Matrix& m, const float* g, float* y) {
+  const size_t rows = m.rows();
+  const size_t cols = m.cols();
+  for (size_t r = 0; r < rows; ++r) {
+    const float gr = g[r];
+    if (gr == 0.0f) continue;
+    const float* row = m.Row(r);
+    for (size_t c = 0; c < cols; ++c) y[c] += gr * row[c];
+  }
+}
+
+void OuterAccum(Matrix* m, const float* g, const float* x) {
+  const size_t rows = m->rows();
+  const size_t cols = m->cols();
+  for (size_t r = 0; r < rows; ++r) {
+    const float gr = g[r];
+    if (gr == 0.0f) continue;
+    float* row = m->Row(r);
+    for (size_t c = 0; c < cols; ++c) row[c] += gr * x[c];
+  }
+}
+
+float Dot(const float* a, const float* b, size_t n) {
+  float acc = 0.0f;
+  for (size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+float Norm(const float* a, size_t n) { return std::sqrt(Dot(a, a, n)); }
+
+float CosineSimilarity(const float* a, const float* b, size_t n) {
+  const float na = Norm(a, n);
+  const float nb = Norm(b, n);
+  if (na == 0.0f || nb == 0.0f) return 0.0f;
+  return Dot(a, b, n) / (na * nb);
+}
+
+void SoftmaxInPlace(float* logits, size_t n) {
+  float mx = logits[0];
+  for (size_t i = 1; i < n; ++i) mx = std::max(mx, logits[i]);
+  float sum = 0.0f;
+  for (size_t i = 0; i < n; ++i) {
+    logits[i] = std::exp(logits[i] - mx);
+    sum += logits[i];
+  }
+  for (size_t i = 0; i < n; ++i) logits[i] /= sum;
+}
+
+float CrossEntropy(const float* probs, size_t n, size_t target) {
+  RL4_CHECK_LT(target, n);
+  const float p = std::max(probs[target], 1e-12f);
+  return -std::log(p);
+}
+
+}  // namespace rl4oasd::nn

@@ -1,0 +1,86 @@
+// Dense row-major float matrix plus the handful of vector helpers the
+// networks need. Deliberately minimal: the networks in this repo (LSTM,
+// embedding, linear, softmax) only require matrix-vector products and
+// elementwise ops.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace rl4oasd::nn {
+
+/// A dense vector of floats.
+using Vec = std::vector<float>;
+
+/// Row-major dense matrix.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& operator()(size_t r, size_t c) {
+    return data_[r * cols_ + c];
+  }
+  float operator()(size_t r, size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  float* Row(size_t r) { return data_.data() + r * cols_; }
+  const float* Row(size_t r) const { return data_.data() + r * cols_; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  void SetZero() { std::fill(data_.begin(), data_.end(), 0.0f); }
+
+  /// Resizes (content becomes undefined apart from `fill`).
+  void Resize(size_t rows, size_t cols, float fill = 0.0f) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, fill);
+  }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// y = M x  (M: m x n, x: n, y: m). `y` is overwritten.
+void MatVec(const Matrix& m, const float* x, float* y);
+
+/// y += M^T g  (accumulates input gradient: M: m x n, g: m, y: n).
+void MatTransVecAccum(const Matrix& m, const float* g, float* y);
+
+/// M += g outer x  (rank-1 update: g: m, x: n).
+void OuterAccum(Matrix* m, const float* g, const float* x);
+
+/// Dot product of two length-n vectors.
+float Dot(const float* a, const float* b, size_t n);
+
+/// L2 norm.
+float Norm(const float* a, size_t n);
+
+/// Cosine similarity; returns 0 when either vector is all-zero.
+float CosineSimilarity(const float* a, const float* b, size_t n);
+
+/// Numerically stable in-place softmax over n logits.
+void SoftmaxInPlace(float* logits, size_t n);
+
+/// Cross-entropy -log p[target] for a probability vector (already softmaxed).
+/// Probabilities are clamped away from zero for stability.
+float CrossEntropy(const float* probs, size_t n, size_t target);
+
+inline float Sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+}  // namespace rl4oasd::nn

@@ -1,0 +1,58 @@
+#include "roadnet/geometry.h"
+
+#include <algorithm>
+
+namespace rl4oasd::roadnet {
+
+namespace {
+constexpr double kEarthRadiusMeters = 6371000.0;
+constexpr double kDegToRad = 3.14159265358979323846 / 180.0;
+}  // namespace
+
+double HaversineMeters(const LatLon& a, const LatLon& b) {
+  const double lat1 = a.lat * kDegToRad;
+  const double lat2 = b.lat * kDegToRad;
+  const double dlat = (b.lat - a.lat) * kDegToRad;
+  const double dlon = (b.lon - a.lon) * kDegToRad;
+  const double s1 = std::sin(dlat / 2.0);
+  const double s2 = std::sin(dlon / 2.0);
+  const double h = s1 * s1 + std::cos(lat1) * std::cos(lat2) * s2 * s2;
+  return 2.0 * kEarthRadiusMeters * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+double ApproxDistanceMeters(const LatLon& a, const LatLon& b) {
+  const double mean_lat = 0.5 * (a.lat + b.lat) * kDegToRad;
+  const double dx = (b.lon - a.lon) * kDegToRad * std::cos(mean_lat);
+  const double dy = (b.lat - a.lat) * kDegToRad;
+  return kEarthRadiusMeters * std::sqrt(dx * dx + dy * dy);
+}
+
+double ProjectOntoSegment(const LatLon& p, const LatLon& a, const LatLon& b,
+                          LatLon* closest) {
+  // Work in an equirectangular local frame anchored at `a`.
+  const double mean_lat = 0.5 * (a.lat + b.lat) * kDegToRad;
+  const double cos_lat = std::cos(mean_lat);
+  const double ax = 0.0, ay = 0.0;
+  const double bx = (b.lon - a.lon) * cos_lat;
+  const double by = (b.lat - a.lat);
+  const double px = (p.lon - a.lon) * cos_lat;
+  const double py = (p.lat - a.lat);
+  const double vx = bx - ax, vy = by - ay;
+  const double len2 = vx * vx + vy * vy;
+  double t = 0.0;
+  if (len2 > 0.0) {
+    t = ((px - ax) * vx + (py - ay) * vy) / len2;
+    t = std::clamp(t, 0.0, 1.0);
+  }
+  if (closest != nullptr) *closest = Lerp(a, b, t);
+  return t;
+}
+
+double PointToSegmentMeters(const LatLon& p, const LatLon& a,
+                            const LatLon& b) {
+  LatLon closest;
+  ProjectOntoSegment(p, a, b, &closest);
+  return ApproxDistanceMeters(p, closest);
+}
+
+}  // namespace rl4oasd::roadnet

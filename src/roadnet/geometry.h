@@ -1,0 +1,34 @@
+// Planar/spherical geometry helpers for road networks and GPS trajectories.
+#pragma once
+
+#include <cmath>
+
+namespace rl4oasd::roadnet {
+
+/// WGS84 coordinate (degrees).
+struct LatLon {
+  double lat = 0.0;
+  double lon = 0.0;
+};
+
+/// Great-circle distance in meters (haversine).
+double HaversineMeters(const LatLon& a, const LatLon& b);
+
+/// Fast equirectangular approximation of distance in meters; accurate to a
+/// fraction of a percent at city scale, used on hot paths (map matching).
+double ApproxDistanceMeters(const LatLon& a, const LatLon& b);
+
+/// Projects point p onto segment (a, b). Returns the clamped interpolation
+/// parameter t in [0, 1]; *closest receives the projected coordinate.
+double ProjectOntoSegment(const LatLon& p, const LatLon& a, const LatLon& b,
+                          LatLon* closest);
+
+/// Distance in meters from p to segment (a, b).
+double PointToSegmentMeters(const LatLon& p, const LatLon& a, const LatLon& b);
+
+/// Linear interpolation between two coordinates.
+inline LatLon Lerp(const LatLon& a, const LatLon& b, double t) {
+  return {a.lat + (b.lat - a.lat) * t, a.lon + (b.lon - a.lon) * t};
+}
+
+}  // namespace rl4oasd::roadnet

@@ -1,0 +1,98 @@
+#include "roadnet/grid_city.h"
+
+#include <vector>
+
+namespace rl4oasd::roadnet {
+
+namespace {
+
+// Meters-to-degrees conversions near the anchor latitude.
+constexpr double kMetersPerDegLat = 111320.0;
+
+RoadClass ClassOf(bool a_arterial, bool b_arterial, bool mid_arterial) {
+  if (mid_arterial) return RoadClass::kArterial;
+  if (a_arterial || b_arterial) return RoadClass::kCollector;
+  return RoadClass::kLocal;
+}
+
+double SpeedOf(RoadClass rc) {
+  switch (rc) {
+    case RoadClass::kArterial:
+      return 16.7;  // 60 km/h
+    case RoadClass::kCollector:
+      return 11.1;  // 40 km/h
+    case RoadClass::kLocal:
+      return 8.3;   // 30 km/h
+  }
+  return 8.3;
+}
+
+}  // namespace
+
+RoadNetwork BuildGridCity(const GridCityConfig& config) {
+  Rng rng(config.seed);
+  RoadNetwork net;
+  const double meters_per_deg_lon =
+      kMetersPerDegLat * std::cos(config.origin_lat * 3.14159265358979 / 180.0);
+
+  std::vector<std::vector<VertexId>> grid(
+      config.rows, std::vector<VertexId>(config.cols, kInvalidVertex));
+  for (int r = 0; r < config.rows; ++r) {
+    for (int c = 0; c < config.cols; ++c) {
+      const double jx =
+          rng.Uniform(-config.jitter_frac, config.jitter_frac) *
+          config.spacing_m;
+      const double jy =
+          rng.Uniform(-config.jitter_frac, config.jitter_frac) *
+          config.spacing_m;
+      const double lat =
+          config.origin_lat + (r * config.spacing_m + jy) / kMetersPerDegLat;
+      const double lon =
+          config.origin_lon + (c * config.spacing_m + jx) / meters_per_deg_lon;
+      grid[r][c] = net.AddVertex({lat, lon});
+    }
+  }
+
+  auto is_arterial_row = [&](int r) {
+    return config.arterial_every > 0 && r % config.arterial_every == 0;
+  };
+  auto is_arterial_col = [&](int c) {
+    return config.arterial_every > 0 && c % config.arterial_every == 0;
+  };
+
+  auto add_bidirectional = [&](VertexId a, VertexId b, RoadClass rc) {
+    const double speed = SpeedOf(rc);
+    net.AddEdge(a, b, -1.0, speed, rc);
+    net.AddEdge(b, a, -1.0, speed, rc);
+  };
+
+  // Horizontal streets: the segment (r,c)-(r,c+1) lies along row r.
+  for (int r = 0; r < config.rows; ++r) {
+    for (int c = 0; c + 1 < config.cols; ++c) {
+      const bool mid_arterial = is_arterial_row(r);
+      const RoadClass rc =
+          ClassOf(is_arterial_col(c), is_arterial_col(c + 1), mid_arterial);
+      if (rc == RoadClass::kLocal && rng.Bernoulli(config.removal_prob)) {
+        continue;  // irregular city fabric: drop some local streets
+      }
+      add_bidirectional(grid[r][c], grid[r][c + 1], rc);
+    }
+  }
+  // Vertical streets: the segment (r,c)-(r+1,c) lies along column c.
+  for (int c = 0; c < config.cols; ++c) {
+    for (int r = 0; r + 1 < config.rows; ++r) {
+      const bool mid_arterial = is_arterial_col(c);
+      const RoadClass rc =
+          ClassOf(is_arterial_row(r), is_arterial_row(r + 1), mid_arterial);
+      if (rc == RoadClass::kLocal && rng.Bernoulli(config.removal_prob)) {
+        continue;
+      }
+      add_bidirectional(grid[r][c], grid[r + 1][c], rc);
+    }
+  }
+
+  net.Build();
+  return net;
+}
+
+}  // namespace rl4oasd::roadnet

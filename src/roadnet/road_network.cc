@@ -1,0 +1,113 @@
+#include "roadnet/road_network.h"
+
+#include "common/csv.h"
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace rl4oasd::roadnet {
+
+VertexId RoadNetwork::AddVertex(LatLon pos) {
+  RL4_CHECK(!built_) << "AddVertex after Build()";
+  vertices_.push_back(Vertex{pos});
+  return static_cast<VertexId>(vertices_.size() - 1);
+}
+
+EdgeId RoadNetwork::AddEdge(VertexId from, VertexId to, double length_m,
+                            double speed_limit_mps, RoadClass road_class) {
+  RL4_CHECK(!built_) << "AddEdge after Build()";
+  RL4_CHECK_GE(from, 0);
+  RL4_CHECK_LT(static_cast<size_t>(from), vertices_.size());
+  RL4_CHECK_GE(to, 0);
+  RL4_CHECK_LT(static_cast<size_t>(to), vertices_.size());
+  Edge e;
+  e.from = from;
+  e.to = to;
+  e.length_m = length_m > 0.0
+                   ? length_m
+                   : HaversineMeters(vertices_[from].pos, vertices_[to].pos);
+  e.speed_limit_mps = speed_limit_mps;
+  e.road_class = road_class;
+  edges_.push_back(e);
+  return static_cast<EdgeId>(edges_.size() - 1);
+}
+
+void RoadNetwork::Build() {
+  RL4_CHECK(!built_);
+  out_edges_.assign(vertices_.size(), {});
+  in_edges_.assign(vertices_.size(), {});
+  for (EdgeId e = 0; e < static_cast<EdgeId>(edges_.size()); ++e) {
+    out_edges_[edges_[e].from].push_back(e);
+    in_edges_[edges_[e].to].push_back(e);
+  }
+  built_ = true;
+}
+
+double RoadNetwork::PathLengthMeters(const std::vector<EdgeId>& path) const {
+  double total = 0.0;
+  for (EdgeId e : path) total += edges_[e].length_m;
+  return total;
+}
+
+bool RoadNetwork::IsConnectedPath(const std::vector<EdgeId>& path) const {
+  for (size_t i = 1; i < path.size(); ++i) {
+    if (!AreConsecutive(path[i - 1], path[i])) return false;
+  }
+  return true;
+}
+
+Status RoadNetwork::SaveCsv(const std::string& prefix) const {
+  CsvTable vt;
+  vt.header = {"id", "lat", "lon"};
+  for (size_t v = 0; v < vertices_.size(); ++v) {
+    vt.rows.push_back({std::to_string(v),
+                       StrFormat("%.7f", vertices_[v].pos.lat),
+                       StrFormat("%.7f", vertices_[v].pos.lon)});
+  }
+  RL4_RETURN_NOT_OK(WriteCsv(prefix + ".vertices.csv", vt));
+
+  CsvTable et;
+  et.header = {"id", "from", "to", "length_m", "speed_mps", "class"};
+  for (size_t e = 0; e < edges_.size(); ++e) {
+    const Edge& ed = edges_[e];
+    et.rows.push_back({std::to_string(e), std::to_string(ed.from),
+                       std::to_string(ed.to), StrFormat("%.2f", ed.length_m),
+                       StrFormat("%.2f", ed.speed_limit_mps),
+                       std::to_string(static_cast<int>(ed.road_class))});
+  }
+  return WriteCsv(prefix + ".edges.csv", et);
+}
+
+Result<RoadNetwork> RoadNetwork::LoadCsv(const std::string& prefix) {
+  RL4_ASSIGN_OR_RETURN(CsvTable vt, ReadCsv(prefix + ".vertices.csv"));
+  RL4_ASSIGN_OR_RETURN(CsvTable et, ReadCsv(prefix + ".edges.csv"));
+  RoadNetwork net;
+  for (const auto& row : vt.rows) {
+    if (row.size() < 3) return Status::IOError("bad vertex row");
+    double lat, lon;
+    if (!ParseDouble(row[1], &lat) || !ParseDouble(row[2], &lon)) {
+      return Status::IOError("bad vertex coordinates");
+    }
+    net.AddVertex({lat, lon});
+  }
+  for (const auto& row : et.rows) {
+    if (row.size() < 6) return Status::IOError("bad edge row");
+    int64_t from, to, cls;
+    double len, speed;
+    if (!ParseInt64(row[1], &from) || !ParseInt64(row[2], &to) ||
+        !ParseDouble(row[3], &len) || !ParseDouble(row[4], &speed) ||
+        !ParseInt64(row[5], &cls)) {
+      return Status::IOError("bad edge fields");
+    }
+    if (from < 0 || to < 0 ||
+        static_cast<size_t>(from) >= net.NumVertices() ||
+        static_cast<size_t>(to) >= net.NumVertices()) {
+      return Status::IOError("edge endpoint out of range");
+    }
+    net.AddEdge(static_cast<VertexId>(from), static_cast<VertexId>(to), len,
+                speed, static_cast<RoadClass>(cls));
+  }
+  net.Build();
+  return net;
+}
+
+}  // namespace rl4oasd::roadnet

@@ -1,0 +1,119 @@
+// Directed road-network graph G(V, E): vertices are intersections, edges are
+// road segments. This is the substrate that map matching, noisy labeling,
+// RNEL, and route generation operate on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "roadnet/geometry.h"
+
+namespace rl4oasd::roadnet {
+
+using VertexId = int32_t;
+using EdgeId = int32_t;
+inline constexpr VertexId kInvalidVertex = -1;
+inline constexpr EdgeId kInvalidEdge = -1;
+
+/// Functional class of a road segment (affects speed and route popularity).
+enum class RoadClass : uint8_t {
+  kArterial = 0,
+  kCollector = 1,
+  kLocal = 2,
+};
+
+/// An intersection.
+struct Vertex {
+  LatLon pos;
+};
+
+/// A directed road segment from vertex `from` to vertex `to`.
+struct Edge {
+  VertexId from = kInvalidVertex;
+  VertexId to = kInvalidVertex;
+  double length_m = 0.0;
+  double speed_limit_mps = 13.9;  // ~50 km/h default
+  RoadClass road_class = RoadClass::kLocal;
+};
+
+/// Immutable after Build(): a directed graph with edge-level adjacency,
+/// supporting the paper's `e.in` / `e.out` degree queries (RNEL) and
+/// successor enumeration (route generation, map matching).
+class RoadNetwork {
+ public:
+  /// Adds a vertex, returning its id.
+  VertexId AddVertex(LatLon pos);
+
+  /// Adds a directed edge; length is computed from endpoint geometry if
+  /// `length_m` <= 0. Returns the edge id.
+  EdgeId AddEdge(VertexId from, VertexId to, double length_m = -1.0,
+                 double speed_limit_mps = 13.9,
+                 RoadClass road_class = RoadClass::kLocal);
+
+  /// Finalizes adjacency indices. Must be called once after all Add* calls
+  /// and before any query.
+  void Build();
+  bool built() const { return built_; }
+
+  size_t NumVertices() const { return vertices_.size(); }
+  size_t NumEdges() const { return edges_.size(); }
+
+  const Vertex& vertex(VertexId v) const { return vertices_[v]; }
+  const Edge& edge(EdgeId e) const { return edges_[e]; }
+
+  /// Edges leaving / entering a vertex.
+  const std::vector<EdgeId>& OutEdges(VertexId v) const {
+    return out_edges_[v];
+  }
+  const std::vector<EdgeId>& InEdges(VertexId v) const { return in_edges_[v]; }
+
+  /// Paper notation: e.out = number of possible successor segments (out
+  /// degree of e's end vertex); e.in = number of possible predecessor
+  /// segments (in degree of e's start vertex).
+  int EdgeOutDegree(EdgeId e) const {
+    return static_cast<int>(out_edges_[edges_[e].to].size());
+  }
+  int EdgeInDegree(EdgeId e) const {
+    return static_cast<int>(in_edges_[edges_[e].from].size());
+  }
+
+  /// Segments that can directly follow / precede `e` on the graph.
+  const std::vector<EdgeId>& NextEdges(EdgeId e) const {
+    return out_edges_[edges_[e].to];
+  }
+  const std::vector<EdgeId>& PrevEdges(EdgeId e) const {
+    return in_edges_[edges_[e].from];
+  }
+
+  /// True if edge `b` can directly follow edge `a`.
+  bool AreConsecutive(EdgeId a, EdgeId b) const {
+    return edges_[a].to == edges_[b].from;
+  }
+
+  /// Midpoint coordinate of an edge (used by visualization and case studies).
+  LatLon EdgeMidpoint(EdgeId e) const {
+    const Edge& ed = edges_[e];
+    return Lerp(vertices_[ed.from].pos, vertices_[ed.to].pos, 0.5);
+  }
+
+  /// Total length of a path of edge ids (does not check connectivity).
+  double PathLengthMeters(const std::vector<EdgeId>& path) const;
+
+  /// Validates that `path` is a connected sequence of edges.
+  bool IsConnectedPath(const std::vector<EdgeId>& path) const;
+
+  /// Persistence (two CSV files: <prefix>.vertices.csv, <prefix>.edges.csv).
+  Status SaveCsv(const std::string& prefix) const;
+  static Result<RoadNetwork> LoadCsv(const std::string& prefix);
+
+ private:
+  std::vector<Vertex> vertices_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> out_edges_;
+  std::vector<std::vector<EdgeId>> in_edges_;
+  bool built_ = false;
+};
+
+}  // namespace rl4oasd::roadnet

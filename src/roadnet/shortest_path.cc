@@ -1,0 +1,134 @@
+#include "roadnet/shortest_path.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <set>
+
+namespace rl4oasd::roadnet {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct QueueEntry {
+  double cost;
+  int32_t node;
+  bool operator>(const QueueEntry& other) const { return cost > other.cost; }
+};
+
+using MinQueue =
+    std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>>;
+
+double WeightOf(const RoadNetwork& net, const EdgeWeightFn& weight, EdgeId e) {
+  return weight ? weight(e) : net.edge(e).length_m;
+}
+
+}  // namespace
+
+std::vector<EdgeId> ShortestPath(const RoadNetwork& net, VertexId src,
+                                 VertexId dst, const EdgeWeightFn& weight) {
+  const size_t n = net.NumVertices();
+  std::vector<double> dist(n, kInf);
+  std::vector<EdgeId> parent_edge(n, kInvalidEdge);
+  MinQueue pq;
+  dist[src] = 0.0;
+  pq.push({0.0, src});
+  while (!pq.empty()) {
+    auto [cost, v] = pq.top();
+    pq.pop();
+    if (cost > dist[v]) continue;
+    if (v == dst) break;
+    for (EdgeId e : net.OutEdges(v)) {
+      const double w = WeightOf(net, weight, e);
+      const VertexId u = net.edge(e).to;
+      if (cost + w < dist[u]) {
+        dist[u] = cost + w;
+        parent_edge[u] = e;
+        pq.push({dist[u], u});
+      }
+    }
+  }
+  if (dist[dst] == kInf) return {};
+  std::vector<EdgeId> path;
+  VertexId v = dst;
+  while (v != src) {
+    const EdgeId e = parent_edge[v];
+    if (e == kInvalidEdge) return {};
+    path.push_back(e);
+    v = net.edge(e).from;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::vector<EdgeId> ShortestPathBetweenEdges(const RoadNetwork& net,
+                                             EdgeId src_edge, EdgeId dst_edge,
+                                             const EdgeWeightFn& weight) {
+  // Dijkstra over the edge graph: a node is an edge; moving to a successor
+  // edge costs that successor's weight. The source edge's own weight anchors
+  // the start cost so route comparisons remain consistent.
+  const size_t n = net.NumEdges();
+  std::vector<double> dist(n, kInf);
+  std::vector<EdgeId> parent(n, kInvalidEdge);
+  MinQueue pq;
+  dist[src_edge] = WeightOf(net, weight, src_edge);
+  pq.push({dist[src_edge], src_edge});
+  while (!pq.empty()) {
+    auto [cost, e] = pq.top();
+    pq.pop();
+    if (cost > dist[e]) continue;
+    if (e == dst_edge) break;
+    for (EdgeId next : net.NextEdges(e)) {
+      const double w = WeightOf(net, weight, next);
+      if (cost + w < dist[next]) {
+        dist[next] = cost + w;
+        parent[next] = e;
+        pq.push({dist[next], next});
+      }
+    }
+  }
+  if (dist[dst_edge] == kInf) return {};
+  std::vector<EdgeId> path;
+  EdgeId e = dst_edge;
+  while (e != kInvalidEdge) {
+    path.push_back(e);
+    if (e == src_edge) break;
+    e = parent[e];
+  }
+  if (path.back() != src_edge) return {};
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+double NetworkDistanceMeters(const RoadNetwork& net, EdgeId src_edge,
+                             EdgeId dst_edge) {
+  if (src_edge == dst_edge) return 0.0;
+  auto path = ShortestPathBetweenEdges(net, src_edge, dst_edge);
+  if (path.empty()) return -1.0;
+  // Distance travelled after finishing src_edge up to finishing dst_edge.
+  double d = 0.0;
+  for (size_t i = 1; i < path.size(); ++i) d += net.edge(path[i]).length_m;
+  return d;
+}
+
+std::vector<std::vector<EdgeId>> AlternativeRoutes(const RoadNetwork& net,
+                                                   EdgeId src_edge,
+                                                   EdgeId dst_edge, int k,
+                                                   double penalty) {
+  std::vector<std::vector<EdgeId>> routes;
+  std::set<std::vector<EdgeId>> seen;
+  std::vector<double> factor(net.NumEdges(), 1.0);
+  auto weight = [&](EdgeId e) { return net.edge(e).length_m * factor[e]; };
+  for (int i = 0; i < k * 3 && static_cast<int>(routes.size()) < k; ++i) {
+    auto path = ShortestPathBetweenEdges(net, src_edge, dst_edge, weight);
+    if (path.empty()) break;
+    if (seen.insert(path).second) {
+      routes.push_back(path);
+    }
+    for (EdgeId e : path) factor[e] *= penalty;
+  }
+  return routes;
+}
+
+}  // namespace rl4oasd::roadnet

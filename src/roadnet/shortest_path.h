@@ -1,0 +1,45 @@
+// Shortest paths on the road network, expressed as edge sequences (the
+// trajectory representation used throughout the paper). Includes a
+// penalty-based k-alternative-routes generator used to synthesize the
+// "several distinct normal routes per SD pair" structure.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "roadnet/road_network.h"
+
+namespace rl4oasd::roadnet {
+
+/// Weight callback: cost of traversing an edge. Defaults to edge length.
+using EdgeWeightFn = std::function<double(EdgeId)>;
+
+/// Dijkstra over vertices. Returns the edge sequence of a least-cost path
+/// from `src` vertex to `dst` vertex, or an empty vector if unreachable.
+std::vector<EdgeId> ShortestPath(const RoadNetwork& net, VertexId src,
+                                 VertexId dst,
+                                 const EdgeWeightFn& weight = nullptr);
+
+/// Least-cost path between two edges: starts by traversing `src_edge` and
+/// ends by traversing `dst_edge` (inclusive on both ends). Empty if
+/// unreachable.
+std::vector<EdgeId> ShortestPathBetweenEdges(
+    const RoadNetwork& net, EdgeId src_edge, EdgeId dst_edge,
+    const EdgeWeightFn& weight = nullptr);
+
+/// Unweighted network distance (meters) between two edges, used by the map
+/// matcher's transition model. Returns a negative value if unreachable.
+double NetworkDistanceMeters(const RoadNetwork& net, EdgeId src_edge,
+                             EdgeId dst_edge);
+
+/// Generates up to k maximally-distinct routes between two edges by
+/// iteratively penalizing edges of previously found routes (multiplying
+/// their weight by `penalty`). Routes are deduplicated; the first one is the
+/// true shortest path. This produces the "T1, T2 normal route" structure of
+/// the paper's Figure 1.
+std::vector<std::vector<EdgeId>> AlternativeRoutes(const RoadNetwork& net,
+                                                   EdgeId src_edge,
+                                                   EdgeId dst_edge, int k,
+                                                   double penalty = 2.5);
+
+}  // namespace rl4oasd::roadnet

@@ -1,0 +1,187 @@
+#include "serve/fleet.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace rl4oasd::serve {
+
+namespace {
+
+/// Rounds up to a power of two (shard indexing uses a bitmask).
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+FleetMonitor::FleetMonitor(const core::Rl4Oasd* model, FleetConfig config,
+                           AlertSink* sink)
+    : model_(model),
+      config_(config),
+      sink_(sink),
+      shards_(RoundUpPow2(std::max<size_t>(config.num_shards, 1))) {
+  RL4_CHECK(model != nullptr);
+  RL4_CHECK_GT(config_.max_active_trips, 0u);
+  // The preprocessor's normal-route caches rebuild lazily under const; warm
+  // them now so concurrent sessions only ever read. The model must not be
+  // retrained (Fit/FineTune) while this monitor is serving.
+  model_->preprocessor().WarmNormalRouteCaches();
+}
+
+Status FleetMonitor::StartTrip(int64_t vehicle_id, traj::SdPair sd,
+                               double start_time) {
+  if (ActiveTrips() >= config_.max_active_trips) EvictStalest();
+  Shard& shard = ShardOf(vehicle_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.trips.contains(vehicle_id)) {
+    return Status::FailedPrecondition(
+        "vehicle " + std::to_string(vehicle_id) +
+        " already has an active trip (EndTrip it first)");
+  }
+  Trip trip{model_->StartSession(sd, start_time), sd, start_time, 0, 0, 0};
+  shard.trips.emplace(vehicle_id, std::move(trip));
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    stats_.trips_started += 1;
+  }
+  return Status::OK();
+}
+
+void FleetMonitor::EmitClosedRuns(int64_t vehicle_id, Trip* trip,
+                                  double timestamp, bool include_open_tail) {
+  const auto runs = trip->session.CurrentAnomalies();
+  const size_t n = trip->session.labels().size();
+  size_t emitted = 0;
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const bool closed = static_cast<size_t>(runs[i].end) < n;
+    if (i < trip->alerted_runs) continue;  // already reported
+    if (!closed && !include_open_tail) continue;
+    Alert alert;
+    alert.vehicle_id = vehicle_id;
+    alert.sd = trip->sd;
+    alert.range = runs[i];
+    alert.timestamp = timestamp;
+    alert.position = n;
+    if (sink_ != nullptr) sink_->OnAlert(alert);
+    trip->alerted_runs = i + 1;
+    ++emitted;
+  }
+  if (emitted > 0) {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    stats_.alerts_emitted += static_cast<int64_t>(emitted);
+  }
+}
+
+Result<int> FleetMonitor::Feed(int64_t vehicle_id, traj::EdgeId edge,
+                               double timestamp) {
+  Shard& shard = ShardOf(vehicle_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.trips.find(vehicle_id);
+  if (it == shard.trips.end()) {
+    return Status::NotFound("vehicle " + std::to_string(vehicle_id) +
+                            " has no active trip");
+  }
+  Trip& trip = it->second;
+  const int label = trip.session.Feed(edge);
+  trip.last_update = timestamp;
+  trip.points += 1;
+  // An anomalous run can only close on a 1 -> 0 transition; skip the
+  // (comparatively expensive) run extraction otherwise.
+  if (trip.prev_label == 1 && label == 0) {
+    EmitClosedRuns(vehicle_id, &trip, timestamp, /*include_open_tail=*/false);
+  }
+  trip.prev_label = label;
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    stats_.points_processed += 1;
+  }
+  return label;
+}
+
+Result<std::vector<uint8_t>> FleetMonitor::EndTrip(int64_t vehicle_id) {
+  Shard& shard = ShardOf(vehicle_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.trips.find(vehicle_id);
+  if (it == shard.trips.end()) {
+    return Status::NotFound("vehicle " + std::to_string(vehicle_id) +
+                            " has no active trip");
+  }
+  Trip& trip = it->second;
+  // Report any run not yet alerted (including one still open: reaching the
+  // destination closes it by definition) before finishing.
+  EmitClosedRuns(vehicle_id, &trip, trip.last_update,
+                 /*include_open_tail=*/true);
+  std::vector<uint8_t> labels = trip.session.Finish();
+  if (sink_ != nullptr) sink_->OnTripEnd(vehicle_id, labels);
+  shard.trips.erase(it);
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    stats_.trips_finished += 1;
+  }
+  return labels;
+}
+
+size_t FleetMonitor::EvictStale(double now) {
+  size_t evicted = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.trips.begin(); it != shard.trips.end();) {
+      if (now - it->second.last_update > config_.trip_timeout_s) {
+        it = shard.trips.erase(it);
+        ++evicted;
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (evicted > 0) {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    stats_.trips_evicted += static_cast<int64_t>(evicted);
+  }
+  return evicted;
+}
+
+void FleetMonitor::EvictStalest() {
+  // Two passes: find the globally stalest trip, then erase it. A trip fed
+  // between the passes is simply spared — the cap is advisory, not exact.
+  int64_t victim = 0;
+  double oldest = std::numeric_limits<double>::infinity();
+  bool found = false;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [vehicle, trip] : shard.trips) {
+      if (trip.last_update < oldest) {
+        oldest = trip.last_update;
+        victim = vehicle;
+        found = true;
+      }
+    }
+  }
+  if (!found) return;
+  Shard& shard = ShardOf(victim);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.trips.erase(victim) > 0) {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    stats_.trips_evicted += 1;
+  }
+}
+
+size_t FleetMonitor::ActiveTrips() const {
+  size_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    n += shard.trips.size();
+  }
+  return n;
+}
+
+FleetStats FleetMonitor::Stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+}  // namespace rl4oasd::serve

@@ -1,0 +1,181 @@
+// Fleet monitoring service: concurrent online detection over many vehicles.
+//
+// The paper's motivating scenario is a ride-hailing operator that "can
+// immediately spot an abnormal driver when his/her trajectory starts to
+// deviate from the normal route". A deployment therefore runs one detection
+// session per *active trip*, fed by an interleaved stream of GPS-derived
+// road segments from the whole fleet. FleetMonitor owns that bookkeeping:
+// trip lifecycle, thread-safe ingest (vehicle-sharded locks), stale-trip
+// eviction, alert delivery, and service counters.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/rl4oasd.h"
+#include "traj/types.h"
+
+namespace rl4oasd::serve {
+
+/// An anomalous subtrajectory alert for one vehicle. Emitted as soon as the
+/// detector closes an anomalous run (paper Algorithm 1, line 9: "return the
+/// subtrajectory when it is formed") and again at trip end for a run still
+/// open at the destination.
+struct Alert {
+  int64_t vehicle_id = 0;
+  traj::SdPair sd;
+  /// Segment-index range of the anomalous run within the trip so far.
+  traj::Subtrajectory range;
+  /// Timestamp of the point that closed the run.
+  double timestamp = 0.0;
+  /// Number of segments fed when the alert fired (detection latency metric:
+  /// position - range.end counts segments between formation and alerting).
+  size_t position = 0;
+};
+
+/// Alert delivery interface. Callbacks are invoked under the shard lock of
+/// the reporting vehicle — implementations must not call back into the
+/// monitor and should hand off to a queue if processing is slow.
+class AlertSink {
+ public:
+  virtual ~AlertSink() = default;
+  virtual void OnAlert(const Alert& alert) = 0;
+  /// Called when a trip completes, with the final (post-DL) labels.
+  virtual void OnTripEnd(int64_t vehicle_id,
+                         const std::vector<uint8_t>& final_labels) {
+    (void)vehicle_id;
+    (void)final_labels;
+  }
+};
+
+/// Thread-safe in-memory sink (tests, examples, tooling).
+class CollectingSink : public AlertSink {
+ public:
+  void OnAlert(const Alert& alert) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    alerts_.push_back(alert);
+  }
+  void OnTripEnd(int64_t vehicle_id,
+                 const std::vector<uint8_t>& final_labels) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    finished_.emplace_back(vehicle_id, final_labels);
+  }
+
+  std::vector<Alert> TakeAlerts() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return std::move(alerts_);
+  }
+  size_t NumAlerts() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return alerts_.size();
+  }
+  size_t NumFinished() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return finished_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Alert> alerts_;
+  std::vector<std::pair<int64_t, std::vector<uint8_t>>> finished_;
+};
+
+struct FleetConfig {
+  /// Hard cap on simultaneously active trips; StartTrip beyond it evicts the
+  /// stalest trip first.
+  size_t max_active_trips = 100000;
+  /// Trips with no Feed for this long are evictable by EvictStale.
+  double trip_timeout_s = 2 * 3600.0;
+  /// Number of lock shards (power of two). One shard per ingest thread is
+  /// plenty; contention only occurs between vehicles hashing to one shard.
+  size_t num_shards = 16;
+};
+
+/// Service counters (monotonic since construction).
+struct FleetStats {
+  int64_t trips_started = 0;
+  int64_t trips_finished = 0;
+  int64_t points_processed = 0;
+  int64_t alerts_emitted = 0;
+  int64_t trips_evicted = 0;
+};
+
+/// Concurrent multi-trip online detector over one trained model.
+class FleetMonitor {
+ public:
+  /// `model` must outlive the monitor and be fully trained; `sink` may be
+  /// null (alerts are then only counted).
+  FleetMonitor(const core::Rl4Oasd* model, FleetConfig config,
+               AlertSink* sink);
+
+  FleetMonitor(const FleetMonitor&) = delete;
+  FleetMonitor& operator=(const FleetMonitor&) = delete;
+
+  /// Begins a trip for a vehicle. The SD pair is known at trip start in the
+  /// ride-hailing setting. Fails if the vehicle already has an active trip.
+  Status StartTrip(int64_t vehicle_id, traj::SdPair sd, double start_time);
+
+  /// Feeds the next road segment of a vehicle's active trip. Returns the
+  /// (pre-delayed-labeling) label of the segment, emitting alerts to the
+  /// sink when an anomalous run closes.
+  Result<int> Feed(int64_t vehicle_id, traj::EdgeId edge, double timestamp);
+
+  /// Completes a trip, returning the final post-processed labels. An
+  /// anomalous run still open at the destination is alerted before return.
+  Result<std::vector<uint8_t>> EndTrip(int64_t vehicle_id);
+
+  /// Drops trips whose last update is older than `now - trip_timeout_s`
+  /// (vehicles that vanished mid-trip). Returns the number evicted.
+  size_t EvictStale(double now);
+
+  size_t ActiveTrips() const;
+  FleetStats Stats() const;
+
+ private:
+  struct Trip {
+    core::OnlineDetector::Session session;
+    traj::SdPair sd;
+    double last_update = 0.0;
+    size_t points = 0;
+    /// Number of anomalous runs already alerted (so a closing run is
+    /// reported exactly once).
+    size_t alerted_runs = 0;
+    int prev_label = 0;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<int64_t, Trip> trips;
+  };
+
+  Shard& ShardOf(int64_t vehicle_id) {
+    return shards_[static_cast<uint64_t>(vehicle_id) & (shards_.size() - 1)];
+  }
+  const Shard& ShardOf(int64_t vehicle_id) const {
+    return shards_[static_cast<uint64_t>(vehicle_id) & (shards_.size() - 1)];
+  }
+
+  /// Emits alerts for every closed-and-unreported anomalous run. Caller
+  /// holds the shard lock.
+  void EmitClosedRuns(int64_t vehicle_id, Trip* trip, double timestamp,
+                      bool include_open_tail);
+
+  /// Evicts the least-recently-updated trip across all shards (requires no
+  /// shard lock held by the caller).
+  void EvictStalest();
+
+  const core::Rl4Oasd* model_;
+  FleetConfig config_;
+  AlertSink* sink_;
+  std::vector<Shard> shards_;
+
+  mutable std::mutex stats_mu_;
+  FleetStats stats_;
+};
+
+}  // namespace rl4oasd::serve

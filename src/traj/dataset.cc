@@ -1,0 +1,131 @@
+#include "traj/dataset.h"
+
+#include <algorithm>
+
+#include "common/csv.h"
+#include "common/strings.h"
+
+namespace rl4oasd::traj {
+
+void Dataset::RebuildIndex() const {
+  groups_.clear();
+  for (size_t i = 0; i < trajs_.size(); ++i) {
+    if (trajs_[i].traj.empty()) continue;
+    groups_[trajs_[i].traj.sd()].push_back(i);
+  }
+  index_stale_ = false;
+}
+
+const std::unordered_map<SdPair, std::vector<size_t>, SdPairHash>&
+Dataset::Groups() const {
+  if (index_stale_) RebuildIndex();
+  return groups_;
+}
+
+const std::vector<size_t>& Dataset::Group(const SdPair& sd) const {
+  static const std::vector<size_t> kEmpty;
+  const auto& groups = Groups();
+  auto it = groups.find(sd);
+  return it == groups.end() ? kEmpty : it->second;
+}
+
+size_t Dataset::NumAnomalous() const {
+  size_t n = 0;
+  for (const auto& t : trajs_) {
+    if (t.HasAnomaly()) ++n;
+  }
+  return n;
+}
+
+void Dataset::FilterSparsePairs(size_t min_count) {
+  const auto& groups = Groups();
+  std::vector<LabeledTrajectory> kept;
+  kept.reserve(trajs_.size());
+  for (const auto& [sd, idxs] : groups) {
+    if (idxs.size() < min_count) continue;
+    for (size_t i : idxs) kept.push_back(std::move(trajs_[i]));
+  }
+  trajs_ = std::move(kept);
+  index_stale_ = true;
+}
+
+std::pair<Dataset, Dataset> Dataset::Split(size_t train_size, Rng* rng) const {
+  std::vector<size_t> order(trajs_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng->Shuffle(&order);
+  Dataset train, test;
+  for (size_t k = 0; k < order.size(); ++k) {
+    if (k < train_size) {
+      train.Add(trajs_[order[k]]);
+    } else {
+      test.Add(trajs_[order[k]]);
+    }
+  }
+  return {std::move(train), std::move(test)};
+}
+
+Dataset Dataset::DropFraction(double drop_rate, Rng* rng) const {
+  Dataset out;
+  for (const auto& [sd, idxs] : Groups()) {
+    // Keep at least one trajectory per pair so the pair still exists.
+    size_t keep = idxs.size() -
+                  static_cast<size_t>(drop_rate * static_cast<double>(idxs.size()));
+    if (keep == 0) keep = 1;
+    auto chosen = rng->SampleWithoutReplacement(idxs.size(), keep);
+    for (size_t c : chosen) out.Add(trajs_[idxs[c]]);
+  }
+  return out;
+}
+
+Status Dataset::SaveCsv(const std::string& path) const {
+  CsvTable t;
+  t.header = {"id", "start_time", "edges", "labels"};
+  for (const auto& lt : trajs_) {
+    std::string edges;
+    for (size_t i = 0; i < lt.traj.edges.size(); ++i) {
+      if (i) edges += ' ';
+      edges += std::to_string(lt.traj.edges[i]);
+    }
+    std::string labels(lt.labels.size(), '0');
+    for (size_t i = 0; i < lt.labels.size(); ++i) {
+      labels[i] = lt.labels[i] ? '1' : '0';
+    }
+    t.rows.push_back({std::to_string(lt.traj.id),
+                      StrFormat("%.1f", lt.traj.start_time), edges, labels});
+  }
+  return WriteCsv(path, t);
+}
+
+Result<Dataset> Dataset::LoadCsv(const std::string& path) {
+  RL4_ASSIGN_OR_RETURN(CsvTable t, ReadCsv(path));
+  Dataset ds;
+  for (const auto& row : t.rows) {
+    if (row.size() < 4) return Status::IOError("bad trajectory row");
+    LabeledTrajectory lt;
+    int64_t id;
+    double st;
+    if (!ParseInt64(row[0], &id) || !ParseDouble(row[1], &st)) {
+      return Status::IOError("bad trajectory id/start_time");
+    }
+    lt.traj.id = id;
+    lt.traj.start_time = st;
+    for (const auto& tok : ::rl4oasd::Split(row[2], ' ')) {
+      if (tok.empty()) continue;
+      int64_t e;
+      if (!ParseInt64(tok, &e)) return Status::IOError("bad edge id");
+      lt.traj.edges.push_back(static_cast<EdgeId>(e));
+    }
+    lt.labels.reserve(row[3].size());
+    for (char c : row[3]) {
+      if (c != '0' && c != '1') return Status::IOError("bad label char");
+      lt.labels.push_back(c == '1');
+    }
+    if (lt.labels.size() != lt.traj.edges.size()) {
+      return Status::IOError("label/edge length mismatch");
+    }
+    ds.Add(std::move(lt));
+  }
+  return ds;
+}
+
+}  // namespace rl4oasd::traj

@@ -1,0 +1,73 @@
+// Trajectory dataset container: labeled trajectories grouped by SD pair,
+// with train/test splitting and CSV persistence.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "traj/types.h"
+
+namespace rl4oasd::traj {
+
+/// A collection of labeled, map-matched trajectories over one road network.
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::vector<LabeledTrajectory> trajs)
+      : trajs_(std::move(trajs)) {
+    RebuildIndex();
+  }
+
+  void Add(LabeledTrajectory t) {
+    trajs_.push_back(std::move(t));
+    index_stale_ = true;
+  }
+
+  size_t size() const { return trajs_.size(); }
+  bool empty() const { return trajs_.empty(); }
+  const LabeledTrajectory& operator[](size_t i) const { return trajs_[i]; }
+  LabeledTrajectory& operator[](size_t i) { return trajs_[i]; }
+  const std::vector<LabeledTrajectory>& trajs() const { return trajs_; }
+
+  /// Indices of trajectories for each SD pair (built lazily).
+  const std::unordered_map<SdPair, std::vector<size_t>, SdPairHash>& Groups()
+      const;
+
+  /// Indices of trajectories in one SD pair (empty if absent).
+  const std::vector<size_t>& Group(const SdPair& sd) const;
+
+  /// Number of distinct SD pairs.
+  size_t NumSdPairs() const { return Groups().size(); }
+
+  /// Count of trajectories whose ground truth has at least one anomalous
+  /// edge.
+  size_t NumAnomalous() const;
+
+  /// Removes SD pairs that have fewer than `min_count` trajectories (paper:
+  /// "filter those SD-pairs that contain less than 25 trajectories").
+  void FilterSparsePairs(size_t min_count);
+
+  /// Splits into (train, test): `train_size` random trajectories go to train,
+  /// the rest to test. Deterministic for a given rng state.
+  std::pair<Dataset, Dataset> Split(size_t train_size, Rng* rng) const;
+
+  /// Randomly drops a fraction of trajectories in every SD pair (cold-start
+  /// experiment, Table VI). Keeps at least one per pair.
+  Dataset DropFraction(double drop_rate, Rng* rng) const;
+
+  /// CSV persistence. Row: id,start_time,edges(space-sep),labels(compact).
+  Status SaveCsv(const std::string& path) const;
+  static Result<Dataset> LoadCsv(const std::string& path);
+
+ private:
+  void RebuildIndex() const;
+
+  std::vector<LabeledTrajectory> trajs_;
+  mutable std::unordered_map<SdPair, std::vector<size_t>, SdPairHash> groups_;
+  mutable bool index_stale_ = true;
+};
+
+}  // namespace rl4oasd::traj

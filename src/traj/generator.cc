@@ -1,0 +1,181 @@
+#include "traj/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "roadnet/shortest_path.h"
+
+namespace rl4oasd::traj {
+
+using roadnet::kInvalidEdge;
+
+TrajectoryGenerator::TrajectoryGenerator(const roadnet::RoadNetwork* net,
+                                         GeneratorConfig config)
+    : net_(net), config_(config), rng_(config.seed) {
+  RL4_CHECK(net->built());
+  RL4_CHECK_GE(config_.routes_per_pair, 1);
+}
+
+void TrajectoryGenerator::BuildPairs() {
+  pairs_.clear();
+  const int max_attempts = config_.num_sd_pairs * 30;
+  int attempts = 0;
+  std::unordered_set<int64_t> used;  // avoid duplicate SD pairs
+  while (static_cast<int>(pairs_.size()) < config_.num_sd_pairs &&
+         attempts++ < max_attempts) {
+    const EdgeId src =
+        static_cast<EdgeId>(rng_.UniformInt(net_->NumEdges()));
+    const EdgeId dst =
+        static_cast<EdgeId>(rng_.UniformInt(net_->NumEdges()));
+    if (src == dst) continue;
+    const int64_t key =
+        (static_cast<int64_t>(src) << 32) | static_cast<uint32_t>(dst);
+    if (used.contains(key)) continue;
+    // Cheap geometric prefilter before the expensive route computation.
+    const double geo = roadnet::ApproxDistanceMeters(
+        net_->EdgeMidpoint(src), net_->EdgeMidpoint(dst));
+    if (geo < config_.min_pair_dist_m || geo > config_.max_pair_dist_m) {
+      continue;
+    }
+    auto routes = roadnet::AlternativeRoutes(*net_, src, dst,
+                                             config_.routes_per_pair);
+    if (routes.empty() ||
+        static_cast<int>(routes[0].size()) < config_.min_route_edges) {
+      continue;
+    }
+    used.insert(key);
+    SdPairInfo info;
+    info.sd = SdPair{src, dst};
+    info.normal_routes = std::move(routes);
+    double total = 0.0;
+    for (size_t r = 0; r < info.normal_routes.size(); ++r) {
+      const double w =
+          1.0 / std::pow(static_cast<double>(r + 1), config_.popularity_skew);
+      info.base_popularity.push_back(w);
+      total += w;
+    }
+    for (double& w : info.base_popularity) w /= total;
+    pairs_.push_back(std::move(info));
+  }
+  RL4_CHECK(!pairs_.empty()) << "could not place any SD pair";
+}
+
+std::vector<double> TrajectoryGenerator::EffectivePopularity(
+    const SdPairInfo& info, double start_time) const {
+  std::vector<double> w = info.base_popularity;
+  if (config_.drift_parts > 1) {
+    // Rotate route popularities by the day-part index: the most popular
+    // route in part 0 becomes unpopular in part 1, etc. This is the
+    // "popular route gets congested, drivers move to another" drift of
+    // Section V-G.
+    const double part_seconds = 86400.0 / config_.drift_parts;
+    const int part = std::min(
+        config_.drift_parts - 1,
+        static_cast<int>(start_time / part_seconds));
+    std::rotate(w.begin(), w.begin() + (part % w.size()), w.end());
+  }
+  return w;
+}
+
+bool TrajectoryGenerator::SpliceDetour(const SdPairInfo& info,
+                                       LabeledTrajectory* lt) {
+  auto& edges = lt->traj.edges;
+  const int n = static_cast<int>(edges.size());
+  if (n < config_.min_route_edges) return false;
+
+  // Edges belonging to any normal route of this pair: a detour must leave
+  // this set, and ground-truth 1s are exactly the off-normal spliced edges.
+  std::unordered_set<EdgeId> normal_edges;
+  for (const auto& route : info.normal_routes) {
+    normal_edges.insert(route.begin(), route.end());
+  }
+
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const double frac =
+        rng_.Uniform(config_.detour_frac_min, config_.detour_frac_max);
+    int span = std::max(2, static_cast<int>(frac * n));
+    if (span > n - 4) span = n - 4;
+    if (span < 2) return false;
+    const int i = static_cast<int>(rng_.UniformInt(1, n - 3 - span));
+    const int j = i + span;  // replace the open interval (i, j)
+
+    // Penalize normal-route edges so the alternative path actually deviates.
+    auto weight = [&](EdgeId e) {
+      const double base = net_->edge(e).length_m;
+      return normal_edges.contains(e) ? base * config_.detour_penalty : base;
+    };
+    auto alt =
+        roadnet::ShortestPathBetweenEdges(*net_, edges[i], edges[j], weight);
+    if (alt.size() < 3) continue;
+
+    // Count how many interior alt edges are off the normal routes; require a
+    // real deviation.
+    int off_normal = 0;
+    for (size_t k = 1; k + 1 < alt.size(); ++k) {
+      if (!normal_edges.contains(alt[k])) ++off_normal;
+    }
+    if (off_normal < 2) continue;
+
+    std::vector<EdgeId> new_edges(edges.begin(), edges.begin() + i);
+    std::vector<uint8_t> new_labels(lt->labels.begin(),
+                                    lt->labels.begin() + i);
+    for (size_t k = 0; k < alt.size(); ++k) {
+      new_edges.push_back(alt[k]);
+      // The whole interior of the splice is ground-truth anomalous, as a
+      // human labeler marks a detour contiguously (the vehicle is off its
+      // normal route even while briefly crossing a normal segment).
+      const bool interior = k > 0 && k + 1 < alt.size();
+      new_labels.push_back(interior ? 1 : 0);
+    }
+    new_edges.insert(new_edges.end(), edges.begin() + j + 1, edges.end());
+    new_labels.insert(new_labels.end(), lt->labels.begin() + j + 1,
+                      lt->labels.end());
+    RL4_CHECK_EQ(new_edges.size(), new_labels.size());
+    edges = std::move(new_edges);
+    lt->labels = std::move(new_labels);
+    return true;
+  }
+  return false;
+}
+
+std::optional<LabeledTrajectory> TrajectoryGenerator::MakeTrajectory(
+    const SdPairInfo& info, int route_index, double start_time,
+    bool inject_detour) {
+  LabeledTrajectory lt;
+  lt.traj.id = next_id_++;
+  lt.traj.start_time = start_time;
+  lt.traj.edges = info.normal_routes[route_index];
+  lt.labels.assign(lt.traj.edges.size(), 0);
+  if (inject_detour) {
+    if (!SpliceDetour(info, &lt)) return std::nullopt;
+    if (rng_.Bernoulli(config_.second_detour_prob)) {
+      SpliceDetour(info, &lt);  // best effort; single detour is fine
+    }
+  }
+  return lt;
+}
+
+Dataset TrajectoryGenerator::Generate() {
+  BuildPairs();
+  Dataset ds;
+  for (const auto& info : pairs_) {
+    const int count = static_cast<int>(rng_.UniformInt(
+        config_.min_trajs_per_pair, config_.max_trajs_per_pair));
+    for (int t = 0; t < count; ++t) {
+      const double start_time = rng_.Uniform(0.0, 86400.0);
+      const auto weights = EffectivePopularity(info, start_time);
+      const int route = static_cast<int>(rng_.Categorical(weights));
+      const bool anomalous = rng_.Bernoulli(config_.anomaly_ratio);
+      auto lt = MakeTrajectory(info, route, start_time, anomalous);
+      if (!lt.has_value()) {
+        lt = MakeTrajectory(info, route, start_time, false);
+      }
+      ds.Add(std::move(*lt));
+    }
+  }
+  return ds;
+}
+
+}  // namespace rl4oasd::traj

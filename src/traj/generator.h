@@ -1,0 +1,92 @@
+// Synthetic trajectory workload generator. Substitutes the proprietary DiDi
+// Chengdu/Xi'an taxi data with a controllable workload that has the same
+// statistical structure the detection task depends on:
+//   * a set of SD pairs, each with a handful of distinct "normal" routes
+//     followed by the overwhelming majority of trajectories (with a skewed
+//     popularity distribution over routes),
+//   * a small fraction of trajectories containing one or two contiguous
+//     detour subtrajectories off the normal routes,
+//   * ground-truth per-edge anomaly labels recorded at injection time
+//     (substituting the paper's manual labeling), and
+//   * optional time-of-day popularity drift for the concept-drift
+//     experiments (Figures 6-7).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "roadnet/road_network.h"
+#include "traj/dataset.h"
+#include "traj/types.h"
+
+namespace rl4oasd::traj {
+
+struct GeneratorConfig {
+  int num_sd_pairs = 100;
+  int min_trajs_per_pair = 30;
+  int max_trajs_per_pair = 120;
+  int routes_per_pair = 3;        // distinct normal routes per SD pair
+  double popularity_skew = 1.0;   // route r gets weight 1/(r+1)^skew
+  double anomaly_ratio = 0.05;    // fraction of trajectories with a detour
+  double second_detour_prob = 0.25;  // anomalous trips with two detours
+  double detour_frac_min = 0.15;  // detour span as a fraction of route length
+  double detour_frac_max = 0.35;
+  double detour_penalty = 8.0;    // weight multiplier that pushes detours off
+                                  // normal-route edges
+  double min_pair_dist_m = 2500;  // SD pairs must be at least this far apart
+  double max_pair_dist_m = 7000;
+  int min_route_edges = 10;       // discard degenerate pairs
+  int drift_parts = 0;            // >1 enables popularity rotation per
+                                  // day-part (concept drift)
+  uint64_t seed = 123;
+};
+
+/// Everything known about one generated SD pair (exposed for tests, benches,
+/// and the case studies).
+struct SdPairInfo {
+  SdPair sd;
+  std::vector<std::vector<EdgeId>> normal_routes;  // most popular first
+  std::vector<double> base_popularity;             // sums to 1
+};
+
+/// Deterministic workload generator over one road network.
+class TrajectoryGenerator {
+ public:
+  TrajectoryGenerator(const roadnet::RoadNetwork* net, GeneratorConfig config);
+
+  /// Generates the whole dataset. Trajectory ids are assigned sequentially.
+  Dataset Generate();
+
+  /// SD pair metadata populated by Generate().
+  const std::vector<SdPairInfo>& pairs() const { return pairs_; }
+
+  /// Generates one trajectory on a specific pair/route (exposed for tests).
+  /// If `inject_detour`, a detour is spliced in; returns std::nullopt when
+  /// detour injection fails repeatedly (caller should fall back to normal).
+  std::optional<LabeledTrajectory> MakeTrajectory(const SdPairInfo& info,
+                                                  int route_index,
+                                                  double start_time,
+                                                  bool inject_detour);
+
+  /// Route popularity weights effective at `start_time`, accounting for
+  /// drift (popularity rotation across day parts when drift_parts > 1).
+  std::vector<double> EffectivePopularity(const SdPairInfo& info,
+                                          double start_time) const;
+
+ private:
+  /// Picks SD pairs and computes their normal routes.
+  void BuildPairs();
+
+  /// Splices one detour into `lt` between two anchor indices; returns false
+  /// if no deviating alternative path exists.
+  bool SpliceDetour(const SdPairInfo& info, LabeledTrajectory* lt);
+
+  const roadnet::RoadNetwork* net_;
+  GeneratorConfig config_;
+  Rng rng_;
+  std::vector<SdPairInfo> pairs_;
+  int64_t next_id_ = 0;
+};
+
+}  // namespace rl4oasd::traj

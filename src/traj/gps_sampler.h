@@ -1,0 +1,35 @@
+// Simulates raw GPS traces from map-matched trajectories: a virtual vehicle
+// drives the edge sequence at each segment's speed while a receiver samples
+// noisy fixes every 2-4 seconds (the paper's sampling rate, Table II). Used
+// to exercise the map-matching substrate end to end.
+#pragma once
+
+#include "common/rng.h"
+#include "roadnet/road_network.h"
+#include "traj/types.h"
+
+namespace rl4oasd::traj {
+
+struct GpsSamplerConfig {
+  double min_interval_s = 2.0;
+  double max_interval_s = 4.0;
+  double noise_sigma_m = 10.0;   // GPS position noise (std dev)
+  double speed_factor_min = 0.7; // vehicles drive at 70-110% of limit
+  double speed_factor_max = 1.1;
+};
+
+/// Samples a noisy raw trajectory from a map-matched one.
+class GpsSampler {
+ public:
+  GpsSampler(const roadnet::RoadNetwork* net, GpsSamplerConfig config,
+             uint64_t seed = 99);
+
+  RawTrajectory Sample(const MapMatchedTrajectory& traj);
+
+ private:
+  const roadnet::RoadNetwork* net_;
+  GpsSamplerConfig config_;
+  Rng rng_;
+};
+
+}  // namespace rl4oasd::traj

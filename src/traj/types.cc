@@ -1,0 +1,36 @@
+#include "traj/types.h"
+
+#include "common/logging.h"
+
+namespace rl4oasd::traj {
+
+std::vector<Subtrajectory> ExtractAnomalousRuns(
+    const std::vector<uint8_t>& labels) {
+  std::vector<Subtrajectory> runs;
+  int begin = -1;
+  for (int i = 0; i < static_cast<int>(labels.size()); ++i) {
+    if (labels[i] && begin < 0) {
+      begin = i;
+    } else if (!labels[i] && begin >= 0) {
+      runs.push_back({begin, i});
+      begin = -1;
+    }
+  }
+  if (begin >= 0) runs.push_back({begin, static_cast<int>(labels.size())});
+  return runs;
+}
+
+int TimeSlotOf(double start_time_seconds, int granularity_hours) {
+  RL4_CHECK_GT(granularity_hours, 0);
+  int slot = static_cast<int>(start_time_seconds / 3600.0) / granularity_hours;
+  const int n = NumTimeSlots(granularity_hours);
+  if (slot < 0) slot = 0;
+  if (slot >= n) slot = n - 1;
+  return slot;
+}
+
+int NumTimeSlots(int granularity_hours) {
+  return (24 + granularity_hours - 1) / granularity_hours;
+}
+
+}  // namespace rl4oasd::traj

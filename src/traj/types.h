@@ -1,0 +1,94 @@
+// Core trajectory data types: raw GPS trajectories, map-matched trajectories
+// (edge sequences), SD pairs, time slots, and labeled subtrajectories.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "roadnet/road_network.h"
+
+namespace rl4oasd::traj {
+
+using roadnet::EdgeId;
+
+/// One GPS fix.
+struct RawPoint {
+  roadnet::LatLon pos;
+  double t = 0.0;  // seconds since midnight
+};
+
+/// A raw (pre-map-matching) trajectory.
+struct RawTrajectory {
+  int64_t id = -1;
+  std::vector<RawPoint> points;
+};
+
+/// Source-destination pair, identified by the first and last road segment.
+struct SdPair {
+  EdgeId source = roadnet::kInvalidEdge;
+  EdgeId dest = roadnet::kInvalidEdge;
+
+  bool operator==(const SdPair&) const = default;
+  bool operator<(const SdPair& o) const {
+    return source != o.source ? source < o.source : dest < o.dest;
+  }
+};
+
+struct SdPairHash {
+  size_t operator()(const SdPair& p) const {
+    return std::hash<int64_t>()((static_cast<int64_t>(p.source) << 32) ^
+                                static_cast<uint32_t>(p.dest));
+  }
+};
+
+/// A map-matched trajectory: a connected sequence of road segments plus the
+/// trip's starting time (used for time-slot grouping).
+struct MapMatchedTrajectory {
+  int64_t id = -1;
+  std::vector<EdgeId> edges;
+  double start_time = 0.0;  // seconds since midnight
+
+  size_t size() const { return edges.size(); }
+  bool empty() const { return edges.empty(); }
+  SdPair sd() const {
+    if (edges.empty()) return {};
+    return SdPair{edges.front(), edges.back()};
+  }
+};
+
+/// Half-open index range [begin, end) into a trajectory's edge sequence,
+/// denoting one contiguous anomalous subtrajectory.
+struct Subtrajectory {
+  int begin = 0;
+  int end = 0;  // exclusive
+
+  int length() const { return end - begin; }
+  bool operator==(const Subtrajectory&) const = default;
+};
+
+/// A map-matched trajectory with per-edge ground-truth anomaly labels
+/// (0 = normal, 1 = anomalous).
+struct LabeledTrajectory {
+  MapMatchedTrajectory traj;
+  std::vector<uint8_t> labels;  // parallel to traj.edges
+
+  bool HasAnomaly() const {
+    for (uint8_t l : labels)
+      if (l) return true;
+    return false;
+  }
+};
+
+/// Extracts maximal runs of label 1 as subtrajectories.
+std::vector<Subtrajectory> ExtractAnomalousRuns(
+    const std::vector<uint8_t>& labels);
+
+/// Time-slot index of a trip start time. `granularity_hours` divides the day;
+/// the default 1-hour granularity yields 24 slots as in the paper.
+int TimeSlotOf(double start_time_seconds, int granularity_hours = 1);
+
+/// Number of slots for a granularity.
+int NumTimeSlots(int granularity_hours = 1);
+
+}  // namespace rl4oasd::traj

@@ -1,0 +1,284 @@
+// Baseline detector tests: each method trains, labels trajectories with the
+// required invariants, beats chance on an easy synthetic task, and the
+// threshold tuner improves F1.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/ctss.h"
+#include "baselines/dbtod.h"
+#include "baselines/detector_iface.h"
+#include "baselines/iboat.h"
+#include "baselines/seq_vae.h"
+#include "baselines/transition_frequency.h"
+#include "eval/metrics.h"
+#include "test_util.h"
+
+namespace rl4oasd::baselines {
+namespace {
+
+using ::rl4oasd::testing::SmallDataset;
+using ::rl4oasd::testing::SmallGrid;
+
+struct BaselineCase {
+  std::string name;
+  std::function<std::unique_ptr<SubtrajectoryDetector>(
+      const roadnet::RoadNetwork*)>
+      make;
+};
+
+std::vector<BaselineCase> AllBaselines() {
+  std::vector<BaselineCase> cases;
+  cases.push_back({"TransitionFrequency", [](const roadnet::RoadNetwork*) {
+                     return std::make_unique<TransitionFrequencyDetector>();
+                   }});
+  cases.push_back({"IBOAT", [](const roadnet::RoadNetwork*) {
+                     return std::make_unique<IboatDetector>();
+                   }});
+  cases.push_back({"CTSS", [](const roadnet::RoadNetwork* net) {
+                     return std::make_unique<CtssDetector>(net);
+                   }});
+  cases.push_back({"DBTOD", [](const roadnet::RoadNetwork* net) {
+                     DbtodConfig cfg;
+                     cfg.epochs = 2;
+                     return std::make_unique<DbtodDetector>(net, cfg);
+                   }});
+  for (VaeVariant v : {VaeVariant::kSae, VaeVariant::kVsae,
+                       VaeVariant::kGmVsae, VaeVariant::kSdVsae}) {
+    cases.push_back({VaeVariantName(v), [v](const roadnet::RoadNetwork* net) {
+                       SeqVaeConfig cfg;
+                       cfg.variant = v;
+                       cfg.embed_dim = 12;
+                       cfg.hidden_dim = 12;
+                       cfg.latent_dim = 6;
+                       cfg.epochs = 1;
+                       cfg.max_train_trajs = 150;
+                       return std::make_unique<SeqVaeDetector>(net, cfg);
+                     }});
+  }
+  return cases;
+}
+
+class BaselineSuite : public ::testing::TestWithParam<size_t> {
+ protected:
+  static void SetUpTestSuite() {
+    net_ = new roadnet::RoadNetwork(SmallGrid());
+    auto full = SmallDataset(*net_, 6, 0.25, 4242);
+    Rng rng(9);
+    auto [train, test] = full.Split(full.size() * 2 / 3, &rng);
+    train_ = new traj::Dataset(std::move(train));
+    test_ = new traj::Dataset(std::move(test));
+  }
+  static void TearDownTestSuite() {
+    delete net_;
+    delete train_;
+    delete test_;
+    net_ = nullptr;
+    train_ = nullptr;
+    test_ = nullptr;
+  }
+
+  static roadnet::RoadNetwork* net_;
+  static traj::Dataset* train_;
+  static traj::Dataset* test_;
+};
+
+roadnet::RoadNetwork* BaselineSuite::net_ = nullptr;
+traj::Dataset* BaselineSuite::train_ = nullptr;
+traj::Dataset* BaselineSuite::test_ = nullptr;
+
+TEST_P(BaselineSuite, TrainsAndDetectsWithValidLabels) {
+  const auto cases = AllBaselines();
+  const auto& c = cases[GetParam()];
+  auto detector = c.make(net_);
+  EXPECT_EQ(detector->name(), c.name);
+  detector->Fit(*train_);
+  for (size_t k = 0; k < std::min<size_t>(test_->size(), 20); ++k) {
+    const auto& t = (*test_)[k].traj;
+    const auto labels = detector->Detect(t);
+    ASSERT_EQ(labels.size(), t.edges.size());
+    for (uint8_t l : labels) EXPECT_LE(l, 1);
+  }
+}
+
+TEST_P(BaselineSuite, TunedDetectorBeatsChanceOnEasyTask) {
+  const auto cases = AllBaselines();
+  const auto& c = cases[GetParam()];
+  auto detector = c.make(net_);
+  detector->Fit(*train_);
+  detector->Tune(*test_);
+  eval::F1Evaluator ev;
+  for (const auto& lt : test_->trajs()) {
+    ev.Add(lt.labels, detector->Detect(lt.traj));
+  }
+  const auto s = ev.Compute();
+  // Not all baselines are good at this task (that is the paper's point),
+  // but every method should clear a low bar on an easy synthetic workload.
+  EXPECT_GT(s.f1, 0.05) << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, BaselineSuite,
+                         ::testing::Range<size_t>(0, 8),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           std::string n = AllBaselines()[info.param].name;
+                           for (char& ch : n) {
+                             if (ch == '-') ch = '_';
+                           }
+                           return n;
+                         });
+
+TEST(TransitionFrequencyTest, DetourScoresHigherThanNormal) {
+  const auto net = SmallGrid();
+  const auto ds = SmallDataset(net, 4, 0.3, 7);
+  TransitionFrequencyDetector det;
+  det.Fit(ds);
+  // Ground-truth anomalous edges should receive higher scores on average.
+  double anom = 0.0, norm = 0.0;
+  int anom_n = 0, norm_n = 0;
+  for (const auto& lt : ds.trajs()) {
+    const auto scores = det.Scores(lt.traj);
+    for (size_t i = 1; i + 1 < scores.size(); ++i) {
+      if (lt.labels[i]) {
+        anom += scores[i];
+        ++anom_n;
+      } else {
+        norm += scores[i];
+        ++norm_n;
+      }
+    }
+  }
+  ASSERT_GT(anom_n, 0);
+  ASSERT_GT(norm_n, 0);
+  EXPECT_GT(anom / anom_n, norm / norm_n + 0.2);
+}
+
+TEST(IboatTest, UnknownSdPairAllNormal) {
+  const auto net = SmallGrid();
+  const auto ds = SmallDataset(net, 3);
+  IboatDetector det;
+  det.Fit(ds);
+  traj::MapMatchedTrajectory t;
+  t.edges = {0, 1, 2};  // SD pair never seen in training
+  t.start_time = 0;
+  const auto labels = det.Detect(t);
+  EXPECT_EQ(labels, std::vector<uint8_t>(3, 0));
+}
+
+TEST(IboatTest, TuneSelectsFromCandidates) {
+  const auto net = SmallGrid();
+  const auto ds = SmallDataset(net, 4, 0.25, 11);
+  IboatDetector det;
+  det.Fit(ds);
+  det.Tune(ds);
+  EXPECT_GT(det.threshold(), 0.0);
+  EXPECT_LE(det.threshold(), 0.5);
+}
+
+TEST(CtssTest, ReferenceRouteScoresNearZero) {
+  const auto net = SmallGrid();
+  const auto ds = SmallDataset(net, 4, 0.15, 21);
+  CtssDetector det(&net);
+  det.Fit(ds);
+  // The most popular route in each pair has (near-)zero Frechet deviation
+  // from itself.
+  for (const auto& [sd, idxs] : ds.Groups()) {
+    // Find a trajectory with no anomaly (likely on a normal route).
+    for (size_t i : idxs) {
+      if (!ds[i].HasAnomaly()) {
+        const auto scores = det.Scores(ds[i].traj);
+        // Normal trajectories stay within a block of the reference.
+        EXPECT_LT(scores.back(), 600.0);
+        break;
+      }
+    }
+    break;
+  }
+}
+
+TEST(CtssTest, DetourScoresRise) {
+  const auto net = SmallGrid();
+  const auto ds = SmallDataset(net, 5, 0.3, 31);
+  CtssDetector det(&net);
+  det.Fit(ds);
+  double anom = 0.0, norm = 0.0;
+  int anom_n = 0, norm_n = 0;
+  for (const auto& lt : ds.trajs()) {
+    const auto scores = det.Scores(lt.traj);
+    for (size_t i = 1; i + 1 < scores.size(); ++i) {
+      if (lt.labels[i]) {
+        anom += scores[i];
+        ++anom_n;
+      } else {
+        norm += scores[i];
+        ++norm_n;
+      }
+    }
+  }
+  ASSERT_GT(anom_n, 0);
+  EXPECT_GT(anom / anom_n, norm / norm_n);
+}
+
+TEST(DbtodTest, PopularTransitionMoreLikely) {
+  const auto net = SmallGrid();
+  const auto ds = SmallDataset(net, 5, 0.2, 41);
+  DbtodConfig cfg;
+  cfg.epochs = 2;
+  DbtodDetector det(&net, cfg);
+  det.Fit(ds);
+  // Scores on observed (frequent) transitions should be lower than the max.
+  const auto& t = ds[0].traj;
+  const auto scores = det.Scores(t);
+  ASSERT_GT(scores.size(), 2u);
+  for (size_t i = 1; i < scores.size(); ++i) {
+    EXPECT_GE(scores[i], 0.0);
+    EXPECT_LT(scores[i], 11.0);
+  }
+}
+
+TEST(SeqVaeTest, TrainingReducesScoreOnNormalRoutes) {
+  const auto net = SmallGrid();
+  const auto ds = SmallDataset(net, 3, 0.1, 51);
+  SeqVaeConfig cfg;
+  cfg.variant = VaeVariant::kVsae;
+  cfg.embed_dim = 12;
+  cfg.hidden_dim = 12;
+  cfg.latent_dim = 6;
+  cfg.epochs = 0;  // untrained
+  cfg.max_train_trajs = 100;
+  SeqVaeDetector untrained(&net, cfg);
+  untrained.Fit(ds);
+  cfg.epochs = 2;
+  SeqVaeDetector trained(&net, cfg);
+  trained.Fit(ds);
+  double untrained_sum = 0.0, trained_sum = 0.0;
+  int n = 0;
+  for (size_t k = 0; k < std::min<size_t>(ds.size(), 20); ++k) {
+    if (ds[k].HasAnomaly()) continue;
+    const auto a = untrained.Scores(ds[k].traj);
+    const auto b = trained.Scores(ds[k].traj);
+    for (size_t i = 1; i < a.size(); ++i) {
+      untrained_sum += a[i];
+      trained_sum += b[i];
+      ++n;
+    }
+  }
+  ASSERT_GT(n, 0);
+  EXPECT_LT(trained_sum, untrained_sum);
+}
+
+TEST(ScoreThresholdTest, DetectForcesEndpointsNormal) {
+  const auto net = SmallGrid();
+  const auto ds = SmallDataset(net, 3);
+  TransitionFrequencyDetector det;
+  det.Fit(ds);
+  det.set_threshold(-1.0);  // everything above threshold
+  const auto labels = det.Detect(ds[0].traj);
+  EXPECT_EQ(labels.front(), 0);
+  EXPECT_EQ(labels.back(), 0);
+  bool has_one = false;
+  for (uint8_t l : labels) has_one |= l;
+  EXPECT_TRUE(has_one);
+}
+
+}  // namespace
+}  // namespace rl4oasd::baselines

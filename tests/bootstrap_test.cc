@@ -1,0 +1,116 @@
+// Tests for the bootstrap confidence-interval evaluator.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "eval/bootstrap.h"
+
+namespace rl4oasd::eval {
+namespace {
+
+std::vector<uint8_t> Labels(std::initializer_list<int> l) {
+  return std::vector<uint8_t>(l.begin(), l.end());
+}
+
+TEST(BootstrapTest, EmptyEvaluatorIsZero) {
+  BootstrapEvaluator ev;
+  const BootstrapCi ci = ev.F1Ci();
+  EXPECT_EQ(ci.point, 0.0);
+  EXPECT_EQ(ci.lo, 0.0);
+  EXPECT_EQ(ci.hi, 0.0);
+}
+
+TEST(BootstrapTest, PerfectPredictionsGiveDegenerateInterval) {
+  BootstrapEvaluator ev(200);
+  for (int i = 0; i < 20; ++i) {
+    const auto l = Labels({0, 1, 1, 0, 0, 1, 0});
+    ev.Add(l, l);
+  }
+  const BootstrapCi ci = ev.F1Ci();
+  EXPECT_DOUBLE_EQ(ci.point, 1.0);
+  EXPECT_DOUBLE_EQ(ci.lo, 1.0);
+  EXPECT_DOUBLE_EQ(ci.hi, 1.0);
+  EXPECT_DOUBLE_EQ(ci.width(), 0.0);
+}
+
+TEST(BootstrapTest, IntervalContainsPointEstimateAndIsOrdered) {
+  Rng rng(12);
+  BootstrapEvaluator ev(500);
+  for (int t = 0; t < 40; ++t) {
+    std::vector<uint8_t> gt(20), pred(20);
+    for (size_t i = 0; i < gt.size(); ++i) {
+      gt[i] = rng.Bernoulli(0.3) ? 1 : 0;
+      pred[i] = rng.Bernoulli(0.8) ? gt[i] : 1 - gt[i];  // 80% agreement
+    }
+    ev.Add(std::move(gt), std::move(pred));
+  }
+  const BootstrapCi ci = ev.F1Ci();
+  EXPECT_LE(ci.lo, ci.hi);
+  EXPECT_GE(ci.point, ci.lo - 0.05);
+  EXPECT_LE(ci.point, ci.hi + 0.05);
+  EXPECT_GT(ci.point, 0.0);
+  EXPECT_LT(ci.point, 1.0);
+  EXPECT_GT(ci.width(), 0.0);  // noisy predictions: genuine uncertainty
+}
+
+TEST(BootstrapTest, MoreDataNarrowsTheInterval) {
+  auto make = [](int trajs) {
+    Rng rng(99);
+    BootstrapEvaluator ev(400, 0.95, /*seed=*/5);
+    for (int t = 0; t < trajs; ++t) {
+      std::vector<uint8_t> gt(15), pred(15);
+      for (size_t i = 0; i < gt.size(); ++i) {
+        gt[i] = rng.Bernoulli(0.3) ? 1 : 0;
+        pred[i] = rng.Bernoulli(0.75) ? gt[i] : 1 - gt[i];
+      }
+      ev.Add(std::move(gt), std::move(pred));
+    }
+    return ev.F1Ci();
+  };
+  const BootstrapCi small = make(15);
+  const BootstrapCi large = make(400);
+  EXPECT_LT(large.width(), small.width());
+}
+
+TEST(BootstrapTest, DeterministicForFixedSeed) {
+  auto make = [] {
+    BootstrapEvaluator ev(100, 0.9, /*seed=*/17);
+    ev.Add(Labels({0, 1, 1, 0}), Labels({0, 1, 0, 0}));
+    ev.Add(Labels({0, 0, 1, 0}), Labels({0, 0, 1, 0}));
+    ev.Add(Labels({0, 1, 0, 0}), Labels({0, 0, 0, 0}));
+    return ev.F1Ci();
+  };
+  const BootstrapCi a = make();
+  const BootstrapCi b = make();
+  EXPECT_EQ(a.lo, b.lo);
+  EXPECT_EQ(a.hi, b.hi);
+  EXPECT_EQ(a.point, b.point);
+}
+
+TEST(BootstrapTest, WiderConfidenceGivesWiderInterval) {
+  auto make = [](double conf) {
+    Rng rng(7);
+    BootstrapEvaluator ev(400, conf, /*seed=*/3);
+    for (int t = 0; t < 30; ++t) {
+      std::vector<uint8_t> gt(12), pred(12);
+      for (size_t i = 0; i < gt.size(); ++i) {
+        gt[i] = rng.Bernoulli(0.35) ? 1 : 0;
+        pred[i] = rng.Bernoulli(0.7) ? gt[i] : 1 - gt[i];
+      }
+      ev.Add(std::move(gt), std::move(pred));
+    }
+    return ev.F1Ci();
+  };
+  EXPECT_LE(make(0.5).width(), make(0.99).width() + 1e-12);
+}
+
+TEST(BootstrapTest, Tf1AndCustomMetricSelectors) {
+  BootstrapEvaluator ev(100);
+  ev.Add(Labels({0, 1, 1, 0}), Labels({0, 1, 1, 0}));
+  EXPECT_DOUBLE_EQ(ev.Tf1Ci().point, 1.0);
+  const BootstrapCi recall =
+      ev.Ci([](const Scores& s) { return s.recall; });
+  EXPECT_DOUBLE_EQ(recall.point, 1.0);
+}
+
+}  // namespace
+}  // namespace rl4oasd::eval

@@ -1,0 +1,146 @@
+// ASDNet tests: policy distribution validity, REINFORCE direction, and
+// reward function values.
+#include "core/asdnet.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rewards.h"
+
+namespace rl4oasd::core {
+namespace {
+
+AsdNetConfig TinyConfig() {
+  AsdNetConfig cfg;
+  cfg.z_dim = 8;
+  cfg.label_dim = 8;
+  return cfg;
+}
+
+nn::Vec MakeZ(float seed) {
+  nn::Vec z(8);
+  for (size_t i = 0; i < z.size(); ++i) {
+    z[i] = seed + 0.1f * static_cast<float>(i);
+  }
+  return z;
+}
+
+TEST(AsdNetTest, ActionProbsAreDistribution) {
+  AsdNet net(TinyConfig());
+  const auto z = MakeZ(0.3f);
+  for (int prev : {0, 1}) {
+    const auto p = net.ActionProbs(z.data(), prev);
+    EXPECT_NEAR(p[0] + p[1], 1.0f, 1e-5f);
+    EXPECT_GT(p[0], 0.0f);
+    EXPECT_GT(p[1], 0.0f);
+  }
+}
+
+TEST(AsdNetTest, PrevLabelAffectsPolicy) {
+  AsdNet net(TinyConfig());
+  const auto z = MakeZ(0.3f);
+  const auto p0 = net.ActionProbs(z.data(), 0);
+  const auto p1 = net.ActionProbs(z.data(), 1);
+  EXPECT_NE(p0[0], p1[0]);
+}
+
+TEST(AsdNetTest, GreedyMatchesArgmax) {
+  AsdNet net(TinyConfig());
+  const auto z = MakeZ(-0.5f);
+  const auto p = net.ActionProbs(z.data(), 0);
+  EXPECT_EQ(net.GreedyAction(z.data(), 0), p[1] > p[0] ? 1 : 0);
+}
+
+TEST(AsdNetTest, SampleActionFollowsDistribution) {
+  AsdNet net(TinyConfig());
+  const auto z = MakeZ(0.1f);
+  const auto p = net.ActionProbs(z.data(), 0);
+  Rng rng(5);
+  int ones = 0;
+  constexpr int kN = 5000;
+  for (int i = 0; i < kN; ++i) {
+    ones += net.SampleAction(z.data(), 0, &rng);
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / kN, p[1], 0.03);
+}
+
+TEST(AsdNetTest, PositiveRewardReinforcesAction) {
+  auto cfg = TinyConfig();
+  cfg.lr = 0.01f;
+  AsdNet net(cfg);
+  const auto z = MakeZ(0.2f);
+  const float before = net.ActionProbs(z.data(), 0)[1];
+  // Repeatedly reward choosing action 1 in this state.
+  for (int i = 0; i < 200; ++i) {
+    std::vector<AsdStep> episode(1);
+    episode[0].z = z;
+    episode[0].prev_label = 0;
+    episode[0].action = 1;
+    net.ReinforceUpdate(episode, 1.0);
+  }
+  const float after = net.ActionProbs(z.data(), 0)[1];
+  EXPECT_GT(after, before + 0.1f);
+}
+
+TEST(AsdNetTest, NegativeRewardSuppressesAction) {
+  auto cfg = TinyConfig();
+  cfg.lr = 0.01f;
+  AsdNet net(cfg);
+  const auto z = MakeZ(0.2f);
+  const float before = net.ActionProbs(z.data(), 0)[1];
+  for (int i = 0; i < 200; ++i) {
+    std::vector<AsdStep> episode(1);
+    episode[0].z = z;
+    episode[0].prev_label = 0;
+    episode[0].action = 1;
+    net.ReinforceUpdate(episode, -1.0);
+  }
+  const float after = net.ActionProbs(z.data(), 0)[1];
+  EXPECT_LT(after, before - 0.1f);
+}
+
+TEST(AsdNetTest, EmptyEpisodeIsNoOp) {
+  AsdNet net(TinyConfig());
+  EXPECT_DOUBLE_EQ(net.ReinforceUpdate({}, 2.5), 2.5);
+}
+
+TEST(RewardTest, LocalRewardSignAndMagnitude) {
+  nn::Vec a = {1.0f, 0.0f};
+  nn::Vec b = {1.0f, 0.0f};
+  nn::Vec c = {0.0f, 1.0f};
+  // Same labels + identical vectors: +1.
+  EXPECT_NEAR(LocalReward(a, b, 0, 0), 1.0, 1e-6);
+  // Different labels + identical vectors: -1 (discontinuity punished most
+  // when representations are similar).
+  EXPECT_NEAR(LocalReward(a, b, 0, 1), -1.0, 1e-6);
+  // Orthogonal vectors: reward magnitude 0 either way.
+  EXPECT_NEAR(LocalReward(a, c, 0, 0), 0.0, 1e-6);
+  EXPECT_NEAR(LocalReward(a, c, 0, 1), 0.0, 1e-6);
+}
+
+TEST(RewardTest, GlobalRewardRange) {
+  EXPECT_DOUBLE_EQ(GlobalReward(0.0), 1.0);
+  EXPECT_NEAR(GlobalReward(1.0), 0.5, 1e-12);
+  EXPECT_LT(GlobalReward(100.0), 0.01);
+}
+
+TEST(RewardTest, EpisodeRewardComposition) {
+  std::vector<nn::Vec> z = {{1.0f, 0.0f}, {1.0f, 0.0f}, {1.0f, 0.0f}};
+  std::vector<uint8_t> labels = {0, 0, 0};
+  // All continuous and identical: local mean = 1; global = 1/(1+0) = 1.
+  EXPECT_NEAR(EpisodeReward(z, labels, 0.0, true, true), 2.0, 1e-6);
+  EXPECT_NEAR(EpisodeReward(z, labels, 0.0, true, false), 1.0, 1e-6);
+  EXPECT_NEAR(EpisodeReward(z, labels, 0.0, false, true), 1.0, 1e-6);
+  EXPECT_NEAR(EpisodeReward(z, labels, 0.0, false, false), 0.0, 1e-6);
+}
+
+TEST(RewardTest, DiscontinuityLowersEpisodeReward) {
+  std::vector<nn::Vec> z = {{1.0f, 0.1f}, {1.0f, 0.1f}, {1.0f, 0.1f},
+                            {1.0f, 0.1f}};
+  const std::vector<uint8_t> smooth = {0, 0, 1, 1};   // one boundary
+  const std::vector<uint8_t> jumpy = {0, 1, 0, 1};    // three boundaries
+  EXPECT_GT(EpisodeReward(z, smooth, 0.5, true, false),
+            EpisodeReward(z, jumpy, 0.5, true, false));
+}
+
+}  // namespace
+}  // namespace rl4oasd::core

@@ -1,0 +1,165 @@
+// Detector mechanics: RNEL rules, Delayed Labeling, Algorithm 1 boundary
+// conditions, and streaming-session equivalence.
+#include "core/detector.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rl4oasd.h"
+#include "test_util.h"
+
+namespace rl4oasd::core {
+namespace {
+
+using ::rl4oasd::testing::MakeFigure1Example;
+
+TEST(DelayedLabelingTest, MergesShortGaps) {
+  // Gap of 2 zeros between 1s; D = 8 merges it.
+  std::vector<uint8_t> labels = {0, 1, 0, 0, 1, 0};
+  ApplyDelayedLabeling(&labels, 8);
+  EXPECT_EQ(labels, (std::vector<uint8_t>{0, 1, 1, 1, 1, 0}));
+}
+
+TEST(DelayedLabelingTest, RespectsDelayBound) {
+  // Gap of 4 zeros; D = 3 cannot bridge it (next 1 is 5 positions away).
+  std::vector<uint8_t> labels = {1, 0, 0, 0, 0, 1};
+  ApplyDelayedLabeling(&labels, 3);
+  EXPECT_EQ(labels, (std::vector<uint8_t>{1, 0, 0, 0, 0, 1}));
+  // D = 5 bridges it.
+  ApplyDelayedLabeling(&labels, 5);
+  EXPECT_EQ(labels, (std::vector<uint8_t>{1, 1, 1, 1, 1, 1}));
+}
+
+TEST(DelayedLabelingTest, ExactBoundary) {
+  // 1 at position 0 and 1 at position D: distance D merges.
+  std::vector<uint8_t> labels = {1, 0, 0, 1};
+  ApplyDelayedLabeling(&labels, 3);
+  EXPECT_EQ(labels, (std::vector<uint8_t>{1, 1, 1, 1}));
+  std::vector<uint8_t> labels2 = {1, 0, 0, 1};
+  ApplyDelayedLabeling(&labels2, 2);
+  EXPECT_EQ(labels2, (std::vector<uint8_t>{1, 0, 0, 1}));
+}
+
+TEST(DelayedLabelingTest, NoOpCases) {
+  std::vector<uint8_t> empty;
+  ApplyDelayedLabeling(&empty, 8);
+  EXPECT_TRUE(empty.empty());
+
+  std::vector<uint8_t> zeros = {0, 0, 0};
+  ApplyDelayedLabeling(&zeros, 8);
+  EXPECT_EQ(zeros, (std::vector<uint8_t>{0, 0, 0}));
+
+  std::vector<uint8_t> single = {0, 1, 0};
+  ApplyDelayedLabeling(&single, 8);
+  EXPECT_EQ(single, (std::vector<uint8_t>{0, 1, 0}));
+
+  std::vector<uint8_t> disabled = {1, 0, 1};
+  ApplyDelayedLabeling(&disabled, 0);
+  EXPECT_EQ(disabled, (std::vector<uint8_t>{1, 0, 1}));
+}
+
+TEST(DelayedLabelingTest, ChainsMultipleGaps) {
+  std::vector<uint8_t> labels = {1, 0, 1, 0, 1};
+  ApplyDelayedLabeling(&labels, 2);
+  EXPECT_EQ(labels, (std::vector<uint8_t>{1, 1, 1, 1, 1}));
+}
+
+class RnelTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ex_ = ::rl4oasd::testing::MakeFigure1Example(); }
+  ::rl4oasd::testing::Figure1Example ex_;
+};
+
+TEST_F(RnelTest, Rule1PropagatesThroughChain) {
+  // e11 -> e12: e11.out = 1 (only e12 leaves v8) and e12.in = 1: the label
+  // propagates whatever it is.
+  EXPECT_EQ(RnelDeterministicLabel(ex_.net, ex_.e["e11"], 0, ex_.e["e12"]),
+            0);
+  EXPECT_EQ(RnelDeterministicLabel(ex_.net, ex_.e["e11"], 1, ex_.e["e12"]),
+            1);
+}
+
+TEST_F(RnelTest, Rule2NormalCannotTurnAnomalousWithoutChoice) {
+  // e15 -> e10: e15.out = 1 (v4's only outgoing is e10... actually v4 has
+  // e10 only), e10.in > 1 (e6, e7 and e15 enter v4). With prev label 0 the
+  // label stays 0.
+  ASSERT_EQ(ex_.net.EdgeOutDegree(ex_.e["e15"]), 1);
+  ASSERT_GT(ex_.net.EdgeInDegree(ex_.e["e10"]), 1);
+  EXPECT_EQ(RnelDeterministicLabel(ex_.net, ex_.e["e15"], 0, ex_.e["e10"]),
+            0);
+  // With prev label 1 the policy must decide (an anomaly can end here).
+  EXPECT_EQ(RnelDeterministicLabel(ex_.net, ex_.e["e15"], 1, ex_.e["e10"]),
+            -1);
+}
+
+TEST_F(RnelTest, Rule3AnomalyCannotEndWithoutChoice) {
+  // e4 -> e11: e4.out > 1 (e7 and e11 leave v7), e11.in = 1. An anomalous
+  // label must continue; a normal label is undetermined (the policy decides
+  // whether an anomaly starts).
+  ASSERT_GT(ex_.net.EdgeOutDegree(ex_.e["e4"]), 1);
+  ASSERT_EQ(ex_.net.EdgeInDegree(ex_.e["e11"]), 1);
+  EXPECT_EQ(RnelDeterministicLabel(ex_.net, ex_.e["e4"], 1, ex_.e["e11"]), 1);
+  EXPECT_EQ(RnelDeterministicLabel(ex_.net, ex_.e["e4"], 0, ex_.e["e11"]),
+            -1);
+}
+
+// End-to-end detector behaviour with an untrained model: structural
+// invariants hold regardless of the policy.
+class DetectorSessionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ex_ = MakeFigure1Example();
+    Rl4OasdConfig cfg;
+    cfg.rsr.embed_dim = 8;
+    cfg.rsr.nrf_dim = 8;
+    cfg.rsr.hidden_dim = 8;
+    cfg.asd.label_dim = 8;
+    cfg.use_pretrained_embeddings = false;
+    cfg.pretrain_samples = 5;
+    cfg.pretrain_epochs = 1;
+    cfg.joint_samples = 5;
+    cfg.epochs_per_traj = 1;
+    model_ = std::make_unique<Rl4Oasd>(&ex_.net, cfg);
+    model_->Fit(ex_.dataset);
+  }
+
+  ::rl4oasd::testing::Figure1Example ex_;
+  std::unique_ptr<Rl4Oasd> model_;
+};
+
+TEST_F(DetectorSessionTest, SourceAndDestinationAlwaysNormal) {
+  traj::MapMatchedTrajectory t;
+  t.start_time = 9 * 3600.0;
+  t.edges = ex_.t3;
+  const auto labels = model_->Detect(t);
+  ASSERT_EQ(labels.size(), t.edges.size());
+  EXPECT_EQ(labels.front(), 0);
+  EXPECT_EQ(labels.back(), 0);
+}
+
+TEST_F(DetectorSessionTest, SessionMatchesDetect) {
+  traj::MapMatchedTrajectory t;
+  t.start_time = 9 * 3600.0;
+  t.edges = ex_.t3;
+  auto session = model_->StartSession(t.sd(), t.start_time);
+  for (auto e : t.edges) session.Feed(e);
+  EXPECT_EQ(session.Finish(), model_->Detect(t));
+}
+
+TEST_F(DetectorSessionTest, CurrentAnomaliesAvailableMidStream) {
+  traj::MapMatchedTrajectory t;
+  t.start_time = 9 * 3600.0;
+  t.edges = ex_.t3;
+  auto session = model_->StartSession(t.sd(), t.start_time);
+  for (size_t i = 0; i + 1 < t.edges.size(); ++i) {
+    session.Feed(t.edges[i]);
+  }
+  // Mid-stream monitoring must not crash and runs must be within bounds.
+  for (const auto& run : session.CurrentAnomalies()) {
+    EXPECT_GE(run.begin, 0);
+    EXPECT_LE(run.end, static_cast<int>(t.edges.size()));
+    EXPECT_LT(run.begin, run.end);
+  }
+}
+
+}  // namespace
+}  // namespace rl4oasd::core

@@ -1,0 +1,135 @@
+// Tests for the anomaly explainer, mostly on the paper's Figure 1 worked
+// example where every statistic is hand-computable.
+#include <gtest/gtest.h>
+
+#include "core/explainer.h"
+#include "test_util.h"
+
+namespace rl4oasd::core {
+namespace {
+
+class ExplainerFigure1Test : public ::testing::Test {
+ protected:
+  ExplainerFigure1Test() : ex_(rl4oasd::testing::MakeFigure1Example()) {
+    pre_.Fit(ex_.dataset);
+  }
+
+  traj::MapMatchedTrajectory T3() const {
+    traj::MapMatchedTrajectory t;
+    t.edges = ex_.t3;
+    t.start_time = 9 * 3600.0;
+    return t;
+  }
+
+  rl4oasd::testing::Figure1Example ex_;
+  Preprocessor pre_;
+};
+
+TEST_F(ExplainerFigure1Test, ReportsTheDetourRun) {
+  AnomalyExplainer explainer(&ex_.net, &pre_);
+  // Ground-truth labels of T3: detour spans positions [3, 8).
+  const std::vector<uint8_t> labels = {0, 0, 0, 1, 1, 1, 1, 1, 0};
+  const auto reports = explainer.Explain(T3(), labels);
+  ASSERT_EQ(reports.size(), 1u);
+  const AnomalyReport& r = reports[0];
+
+  EXPECT_EQ(r.range.begin, 3);
+  EXPECT_EQ(r.range.end, 8);
+  EXPECT_EQ(r.edges.size(), 5u);
+  EXPECT_EQ(r.edges.front(), ex_.e["e11"]);
+  EXPECT_EQ(r.edges.back(), ex_.e["e15"]);
+
+  // Anchors: e4 before the run, e10 after it.
+  EXPECT_EQ(r.left_anchor, ex_.e["e4"]);
+  EXPECT_EQ(r.right_anchor, ex_.e["e10"]);
+
+  // Only T3 (1 of 10 trajectories) travels the detour transitions.
+  EXPECT_NEAR(r.mean_transition_fraction, 0.1, 1e-9);
+  EXPECT_NEAR(r.min_transition_fraction, 0.1, 1e-9);
+
+  // The skipped alternative out of e4 is e7, traveled by T2's 4 trips
+  // (4/10 of the group).
+  EXPECT_NEAR(r.best_alternative_popularity, 0.4, 1e-9);
+
+  // The alternative between anchors (e4 -> e7 -> e10) has one interior
+  // edge; the detour has five — a positive extra distance.
+  EXPECT_GT(r.detour_length_m, 0.0);
+  EXPECT_GE(r.alternative_length_m, 0.0);
+  EXPECT_GT(r.extra_distance_m, 0.0);
+  EXPECT_NEAR(r.detour_length_m - r.alternative_length_m, r.extra_distance_m,
+              1e-9);
+}
+
+TEST_F(ExplainerFigure1Test, NormalTrajectoryYieldsNoReports) {
+  AnomalyExplainer explainer(&ex_.net, &pre_);
+  traj::MapMatchedTrajectory t1;
+  t1.edges = ex_.t1;
+  t1.start_time = 9 * 3600.0;
+  EXPECT_TRUE(
+      explainer.Explain(t1, std::vector<uint8_t>(t1.edges.size(), 0))
+          .empty());
+}
+
+TEST_F(ExplainerFigure1Test, RunTouchingTrajectoryEndHasNoRightAnchor) {
+  AnomalyExplainer explainer(&ex_.net, &pre_);
+  std::vector<uint8_t> labels(ex_.t3.size(), 0);
+  labels[labels.size() - 2] = 1;
+  labels[labels.size() - 1] = 1;  // run extends to the final segment
+  const auto reports = explainer.Explain(T3(), labels);
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].right_anchor, roadnet::kInvalidEdge);
+  EXPECT_LT(reports[0].alternative_length_m, 0.0);  // not computable
+  EXPECT_NE(reports[0].left_anchor, roadnet::kInvalidEdge);
+}
+
+TEST_F(ExplainerFigure1Test, MultipleRunsYieldMultipleReports) {
+  AnomalyExplainer explainer(&ex_.net, &pre_);
+  std::vector<uint8_t> labels = {0, 1, 0, 0, 1, 1, 0, 0, 0};
+  const auto reports = explainer.Explain(T3(), labels);
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_EQ(reports[0].range, (traj::Subtrajectory{1, 2}));
+  EXPECT_EQ(reports[1].range, (traj::Subtrajectory{4, 6}));
+}
+
+TEST_F(ExplainerFigure1Test, SummaryMentionsTheKeyNumbers) {
+  AnomalyExplainer explainer(&ex_.net, &pre_);
+  const std::vector<uint8_t> labels = {0, 0, 0, 1, 1, 1, 1, 1, 0};
+  const auto reports = explainer.Explain(T3(), labels);
+  ASSERT_EQ(reports.size(), 1u);
+  const std::string s = reports[0].Summary();
+  EXPECT_NE(s.find("[3, 8)"), std::string::npos);
+  EXPECT_NE(s.find("5 segments"), std::string::npos);
+  EXPECT_NE(s.find("10.00%"), std::string::npos);  // mean transition fraction
+  EXPECT_NE(s.find("40.00%"), std::string::npos);  // alternative popularity
+}
+
+TEST_F(ExplainerFigure1Test, WorksOnGeneratedWorkload) {
+  // Smoke over a generated city: every ground-truth run must produce a
+  // report whose fractions are low (that is what made it a detour).
+  auto net = rl4oasd::testing::SmallGrid();
+  auto ds = rl4oasd::testing::SmallDataset(net, 4, 0.15);
+  Preprocessor pre;
+  pre.Fit(ds);
+  AnomalyExplainer explainer(&net, &pre);
+
+  int runs_seen = 0;
+  for (const auto& lt : ds.trajs()) {
+    if (!lt.HasAnomaly()) continue;
+    const auto reports = explainer.Explain(lt.traj, lt.labels);
+    ASSERT_EQ(reports.size(),
+              traj::ExtractAnomalousRuns(lt.labels).size());
+    for (const auto& r : reports) {
+      ++runs_seen;
+      EXPECT_GT(r.detour_length_m, 0.0);
+      EXPECT_LE(r.min_transition_fraction,
+                r.mean_transition_fraction + 1e-12);
+      // Detour transitions are rare by construction (the anomaly ratio is
+      // 15% and routes split over 3 normal routes, so < half the group).
+      EXPECT_LT(r.mean_transition_fraction, 0.5);
+    }
+  }
+  EXPECT_GT(runs_seen, 0);
+}
+
+}  // namespace
+}  // namespace rl4oasd::core

@@ -1,0 +1,168 @@
+// Preprocessor tests, anchored on the paper's Figure 1 worked example
+// (Section IV-B/IV-C): transition fractions, noisy labels with alpha, and
+// normal route features with delta must match the numbers in the paper.
+#include "core/preprocess.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace rl4oasd::core {
+namespace {
+
+using ::rl4oasd::testing::Figure1Example;
+using ::rl4oasd::testing::MakeFigure1Example;
+
+class PreprocessFigure1Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ex_ = MakeFigure1Example();
+    PreprocessConfig cfg;
+    cfg.alpha = 0.5;
+    cfg.delta = 0.3;
+    pre_ = std::make_unique<Preprocessor>(cfg);
+    pre_->Fit(ex_.dataset);
+  }
+
+  traj::MapMatchedTrajectory T3() const {
+    traj::MapMatchedTrajectory t;
+    t.id = 100;
+    t.start_time = 9 * 3600.0 + 1800.0;
+    t.edges = ex_.t3;
+    return t;
+  }
+
+  Figure1Example ex_;
+  std::unique_ptr<Preprocessor> pre_;
+};
+
+TEST_F(PreprocessFigure1Test, TransitionFractionsMatchPaper) {
+  // Paper: fraction sequence of T3 is <1.0, 0.5, 0.5, 0.1, 0.1, 0.1, 0.1,
+  // 0.1, 1.0>.
+  const auto fractions = pre_->TransitionFractions(T3());
+  const std::vector<double> expected = {1.0, 0.5, 0.5, 0.1, 0.1,
+                                        0.1, 0.1, 0.1, 1.0};
+  ASSERT_EQ(fractions.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(fractions[i], expected[i], 1e-9) << "position " << i;
+  }
+}
+
+TEST_F(PreprocessFigure1Test, NoisyLabelsMatchPaper) {
+  // Paper: with alpha = 0.5 the noisy labels of T3 are <0,1,1,1,1,1,1,1,0>.
+  const auto labels = pre_->NoisyLabels(T3());
+  const std::vector<uint8_t> expected = {0, 1, 1, 1, 1, 1, 1, 1, 0};
+  EXPECT_EQ(labels, expected);
+}
+
+TEST_F(PreprocessFigure1Test, NormalRouteFeaturesMatchPaper) {
+  // Paper: with delta = 0.3, T1 (0.5) and T2 (0.4) are normal routes and the
+  // extracted features of T3 are <0,0,0,1,1,1,1,1,0> (e2 and e4 are normal
+  // because their incoming transitions occur on T2).
+  const auto nrf = pre_->NormalRouteFeatures(T3());
+  const std::vector<uint8_t> expected = {0, 0, 0, 1, 1, 1, 1, 1, 0};
+  EXPECT_EQ(nrf, expected);
+}
+
+TEST_F(PreprocessFigure1Test, HigherDeltaExcludesT2) {
+  // With delta = 0.45 only T1 (fraction 0.5) is normal, so the transitions
+  // unique to T2 become anomalous features.
+  PreprocessConfig cfg;
+  cfg.alpha = 0.5;
+  cfg.delta = 0.45;
+  Preprocessor pre(cfg);
+  pre.Fit(ex_.dataset);
+  const auto nrf = pre.NormalRouteFeatures(T3());
+  // e2's incoming transition <e1,e2> only occurs on T2/T3 which are not
+  // normal now.
+  const std::vector<uint8_t> expected = {0, 1, 1, 1, 1, 1, 1, 1, 0};
+  EXPECT_EQ(nrf, expected);
+}
+
+TEST_F(PreprocessFigure1Test, NormalRouteTrajectoryAllNormal) {
+  traj::MapMatchedTrajectory t;
+  t.start_time = 9 * 3600.0;
+  t.edges = ex_.t1;
+  const auto nrf = pre_->NormalRouteFeatures(t);
+  EXPECT_EQ(nrf, std::vector<uint8_t>(ex_.t1.size(), 0));
+  const auto labels = pre_->NoisyLabels(t);
+  // T1 transitions all have fraction 0.5, not > 0.5, so interior segments
+  // are noisily labeled 1 with alpha = 0.5 — noisy labels are noisy.
+  EXPECT_EQ(labels.front(), 0);
+  EXPECT_EQ(labels.back(), 0);
+}
+
+TEST_F(PreprocessFigure1Test, SlotFallback) {
+  // A query in an unseen time slot falls back to the all-slot aggregate.
+  traj::MapMatchedTrajectory t = T3();
+  t.start_time = 3 * 3600.0;  // 03:00, no data in this slot
+  const auto fractions = pre_->TransitionFractions(t);
+  EXPECT_NEAR(fractions[1], 0.5, 1e-9);
+}
+
+TEST_F(PreprocessFigure1Test, UnknownSdPairGivesZeroFractions) {
+  traj::MapMatchedTrajectory t;
+  t.start_time = 9 * 3600.0;
+  // A trajectory whose SD pair was never seen.
+  t.edges = {ex_.e["e2"], ex_.e["e4"], ex_.e["e7"]};
+  const auto fractions = pre_->TransitionFractions(t);
+  EXPECT_EQ(fractions.front(), 1.0);  // source defined as 1.0
+  EXPECT_EQ(fractions.back(), 1.0);   // destination defined as 1.0
+  EXPECT_EQ(fractions[1], 0.0);
+}
+
+TEST_F(PreprocessFigure1Test, StreamingApiMatchesBatch) {
+  const auto t = T3();
+  const auto nrf = pre_->NormalRouteFeatures(t);
+  const auto fractions = pre_->TransitionFractions(t);
+  for (size_t i = 1; i + 1 < t.edges.size(); ++i) {
+    EXPECT_EQ(pre_->NormalRouteFeatureAt(t.sd(), t.start_time,
+                                         t.edges[i - 1], t.edges[i]),
+              nrf[i]);
+    EXPECT_NEAR(pre_->TransitionFractionAt(t.sd(), t.start_time,
+                                           t.edges[i - 1], t.edges[i]),
+                fractions[i], 1e-12);
+  }
+}
+
+TEST_F(PreprocessFigure1Test, UpdateShiftsFractions) {
+  // Online learning: adding more T3-like trajectories raises the fraction of
+  // the detour transitions.
+  Preprocessor pre(PreprocessConfig{});
+  pre.Fit(ex_.dataset);
+  traj::MapMatchedTrajectory t = T3();
+  const double before =
+      pre.TransitionFractionAt(t.sd(), t.start_time, ex_.e["e4"],
+                               ex_.e["e11"]);
+  for (int i = 0; i < 10; ++i) {
+    traj::MapMatchedTrajectory extra = t;
+    extra.id = 1000 + i;
+    pre.Update(extra);
+  }
+  const double after = pre.TransitionFractionAt(t.sd(), t.start_time,
+                                                ex_.e["e4"], ex_.e["e11"]);
+  EXPECT_GT(after, before);
+}
+
+TEST(PreprocessTest, NumGroupsCountsSlots) {
+  auto ex = MakeFigure1Example();
+  Preprocessor pre(PreprocessConfig{});
+  pre.Fit(ex.dataset);
+  // All trajectories share one SD pair and one time slot.
+  EXPECT_EQ(pre.NumGroups(), 1u);
+}
+
+TEST(PreprocessTest, TimeSlots) {
+  EXPECT_EQ(traj::NumTimeSlots(1), 24);
+  EXPECT_EQ(traj::NumTimeSlots(3), 8);
+  EXPECT_EQ(traj::TimeSlotOf(0.0, 1), 0);
+  EXPECT_EQ(traj::TimeSlotOf(9.5 * 3600, 1), 9);
+  EXPECT_EQ(traj::TimeSlotOf(23.9 * 3600, 1), 23);
+  EXPECT_EQ(traj::TimeSlotOf(86399.0, 3), 7);
+  // Out-of-range times clamp.
+  EXPECT_EQ(traj::TimeSlotOf(90000.0, 1), 23);
+  EXPECT_EQ(traj::TimeSlotOf(-5.0, 1), 0);
+}
+
+}  // namespace
+}  // namespace rl4oasd::core

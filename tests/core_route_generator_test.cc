@@ -1,0 +1,179 @@
+// Tests for the cold-start route generator: Markov-model fitting, guided
+// sampling, fallbacks, and sparse-pair augmentation.
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "core/route_generator.h"
+#include "roadnet/shortest_path.h"
+#include "test_util.h"
+
+namespace rl4oasd::core {
+namespace {
+
+class RouteGeneratorTest : public ::testing::Test {
+ protected:
+  RouteGeneratorTest() : net_(testing::SmallGrid()) {}
+
+  roadnet::RoadNetwork net_;
+};
+
+TEST_F(RouteGeneratorTest, FitCountsEveryTransition) {
+  auto ds = testing::SmallDataset(net_, 4);
+  RouteGenerator gen(&net_, {});
+  gen.Fit(ds);
+  int64_t expected = 0;
+  for (const auto& lt : ds.trajs()) {
+    expected += static_cast<int64_t>(lt.traj.edges.size()) - 1;
+  }
+  EXPECT_EQ(gen.total_transitions(), expected);
+}
+
+TEST_F(RouteGeneratorTest, SampledRouteIsConnectedAndReachesDestination) {
+  auto ds = testing::SmallDataset(net_, 4);
+  RouteGenerator gen(&net_, {});
+  gen.Fit(ds);
+
+  Rng rng(5);
+  int successes = 0;
+  for (const auto& [sd, indices] : ds.Groups()) {
+    const auto route = gen.SampleRoute(sd.source, sd.dest, &rng);
+    if (route.empty()) continue;
+    ++successes;
+    EXPECT_EQ(route.front(), sd.source);
+    EXPECT_EQ(route.back(), sd.dest);
+    EXPECT_TRUE(net_.IsConnectedPath(route));
+    // No edge repeats (the walk tracks visited edges).
+    std::unordered_set<traj::EdgeId> seen(route.begin(), route.end());
+    EXPECT_EQ(seen.size(), route.size());
+  }
+  EXPECT_GT(successes, 0);
+}
+
+TEST_F(RouteGeneratorTest, SamplingWorksWithEmptyCorpus) {
+  // Pure smoothing + guidance: no Fit call at all.
+  RouteGenerator gen(&net_, {});
+  Rng rng(9);
+  const auto route = gen.SampleRoute(0, 40, &rng);
+  if (!route.empty()) {
+    EXPECT_TRUE(net_.IsConnectedPath(route));
+    EXPECT_EQ(route.back(), 40);
+  }
+  // GenerateRoutes must always produce at least the shortest-path fallback
+  // for a connected pair.
+  const auto routes = gen.GenerateRoutes(0, 40, 3);
+  ASSERT_FALSE(routes.empty());
+  for (const auto& r : routes) {
+    EXPECT_TRUE(net_.IsConnectedPath(r));
+  }
+}
+
+TEST_F(RouteGeneratorTest, GenerateRoutesAreDistinct) {
+  auto ds = testing::SmallDataset(net_, 6);
+  RouteGenerator gen(&net_, {});
+  gen.Fit(ds);
+  const auto& sd = ds.Groups().begin()->first;
+  const auto routes = gen.GenerateRoutes(sd.source, sd.dest, 4);
+  ASSERT_FALSE(routes.empty());
+  for (size_t i = 0; i < routes.size(); ++i) {
+    for (size_t j = i + 1; j < routes.size(); ++j) {
+      EXPECT_NE(routes[i], routes[j]);
+    }
+  }
+}
+
+TEST_F(RouteGeneratorTest, GenerateRoutesDeterministicForSamePair) {
+  auto ds = testing::SmallDataset(net_, 4);
+  RouteGenerator gen(&net_, {});
+  gen.Fit(ds);
+  const auto& sd = ds.Groups().begin()->first;
+  EXPECT_EQ(gen.GenerateRoutes(sd.source, sd.dest, 3),
+            gen.GenerateRoutes(sd.source, sd.dest, 3));
+}
+
+TEST_F(RouteGeneratorTest, TrainedModelPrefersObservedRoutes) {
+  // Figure 1: T1 (5 trips) and T2 (4 trips) are observed, T3 once. The
+  // Markov walk from e1 to e10 should overwhelmingly reproduce T1 or T2.
+  auto ex = testing::MakeFigure1Example();
+  RouteGeneratorConfig cfg;
+  cfg.smoothing = 0.05;
+  RouteGenerator gen(&ex.net, cfg);
+  gen.Fit(ex.dataset);
+
+  Rng rng(31);
+  int observed = 0, total = 0;
+  for (int i = 0; i < 50; ++i) {
+    const auto route = gen.SampleRoute(ex.e["e1"], ex.e["e10"], &rng);
+    if (route.empty()) continue;
+    ++total;
+    if (route == ex.t1 || route == ex.t2) ++observed;
+  }
+  ASSERT_GT(total, 25);
+  EXPECT_GT(observed, total * 7 / 10);
+}
+
+TEST_F(RouteGeneratorTest, AugmentTopsUpSparsePairs) {
+  auto ds = testing::SmallDataset(net_, 5);
+  // Make one pair artificially sparse: drop all but 3 of its trajectories.
+  const auto sparse_sd = ds.Groups().begin()->first;
+  std::vector<traj::LabeledTrajectory> kept;
+  int kept_sparse = 0;
+  for (const auto& lt : ds.trajs()) {
+    if (lt.traj.sd() == sparse_sd) {
+      if (kept_sparse >= 3) continue;
+      ++kept_sparse;
+    }
+    kept.push_back(lt);
+  }
+  traj::Dataset sparse(std::move(kept));
+  ASSERT_EQ(sparse.Group(sparse_sd).size(), 3u);
+
+  RouteGeneratorConfig cfg;
+  cfg.target_support = 25;
+  RouteGenerator gen(&net_, cfg);
+  gen.Fit(sparse);
+  const traj::Dataset augmented = gen.AugmentSparsePairs(sparse);
+
+  EXPECT_EQ(augmented.Group(sparse_sd).size(), 25u);
+  // Synthetic trajectories are labeled all-normal, carry negative ids, and
+  // are valid connected paths on the network.
+  int synthetic = 0;
+  for (const auto& lt : augmented.trajs()) {
+    if (lt.traj.id >= 0) continue;
+    ++synthetic;
+    EXPECT_FALSE(lt.HasAnomaly());
+    EXPECT_TRUE(net_.IsConnectedPath(lt.traj.edges));
+    EXPECT_EQ(lt.traj.sd(), sparse_sd);
+  }
+  EXPECT_EQ(synthetic, 22);
+}
+
+TEST_F(RouteGeneratorTest, AugmentLeavesDensePairsAlone) {
+  auto ds = testing::SmallDataset(net_, 4);  // >= 50 trajs per pair
+  RouteGeneratorConfig cfg;
+  cfg.target_support = 25;
+  RouteGenerator gen(&net_, cfg);
+  gen.Fit(ds);
+  const traj::Dataset augmented = gen.AugmentSparsePairs(ds);
+  EXPECT_EQ(augmented.size(), ds.size());
+}
+
+TEST_F(RouteGeneratorTest, DisconnectedPairYieldsNothing) {
+  // Two separate 2-vertex components.
+  roadnet::RoadNetwork net;
+  auto a = net.AddVertex({30.0, 104.0});
+  auto b = net.AddVertex({30.001, 104.0});
+  auto c = net.AddVertex({30.1, 104.1});
+  auto d = net.AddVertex({30.101, 104.1});
+  auto e1 = net.AddEdge(a, b);
+  auto e2 = net.AddEdge(c, d);
+  net.Build();
+
+  RouteGenerator gen(&net, {});
+  Rng rng(1);
+  EXPECT_TRUE(gen.SampleRoute(e1, e2, &rng).empty());
+  EXPECT_TRUE(gen.GenerateRoutes(e1, e2, 3).empty());
+}
+
+}  // namespace
+}  // namespace rl4oasd::core

@@ -1,0 +1,165 @@
+// RSRNet tests: shapes, training reduces loss, streaming/sequence
+// equivalence, and embedding loading.
+#include "core/rsrnet.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace rl4oasd::core {
+namespace {
+
+RsrNetConfig TinyConfig(size_t num_edges) {
+  RsrNetConfig cfg;
+  cfg.num_edges = num_edges;
+  cfg.embed_dim = 8;
+  cfg.nrf_dim = 8;
+  cfg.hidden_dim = 8;
+  return cfg;
+}
+
+TEST(RsrNetTest, ForwardShapes) {
+  RsrNet net(TinyConfig(20));
+  const std::vector<traj::EdgeId> edges = {1, 2, 3, 4, 5};
+  const std::vector<uint8_t> nrf = {0, 0, 1, 1, 0};
+  const auto fwd = net.Forward(edges, nrf);
+  ASSERT_EQ(fwd.z.size(), 5u);
+  ASSERT_EQ(fwd.probs.size(), 5u);
+  for (const auto& z : fwd.z) EXPECT_EQ(z.size(), net.z_dim());
+  for (const auto& p : fwd.probs) {
+    EXPECT_NEAR(p[0] + p[1], 1.0f, 1e-5f);
+    EXPECT_GE(p[0], 0.0f);
+    EXPECT_GE(p[1], 0.0f);
+  }
+}
+
+TEST(RsrNetTest, NrfBitChangesRepresentation) {
+  RsrNet net(TinyConfig(20));
+  const std::vector<traj::EdgeId> edges = {1, 2, 3};
+  const auto a = net.Forward(edges, {0, 0, 0});
+  const auto b = net.Forward(edges, {0, 1, 0});
+  // The NRF half of z at position 1 must differ.
+  bool differs = false;
+  for (size_t i = 0; i < net.z_dim(); ++i) {
+    if (a.z[1][i] != b.z[1][i]) differs = true;
+  }
+  EXPECT_TRUE(differs);
+  // And the LSTM half (first hidden_dim dims) is identical since NRF does
+  // not go through the LSTM.
+  for (size_t i = 0; i < 8; ++i) {
+    EXPECT_FLOAT_EQ(a.z[1][i], b.z[1][i]);
+  }
+}
+
+TEST(RsrNetTest, TrainingReducesLoss) {
+  RsrNet net(TinyConfig(30));
+  // A fixed supervised task: label 1 exactly on a contiguous span.
+  const std::vector<traj::EdgeId> edges = {1, 2, 3, 4, 5, 6, 7, 8};
+  const std::vector<uint8_t> nrf = {0, 0, 1, 1, 1, 0, 0, 0};
+  const std::vector<uint8_t> labels = {0, 0, 1, 1, 1, 0, 0, 0};
+  const double before = net.Loss(edges, nrf, labels);
+  for (int i = 0; i < 60; ++i) net.TrainStep(edges, nrf, labels);
+  const double after = net.Loss(edges, nrf, labels);
+  EXPECT_LT(after, before * 0.5);
+  EXPECT_LT(after, 0.3);
+}
+
+TEST(RsrNetTest, TrainStepReturnsLoss) {
+  RsrNet net(TinyConfig(10));
+  const std::vector<traj::EdgeId> edges = {0, 1, 2};
+  const std::vector<uint8_t> nrf = {0, 1, 0};
+  const std::vector<uint8_t> labels = {0, 1, 0};
+  const double loss = net.TrainStep(edges, nrf, labels);
+  EXPECT_GT(loss, 0.0);
+  EXPECT_NEAR(loss, -std::log(0.5) /*untrained ~ uniform*/, 0.7);
+}
+
+TEST(RsrNetTest, StreamingMatchesSequenceForward) {
+  RsrNet net(TinyConfig(25));
+  const std::vector<traj::EdgeId> edges = {3, 7, 9, 11, 2};
+  const std::vector<uint8_t> nrf = {0, 1, 1, 0, 0};
+  const auto fwd = net.Forward(edges, nrf);
+  RsrStream stream(8);
+  for (size_t i = 0; i < edges.size(); ++i) {
+    std::array<float, 2> probs;
+    const auto z = net.StepForward(edges[i], nrf[i], &stream, &probs);
+    ASSERT_EQ(z.size(), fwd.z[i].size());
+    for (size_t d = 0; d < z.size(); ++d) {
+      EXPECT_NEAR(z[d], fwd.z[i][d], 1e-5f) << "step " << i << " dim " << d;
+    }
+    EXPECT_NEAR(probs[0], fwd.probs[i][0], 1e-5f);
+  }
+}
+
+TEST(RsrNetTest, LoadTcfEmbeddings) {
+  RsrNet net(TinyConfig(12));
+  nn::Matrix table(12, 8);
+  for (size_t i = 0; i < table.size(); ++i) {
+    table.data()[i] = static_cast<float>(i) * 0.01f;
+  }
+  net.LoadTcfEmbeddings(table);
+  // The first LSTM input is the embedding of the edge; verify indirectly by
+  // determinism: two nets loaded with the same table produce identical z.
+  RsrNet net2(TinyConfig(12));
+  net2.LoadTcfEmbeddings(table);
+  const std::vector<traj::EdgeId> edges = {1, 5, 9};
+  const std::vector<uint8_t> nrf = {0, 0, 0};
+  const auto a = net.Forward(edges, nrf);
+  const auto b = net2.Forward(edges, nrf);
+  for (size_t d = 0; d < a.z[2].size(); ++d) {
+    EXPECT_FLOAT_EQ(a.z[2][d], b.z[2][d]);
+  }
+}
+
+TEST(RsrNetTest, LossOnEmptyIsZero) {
+  RsrNet net(TinyConfig(5));
+  EXPECT_DOUBLE_EQ(net.Loss({}, {}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(net.TrainStep({}, {}, {}), 0.0);
+}
+
+TEST(RsrNetTest, DeterministicAcrossInstances) {
+  RsrNet a(TinyConfig(15));
+  RsrNet b(TinyConfig(15));
+  const std::vector<traj::EdgeId> edges = {1, 2, 3, 4};
+  const std::vector<uint8_t> nrf = {0, 1, 0, 1};
+  const auto fa = a.Forward(edges, nrf);
+  const auto fb = b.Forward(edges, nrf);
+  for (size_t i = 0; i < fa.probs.size(); ++i) {
+    EXPECT_FLOAT_EQ(fa.probs[i][0], fb.probs[i][0]);
+  }
+}
+
+TEST(RsrNetGruTest, GruCoreTrainsAndStreams) {
+  // RSRNet with the GRU core must expose the same API behaviour as the LSTM
+  // version: loss decreases under training and the streaming z matches the
+  // sequence forward.
+  RsrNetConfig cfg;
+  cfg.num_edges = 50;
+  cfg.embed_dim = 8;
+  cfg.nrf_dim = 4;
+  cfg.hidden_dim = 8;
+  cfg.rnn_kind = nn::RnnKind::kGru;
+  RsrNet net(cfg);
+
+  std::vector<traj::EdgeId> edges = {3, 7, 11, 15, 19, 23};
+  std::vector<uint8_t> nrf = {0, 0, 1, 1, 1, 0};
+  std::vector<uint8_t> labels = {0, 0, 1, 1, 1, 0};
+
+  const double before = net.Loss(edges, nrf, labels);
+  for (int i = 0; i < 60; ++i) net.TrainStep(edges, nrf, labels);
+  EXPECT_LT(net.Loss(edges, nrf, labels), before);
+
+  const RsrForward fwd = net.Forward(edges, nrf);
+  RsrStream stream(cfg.hidden_dim);
+  for (size_t i = 0; i < edges.size(); ++i) {
+    std::array<float, 2> probs;
+    const nn::Vec z = net.StepForward(edges[i], nrf[i], &stream, &probs);
+    ASSERT_EQ(z.size(), fwd.z[i].size());
+    for (size_t k = 0; k < z.size(); ++k) {
+      EXPECT_NEAR(z[k], fwd.z[i][k], 1e-5f) << "i=" << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rl4oasd::core

@@ -1,0 +1,135 @@
+// Tests for the command-line flag parser used by the tools/ binaries.
+#include <gtest/gtest.h>
+
+#include "common/flags.h"
+
+namespace rl4oasd {
+namespace {
+
+std::vector<const char*> Argv(std::initializer_list<const char*> args) {
+  std::vector<const char*> v = {"prog"};
+  v.insert(v.end(), args.begin(), args.end());
+  return v;
+}
+
+class FlagsTest : public ::testing::Test {
+ protected:
+  FlagsTest() : flags_("prog", "test program") {
+    flags_.AddString("name", "default", "a string");
+    flags_.AddInt("count", 7, "an int");
+    flags_.AddDouble("ratio", 0.5, "a double");
+    flags_.AddBool("verbose", false, "a bool");
+    flags_.AddBool("color", true, "an on-by-default bool");
+  }
+
+  Status Parse(std::initializer_list<const char*> args) {
+    auto argv = Argv(args);
+    return flags_.Parse(static_cast<int>(argv.size()), argv.data());
+  }
+
+  FlagSet flags_;
+};
+
+TEST_F(FlagsTest, DefaultsWhenUnset) {
+  ASSERT_TRUE(Parse({}).ok());
+  EXPECT_EQ(flags_.GetString("name"), "default");
+  EXPECT_EQ(flags_.GetInt("count"), 7);
+  EXPECT_EQ(flags_.GetDouble("ratio"), 0.5);
+  EXPECT_FALSE(flags_.GetBool("verbose"));
+  EXPECT_TRUE(flags_.GetBool("color"));
+  EXPECT_FALSE(flags_.IsSet("name"));
+}
+
+TEST_F(FlagsTest, EqualsSyntax) {
+  ASSERT_TRUE(Parse({"--name=abc", "--count=-3", "--ratio=0.25",
+                     "--verbose=true"})
+                  .ok());
+  EXPECT_EQ(flags_.GetString("name"), "abc");
+  EXPECT_EQ(flags_.GetInt("count"), -3);
+  EXPECT_EQ(flags_.GetDouble("ratio"), 0.25);
+  EXPECT_TRUE(flags_.GetBool("verbose"));
+  EXPECT_TRUE(flags_.IsSet("count"));
+}
+
+TEST_F(FlagsTest, SpaceSyntax) {
+  ASSERT_TRUE(Parse({"--name", "xyz", "--count", "42"}).ok());
+  EXPECT_EQ(flags_.GetString("name"), "xyz");
+  EXPECT_EQ(flags_.GetInt("count"), 42);
+}
+
+TEST_F(FlagsTest, BareBoolean) {
+  ASSERT_TRUE(Parse({"--verbose"}).ok());
+  EXPECT_TRUE(flags_.GetBool("verbose"));
+}
+
+TEST_F(FlagsTest, NoPrefixDisablesBoolean) {
+  ASSERT_TRUE(Parse({"--no-color"}).ok());
+  EXPECT_FALSE(flags_.GetBool("color"));
+}
+
+TEST_F(FlagsTest, BareBooleanFollowedByPositional) {
+  // "output.txt" is not a bool literal, so it stays positional.
+  ASSERT_TRUE(Parse({"--verbose", "output.txt"}).ok());
+  EXPECT_TRUE(flags_.GetBool("verbose"));
+  ASSERT_EQ(flags_.positional().size(), 1u);
+  EXPECT_EQ(flags_.positional()[0], "output.txt");
+}
+
+TEST_F(FlagsTest, BooleanConsumesExplicitValueToken) {
+  ASSERT_TRUE(Parse({"--verbose", "false"}).ok());
+  EXPECT_FALSE(flags_.GetBool("verbose"));
+  EXPECT_TRUE(flags_.positional().empty());
+}
+
+TEST_F(FlagsTest, PositionalArguments) {
+  ASSERT_TRUE(Parse({"one", "--count=1", "two"}).ok());
+  EXPECT_EQ(flags_.positional(),
+            (std::vector<std::string>{"one", "two"}));
+}
+
+TEST_F(FlagsTest, UnknownFlagRejected) {
+  const Status st = Parse({"--nope=1"});
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("--nope"), std::string::npos);
+}
+
+TEST_F(FlagsTest, MalformedIntRejected) {
+  EXPECT_FALSE(Parse({"--count=12x"}).ok());
+  EXPECT_FALSE(Parse({"--count=1.5"}).ok());
+}
+
+TEST_F(FlagsTest, MalformedDoubleRejected) {
+  EXPECT_FALSE(Parse({"--ratio=abc"}).ok());
+  EXPECT_FALSE(Parse({"--ratio="}).ok());
+}
+
+TEST_F(FlagsTest, MalformedBoolRejected) {
+  EXPECT_FALSE(Parse({"--verbose=maybe"}).ok());
+}
+
+TEST_F(FlagsTest, MissingValueRejected) {
+  EXPECT_FALSE(Parse({"--count"}).ok());
+}
+
+TEST_F(FlagsTest, HelpShortCircuits) {
+  ASSERT_TRUE(Parse({"--help", "--nope"}).ok());
+  EXPECT_TRUE(flags_.help_requested());
+}
+
+TEST_F(FlagsTest, HelpTextListsFlags) {
+  const std::string help = flags_.Help();
+  EXPECT_NE(help.find("--name"), std::string::npos);
+  EXPECT_NE(help.find("--count"), std::string::npos);
+  EXPECT_NE(help.find("default 7"), std::string::npos);
+  EXPECT_NE(help.find("a double"), std::string::npos);
+}
+
+TEST_F(FlagsTest, BoolAcceptsManySpellings) {
+  ASSERT_TRUE(Parse({"--verbose=yes", "--color=off"}).ok());
+  EXPECT_TRUE(flags_.GetBool("verbose"));
+  EXPECT_FALSE(flags_.GetBool("color"));
+}
+
+}  // namespace
+}  // namespace rl4oasd

@@ -1,0 +1,509 @@
+// Tests for the io module: binary encoding primitives, CRC32 integrity,
+// tensor checkpoints, dataset / road-network round trips, and whole-model
+// bundles. Failure injection (truncation, bit flips, wrong magic, shape
+// drift) verifies that corrupt inputs are rejected with a clean Status
+// instead of undefined behaviour.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/binary.h"
+#include "core/rl4oasd.h"
+#include "io/checkpoint.h"
+#include "io/dataset_io.h"
+#include "io/model_io.h"
+#include "test_util.h"
+
+namespace rl4oasd {
+namespace {
+
+namespace fs = std::filesystem;
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("rl4oasd_io_test_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  /// Flips one byte in the middle of a file (CRC must catch it).
+  static void CorruptByte(const std::string& path, size_t offset) {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekg(0, std::ios::end);
+    const auto size = static_cast<size_t>(f.tellg());
+    ASSERT_LT(offset, size);
+    f.seekg(offset);
+    char c;
+    f.read(&c, 1);
+    c = static_cast<char>(c ^ 0x5A);
+    f.seekp(offset);
+    f.write(&c, 1);
+  }
+
+  static void Truncate(const std::string& path, size_t new_size) {
+    fs::resize_file(path, new_size);
+  }
+
+  fs::path dir_;
+};
+
+// ---------------------------------------------------------------------------
+// Binary primitives.
+
+TEST_F(IoTest, PrimitiveRoundTrip) {
+  BinaryWriter w;
+  w.WriteU8(0xAB);
+  w.WriteU32(0xDEADBEEFu);
+  w.WriteU64(0x0123456789ABCDEFull);
+  w.WriteI32(-42);
+  w.WriteI64(-9e15);
+  w.WriteF32(3.25f);
+  w.WriteF64(-2.5e-300);
+  w.WriteString("hello, 道路");
+  w.WriteI32Vector({1, -2, 3});
+  w.WriteF32Vector({0.5f, -0.25f});
+
+  BinaryReader r(w.buffer());
+  uint8_t u8;
+  uint32_t u32;
+  uint64_t u64;
+  int32_t i32;
+  int64_t i64;
+  float f32;
+  double f64;
+  std::string s;
+  std::vector<int32_t> vi;
+  std::vector<float> vf;
+  ASSERT_TRUE(r.ReadU8(&u8).ok());
+  ASSERT_TRUE(r.ReadU32(&u32).ok());
+  ASSERT_TRUE(r.ReadU64(&u64).ok());
+  ASSERT_TRUE(r.ReadI32(&i32).ok());
+  ASSERT_TRUE(r.ReadI64(&i64).ok());
+  ASSERT_TRUE(r.ReadF32(&f32).ok());
+  ASSERT_TRUE(r.ReadF64(&f64).ok());
+  ASSERT_TRUE(r.ReadString(&s).ok());
+  ASSERT_TRUE(r.ReadI32Vector(&vi).ok());
+  ASSERT_TRUE(r.ReadF32Vector(&vf).ok());
+  EXPECT_EQ(u8, 0xAB);
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  EXPECT_EQ(u64, 0x0123456789ABCDEFull);
+  EXPECT_EQ(i32, -42);
+  EXPECT_EQ(i64, static_cast<int64_t>(-9e15));
+  EXPECT_EQ(f32, 3.25f);
+  EXPECT_EQ(f64, -2.5e-300);
+  EXPECT_EQ(s, "hello, 道路");
+  EXPECT_EQ(vi, (std::vector<int32_t>{1, -2, 3}));
+  EXPECT_EQ(vf, (std::vector<float>{0.5f, -0.25f}));
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST_F(IoTest, ReadPastEndFails) {
+  BinaryWriter w;
+  w.WriteU32(7);
+  BinaryReader r(w.buffer());
+  uint64_t v;
+  EXPECT_EQ(r.ReadU64(&v).code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(IoTest, StringLengthBeyondPayloadFails) {
+  BinaryWriter w;
+  w.WriteU32(1000);  // claims a 1000-byte string
+  w.WriteBytes("abc", 3);
+  BinaryReader r(w.buffer());
+  std::string s;
+  EXPECT_EQ(r.ReadString(&s).code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(IoTest, VectorLengthBeyondPayloadFails) {
+  BinaryWriter w;
+  w.WriteU32(0xFFFFFFFFu);  // absurd element count
+  BinaryReader r(w.buffer());
+  std::vector<int32_t> v;
+  EXPECT_EQ(r.ReadI32Vector(&v).code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(IoTest, Crc32KnownVector) {
+  // Standard check value for "123456789" under CRC-32/IEEE.
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32("", 0), 0u);
+}
+
+TEST_F(IoTest, FileRoundTripAndCrcRejection) {
+  BinaryWriter w;
+  for (int i = 0; i < 100; ++i) w.WriteI32(i * i);
+  const std::string path = Path("blob.bin");
+  ASSERT_TRUE(w.WriteToFile(path).ok());
+
+  auto ok = BinaryReader::OpenFile(path);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  int32_t v;
+  ASSERT_TRUE(ok->ReadI32(&v).ok());
+  EXPECT_EQ(v, 0);
+
+  CorruptByte(path, 17);
+  auto bad = BinaryReader::OpenFile(path);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(IoTest, OpenMissingFileFails) {
+  auto r = BinaryReader::OpenFile(Path("does_not_exist.bin"));
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(IoTest, TruncatedFileFailsCrc) {
+  BinaryWriter w;
+  w.WriteString("payload payload payload");
+  const std::string path = Path("trunc.bin");
+  ASSERT_TRUE(w.WriteToFile(path).ok());
+  Truncate(path, 10);
+  EXPECT_FALSE(BinaryReader::OpenFile(path).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Tensor checkpoints.
+
+TEST_F(IoTest, RegistryRoundTrip) {
+  Rng rng(3);
+  nn::Parameter a("layer/w", 4, 6), b("layer/b", 1, 6);
+  a.XavierInit(&rng);
+  b.UniformInit(&rng, 0.1f);
+  nn::ParameterRegistry reg;
+  reg.Register(&a);
+  reg.Register(&b);
+
+  const std::string path = Path("ckpt.bin");
+  ASSERT_TRUE(io::SaveRegistry(reg, path).ok());
+
+  nn::Parameter a2("layer/w", 4, 6), b2("layer/b", 1, 6);
+  nn::ParameterRegistry reg2;
+  reg2.Register(&a2);
+  reg2.Register(&b2);
+  ASSERT_TRUE(io::LoadRegistry(path, &reg2).ok());
+  for (size_t i = 0; i < a.value.size(); ++i) {
+    EXPECT_EQ(a.value.data()[i], a2.value.data()[i]);
+  }
+  for (size_t i = 0; i < b.value.size(); ++i) {
+    EXPECT_EQ(b.value.data()[i], b2.value.data()[i]);
+  }
+}
+
+TEST_F(IoTest, RegistryShapeMismatchRejected) {
+  Rng rng(3);
+  nn::Parameter a("w", 4, 6);
+  a.XavierInit(&rng);
+  nn::ParameterRegistry reg;
+  reg.Register(&a);
+  const std::string path = Path("ckpt.bin");
+  ASSERT_TRUE(io::SaveRegistry(reg, path).ok());
+
+  nn::Parameter wrong("w", 6, 4);  // transposed shape
+  nn::ParameterRegistry reg2;
+  reg2.Register(&wrong);
+  auto st = io::LoadRegistry(path, &reg2);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("shape mismatch"), std::string::npos);
+}
+
+TEST_F(IoTest, RegistryNameMismatchRejected) {
+  Rng rng(3);
+  nn::Parameter a("w", 2, 2);
+  a.XavierInit(&rng);
+  nn::ParameterRegistry reg;
+  reg.Register(&a);
+  const std::string path = Path("ckpt.bin");
+  ASSERT_TRUE(io::SaveRegistry(reg, path).ok());
+
+  nn::Parameter renamed("w_renamed", 2, 2);
+  nn::ParameterRegistry reg2;
+  reg2.Register(&renamed);
+  EXPECT_FALSE(io::LoadRegistry(path, &reg2).ok());
+}
+
+TEST_F(IoTest, RegistryCountMismatchRejected) {
+  Rng rng(3);
+  nn::Parameter a("w", 2, 2);
+  a.XavierInit(&rng);
+  nn::ParameterRegistry reg;
+  reg.Register(&a);
+  const std::string path = Path("ckpt.bin");
+  ASSERT_TRUE(io::SaveRegistry(reg, path).ok());
+
+  nn::Parameter a2("w", 2, 2), extra("extra", 1, 1);
+  nn::ParameterRegistry reg2;
+  reg2.Register(&a2);
+  reg2.Register(&extra);
+  EXPECT_FALSE(io::LoadRegistry(path, &reg2).ok());
+}
+
+TEST_F(IoTest, MatrixRoundTrip) {
+  nn::Matrix m(3, 5);
+  for (size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>(i) * 0.25f - 1.0f;
+  }
+  const std::string path = Path("matrix.bin");
+  ASSERT_TRUE(io::SaveMatrix(m, path).ok());
+  auto loaded = io::LoadMatrix(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->rows(), 3u);
+  EXPECT_EQ(loaded->cols(), 5u);
+  for (size_t i = 0; i < m.size(); ++i) {
+    EXPECT_EQ(loaded->data()[i], m.data()[i]);
+  }
+}
+
+TEST_F(IoTest, WrongMagicRejected) {
+  BinaryWriter w;
+  w.WriteString("this is not a checkpoint");
+  const std::string path = Path("junk.bin");
+  ASSERT_TRUE(w.WriteToFile(path).ok());
+  nn::ParameterRegistry reg;
+  auto st = io::LoadRegistry(path, &reg);
+  ASSERT_FALSE(st.ok());
+  EXPECT_FALSE(io::LoadMatrix(path).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Dataset and road-network files.
+
+TEST_F(IoTest, DatasetBinaryRoundTrip) {
+  auto net = testing::SmallGrid();
+  auto ds = testing::SmallDataset(net, 4);
+  ASSERT_GT(ds.size(), 0u);
+
+  const std::string path = Path("dataset.bin");
+  ASSERT_TRUE(io::SaveDataset(ds, path).ok());
+  auto loaded = io::LoadDataset(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  ASSERT_EQ(loaded->size(), ds.size());
+  for (size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_EQ((*loaded)[i].traj.id, ds[i].traj.id);
+    EXPECT_EQ((*loaded)[i].traj.start_time, ds[i].traj.start_time);
+    EXPECT_EQ((*loaded)[i].traj.edges, ds[i].traj.edges);
+    EXPECT_EQ((*loaded)[i].labels, ds[i].labels);
+  }
+  EXPECT_EQ(loaded->NumSdPairs(), ds.NumSdPairs());
+}
+
+TEST_F(IoTest, DatasetLabelLengthMismatchRejectedOnSave) {
+  traj::LabeledTrajectory lt;
+  lt.traj.id = 1;
+  lt.traj.edges = {1, 2, 3};
+  lt.labels = {0, 1};  // too short
+  traj::Dataset ds;
+  ds.Add(std::move(lt));
+  EXPECT_EQ(io::SaveDataset(ds, Path("bad.bin")).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(IoTest, EmptyDatasetRoundTrip) {
+  traj::Dataset ds;
+  const std::string path = Path("empty.bin");
+  ASSERT_TRUE(io::SaveDataset(ds, path).ok());
+  auto loaded = io::LoadDataset(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 0u);
+}
+
+TEST_F(IoTest, RoadNetworkBinaryRoundTrip) {
+  auto net = testing::SmallGrid();
+  const std::string path = Path("net.bin");
+  ASSERT_TRUE(io::SaveRoadNetwork(net, path).ok());
+  auto loaded = io::LoadRoadNetwork(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  ASSERT_EQ(loaded->NumVertices(), net.NumVertices());
+  ASSERT_EQ(loaded->NumEdges(), net.NumEdges());
+  for (size_t e = 0; e < net.NumEdges(); ++e) {
+    const auto id = static_cast<roadnet::EdgeId>(e);
+    EXPECT_EQ(loaded->edge(id).from, net.edge(id).from);
+    EXPECT_EQ(loaded->edge(id).to, net.edge(id).to);
+    EXPECT_EQ(loaded->edge(id).length_m, net.edge(id).length_m);
+    EXPECT_EQ(loaded->edge(id).road_class, net.edge(id).road_class);
+    EXPECT_EQ(loaded->EdgeOutDegree(id), net.EdgeOutDegree(id));
+    EXPECT_EQ(loaded->EdgeInDegree(id), net.EdgeInDegree(id));
+  }
+}
+
+TEST_F(IoTest, CorruptDatasetRejected) {
+  auto net = testing::SmallGrid();
+  auto ds = testing::SmallDataset(net, 2);
+  const std::string path = Path("dataset.bin");
+  ASSERT_TRUE(io::SaveDataset(ds, path).ok());
+  CorruptByte(path, 40);
+  EXPECT_FALSE(io::LoadDataset(path).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Whole-model bundles.
+
+class ModelBundleTest : public IoTest {
+ protected:
+  /// A tiny trained model (fast settings) shared by the bundle tests.
+  static core::Rl4OasdConfig TinyConfig() {
+    core::Rl4OasdConfig cfg;
+    cfg.rsr.embed_dim = 16;
+    cfg.rsr.nrf_dim = 8;
+    cfg.rsr.hidden_dim = 16;
+    cfg.asd.label_dim = 8;
+    cfg.embedding.dim = 16;
+    cfg.embedding.epochs = 1;
+    cfg.pretrain_samples = 40;
+    cfg.pretrain_epochs = 1;
+    cfg.joint_samples = 40;
+    cfg.epochs_per_traj = 1;
+    return cfg;
+  }
+};
+
+TEST_F(ModelBundleTest, ConfigKvRoundTrip) {
+  core::Rl4OasdConfig cfg = TinyConfig();
+  cfg.preprocess.alpha = 0.31;
+  cfg.detector.delay_d = 5;
+  cfg.use_local_reward = false;
+  cfg.seed = 1234;
+
+  BinaryWriter w;
+  io::WriteConfigKv(cfg, &w);
+  BinaryReader r(w.buffer());
+  core::Rl4OasdConfig back;  // defaults everywhere
+  ASSERT_TRUE(io::ReadConfigKv(&r, &back).ok());
+  EXPECT_EQ(back.preprocess.alpha, 0.31);
+  EXPECT_EQ(back.detector.delay_d, 5);
+  EXPECT_FALSE(back.use_local_reward);
+  EXPECT_EQ(back.seed, 1234u);
+  EXPECT_EQ(back.rsr.hidden_dim, 16u);
+}
+
+TEST_F(ModelBundleTest, SaveLoadPreservesDetection) {
+  auto net = testing::SmallGrid();
+  auto ds = testing::SmallDataset(net, 5, 0.12);
+  core::Rl4Oasd model(&net, TinyConfig());
+  model.Fit(ds);
+
+  const std::string path = Path("model.rlmb");
+  ASSERT_TRUE(io::SaveModel(model, path).ok());
+
+  auto loaded = io::LoadModel(&net, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  // The loaded model must reproduce the original's labels exactly on every
+  // test trajectory (both detectors are deterministic argmax).
+  for (size_t i = 0; i < std::min<size_t>(ds.size(), 60); ++i) {
+    EXPECT_EQ((*loaded)->Detect(ds[i].traj), model.Detect(ds[i].traj))
+        << "trajectory " << i;
+  }
+}
+
+TEST_F(ModelBundleTest, LoadAgainstWrongNetworkRejected) {
+  auto net = testing::SmallGrid();
+  auto ds = testing::SmallDataset(net, 3);
+  core::Rl4Oasd model(&net, TinyConfig());
+  model.Fit(ds);
+  const std::string path = Path("model.rlmb");
+  ASSERT_TRUE(io::SaveModel(model, path).ok());
+
+  // A grid with different dimensions has a different edge count.
+  roadnet::GridCityConfig cfg;
+  cfg.rows = 6;
+  cfg.cols = 6;
+  cfg.removal_prob = 0.0;
+  auto other = roadnet::BuildGridCity(cfg);
+  auto loaded = io::LoadModel(&other, path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ModelBundleTest, CorruptBundleRejected) {
+  auto net = testing::SmallGrid();
+  auto ds = testing::SmallDataset(net, 3);
+  core::Rl4Oasd model(&net, TinyConfig());
+  model.Fit(ds);
+  const std::string path = Path("model.rlmb");
+  ASSERT_TRUE(io::SaveModel(model, path).ok());
+  CorruptByte(path, 100);
+  EXPECT_FALSE(io::LoadModel(&net, path).ok());
+}
+
+TEST_F(ModelBundleTest, PreprocessorStateSurvivesRoundTrip) {
+  auto ex = testing::MakeFigure1Example();
+  core::Rl4OasdConfig cfg = TinyConfig();
+  cfg.joint_samples = 10;
+  core::Rl4Oasd model(&ex.net, cfg);
+  model.Fit(ex.dataset);
+
+  const std::string path = Path("fig1.rlmb");
+  ASSERT_TRUE(io::SaveModel(model, path).ok());
+  auto loaded = io::LoadModel(&ex.net, path);
+  ASSERT_TRUE(loaded.ok());
+
+  // Transition fractions from the worked example must be identical.
+  traj::MapMatchedTrajectory t3;
+  t3.edges = ex.t3;
+  t3.start_time = 9 * 3600.0;
+  EXPECT_EQ((*loaded)->preprocessor().TransitionFractions(t3),
+            model.preprocessor().TransitionFractions(t3));
+  EXPECT_EQ((*loaded)->preprocessor().NumGroups(),
+            model.preprocessor().NumGroups());
+}
+
+TEST_F(ModelBundleTest, DescribeModelMatchesTrainedModel) {
+  auto net = testing::SmallGrid();
+  auto ds = testing::SmallDataset(net, 3);
+  core::Rl4Oasd model(&net, TinyConfig());
+  model.Fit(ds);
+  const std::string path = Path("model.rlmb");
+  ASSERT_TRUE(io::SaveModel(model, path).ok());
+
+  auto desc = io::DescribeModel(path);
+  ASSERT_TRUE(desc.ok()) << desc.status().ToString();
+  EXPECT_EQ(desc->version, io::kModelBundleVersion);
+  EXPECT_EQ(desc->num_trajs, static_cast<int64_t>(ds.size()));
+  EXPECT_GT(desc->num_groups, 0u);
+  // Tensor inventory: RSRNet has tcf + nrf embeddings, 3 LSTM tensors, and
+  // a 2-tensor head; ASDNet a label embedding and a 2-tensor policy.
+  EXPECT_EQ(desc->rsr_tensors.size(), 7u);
+  EXPECT_EQ(desc->asd_tensors.size(), 3u);
+  size_t rsr_weights = 0;
+  for (const auto& t : desc->rsr_tensors) rsr_weights += t.rows * t.cols;
+  EXPECT_EQ(rsr_weights, model.mutable_rsrnet()->registry()->NumWeights());
+  size_t total = rsr_weights;
+  for (const auto& t : desc->asd_tensors) total += t.rows * t.cols;
+  EXPECT_EQ(desc->total_weights, total);
+  // Config keys round-trip (spot check a couple).
+  bool saw_alpha = false;
+  for (const auto& [key, value] : desc->config) {
+    if (key == "preprocess.alpha") {
+      saw_alpha = true;
+      EXPECT_EQ(value, model.config().preprocess.alpha);
+    }
+  }
+  EXPECT_TRUE(saw_alpha);
+}
+
+TEST_F(ModelBundleTest, DescribeModelRejectsNonBundles) {
+  BinaryWriter w;
+  w.WriteString("junk");
+  const std::string path = Path("junk.bin");
+  ASSERT_TRUE(w.WriteToFile(path).ok());
+  EXPECT_FALSE(io::DescribeModel(path).ok());
+  EXPECT_FALSE(io::DescribeModel(Path("missing.rlmb")).ok());
+}
+
+}  // namespace
+}  // namespace rl4oasd

@@ -1,0 +1,126 @@
+// Map-matching substrate tests: spatial index correctness and end-to-end
+// HMM matching of noisy synthetic GPS back onto the true route.
+#include <gtest/gtest.h>
+
+#include "mapmatch/hmm_matcher.h"
+#include "mapmatch/spatial_index.h"
+#include "test_util.h"
+#include "traj/gps_sampler.h"
+
+namespace rl4oasd::mapmatch {
+namespace {
+
+using ::rl4oasd::testing::SmallDataset;
+using ::rl4oasd::testing::SmallGrid;
+
+TEST(SpatialIndexTest, FindsNearbyEdges) {
+  const auto net = SmallGrid();
+  SpatialIndex index(&net);
+  // Query at an edge midpoint must return that edge first.
+  const roadnet::EdgeId e = 10;
+  const auto candidates = index.Query(net.EdgeMidpoint(e), 50.0);
+  ASSERT_FALSE(candidates.empty());
+  // The edge itself (or its reverse twin, which is collinear) is closest.
+  EXPECT_LT(candidates[0].distance_m, 1.0);
+  bool found = false;
+  for (const auto& c : candidates) found |= (c.edge == e);
+  EXPECT_TRUE(found);
+}
+
+TEST(SpatialIndexTest, RespectsRadius) {
+  const auto net = SmallGrid();
+  SpatialIndex index(&net);
+  const auto p = net.EdgeMidpoint(0);
+  for (const auto& c : index.Query(p, 30.0)) {
+    EXPECT_LE(c.distance_m, 30.0);
+  }
+}
+
+TEST(SpatialIndexTest, CandidatesSortedAndCapped) {
+  const auto net = SmallGrid();
+  SpatialIndex index(&net);
+  const auto candidates = index.Query(net.EdgeMidpoint(5), 500.0, 4);
+  EXPECT_LE(candidates.size(), 4u);
+  for (size_t i = 1; i < candidates.size(); ++i) {
+    EXPECT_LE(candidates[i - 1].distance_m, candidates[i].distance_m);
+  }
+}
+
+TEST(SpatialIndexTest, FarAwayQueryIsEmpty) {
+  const auto net = SmallGrid();
+  SpatialIndex index(&net);
+  EXPECT_TRUE(index.Query({10.0, 50.0}, 50.0).empty());
+}
+
+class HmmMatcherTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HmmMatcherTest, RecoversTrueRouteFromNoisyGps) {
+  const auto net = SmallGrid();
+  const auto ds = SmallDataset(net, 3, 0.1, GetParam());
+  traj::GpsSamplerConfig scfg;
+  scfg.noise_sigma_m = 8.0;
+  traj::GpsSampler sampler(&net, scfg, GetParam());
+  HmmMapMatcher matcher(&net);
+
+  int evaluated = 0;
+  double jaccard_sum = 0.0;
+  for (size_t k = 0; k < std::min<size_t>(ds.size(), 15); ++k) {
+    const auto& truth = ds[k].traj;
+    const auto raw = sampler.Sample(truth);
+    if (raw.points.size() < 5) continue;
+    auto matched = matcher.Match(raw);
+    ASSERT_TRUE(matched.ok()) << matched.status().ToString();
+    EXPECT_TRUE(net.IsConnectedPath(matched->edges));
+    // Jaccard between true and matched edge sets should be high.
+    std::set<traj::EdgeId> a(truth.edges.begin(), truth.edges.end());
+    std::set<traj::EdgeId> b(matched->edges.begin(), matched->edges.end());
+    std::vector<traj::EdgeId> inter;
+    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                          std::back_inserter(inter));
+    const double jaccard = static_cast<double>(inter.size()) /
+                           static_cast<double>(a.size() + b.size() -
+                                               inter.size());
+    jaccard_sum += jaccard;
+    ++evaluated;
+  }
+  ASSERT_GT(evaluated, 0);
+  // Average recovery should be strong on a clean grid.
+  EXPECT_GT(jaccard_sum / evaluated, 0.75);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HmmMatcherTest, ::testing::Values(1, 7, 23));
+
+TEST(HmmMatcherErrorsTest, EmptyTrajectoryRejected) {
+  const auto net = SmallGrid();
+  HmmMapMatcher matcher(&net);
+  traj::RawTrajectory raw;
+  const auto r = matcher.Match(raw);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(HmmMatcherErrorsTest, OffNetworkGpsRejected) {
+  const auto net = SmallGrid();
+  HmmMapMatcher matcher(&net);
+  traj::RawTrajectory raw;
+  raw.points.push_back({{10.0, 50.0}, 0.0});
+  raw.points.push_back({{10.0, 50.001}, 3.0});
+  const auto r = matcher.Match(raw);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(HmmMatcherTest, PreservesStartTime) {
+  const auto net = SmallGrid();
+  const auto ds = SmallDataset(net, 2);
+  traj::GpsSampler sampler(&net, {});
+  HmmMapMatcher matcher(&net);
+  const auto raw = sampler.Sample(ds[0].traj);
+  auto matched = matcher.Match(raw);
+  ASSERT_TRUE(matched.ok());
+  EXPECT_DOUBLE_EQ(matched->start_time, raw.points.front().t);
+  EXPECT_EQ(matched->id, raw.id);
+}
+
+}  // namespace
+}  // namespace rl4oasd::mapmatch

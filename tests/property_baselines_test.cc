@@ -1,0 +1,213 @@
+// Property-based tests for the baseline detectors, swept over generator
+// seeds: structural output invariants shared by every detector, and
+// method-specific semantics (CTSS Fréchet deviation, IBOAT window support,
+// transition-frequency/preprocessor agreement).
+#include <algorithm>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "baselines/ctss.h"
+#include "baselines/dbtod.h"
+#include "baselines/iboat.h"
+#include "baselines/seq_vae.h"
+#include "baselines/transition_frequency.h"
+#include "core/preprocess.h"
+#include "eval/metrics.h"
+#include "test_util.h"
+
+namespace rl4oasd::baselines {
+namespace {
+
+/// All baselines share these structural requirements.
+class BaselineContractTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  BaselineContractTest()
+      : net_(rl4oasd::testing::SmallGrid()),
+        dataset_(
+            rl4oasd::testing::SmallDataset(net_, 4, 0.1, GetParam())) {}
+
+  std::vector<std::unique_ptr<SubtrajectoryDetector>> MakeAll() {
+    std::vector<std::unique_ptr<SubtrajectoryDetector>> out;
+    out.push_back(std::make_unique<IboatDetector>());
+    out.push_back(std::make_unique<DbtodDetector>(&net_));
+    out.push_back(std::make_unique<CtssDetector>(&net_));
+    out.push_back(std::make_unique<TransitionFrequencyDetector>());
+    SeqVaeConfig vae;
+    vae.epochs = 1;
+    vae.max_train_trajs = 150;
+    out.push_back(std::make_unique<SeqVaeDetector>(&net_, vae));
+    return out;
+  }
+
+  roadnet::RoadNetwork net_;
+  traj::Dataset dataset_;
+};
+
+TEST_P(BaselineContractTest, LabelsAlignedBinaryAndEndpointNormal) {
+  for (auto& detector : MakeAll()) {
+    detector->Fit(dataset_);
+    for (size_t i = 0; i < std::min<size_t>(dataset_.size(), 40); ++i) {
+      const auto& t = dataset_[i].traj;
+      const auto labels = detector->Detect(t);
+      ASSERT_EQ(labels.size(), t.edges.size()) << detector->name();
+      for (uint8_t l : labels) {
+        ASSERT_LE(l, 1) << detector->name();
+      }
+      // The problem definition makes source and destination normal.
+      EXPECT_EQ(labels.front(), 0) << detector->name();
+      EXPECT_EQ(labels.back(), 0) << detector->name();
+    }
+  }
+}
+
+TEST_P(BaselineContractTest, DetectionIsDeterministic) {
+  for (auto& detector : MakeAll()) {
+    detector->Fit(dataset_);
+    const auto& t = dataset_[GetParam() % dataset_.size()].traj;
+    EXPECT_EQ(detector->Detect(t), detector->Detect(t)) << detector->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BaselineContractTest,
+                         ::testing::Values(uint64_t{3}, uint64_t{19}));
+
+// ---------------------------------------------------------------------------
+// Method-specific semantics on the Figure 1 worked example.
+
+class BaselineFigure1Test : public ::testing::Test {
+ protected:
+  BaselineFigure1Test() : ex_(rl4oasd::testing::MakeFigure1Example()) {}
+
+  traj::MapMatchedTrajectory Traj(const std::vector<traj::EdgeId>& edges) {
+    traj::MapMatchedTrajectory t;
+    t.edges = edges;
+    t.start_time = 9 * 3600.0;
+    return t;
+  }
+
+  rl4oasd::testing::Figure1Example ex_;
+};
+
+TEST_F(BaselineFigure1Test, CtssReferenceRouteScoresZero) {
+  CtssDetector ctss(&ex_.net);
+  ctss.Fit(ex_.dataset);
+  // T1 is the most popular route, so it is its own reference: the Fréchet
+  // deviation is identically zero along it.
+  const auto scores = ctss.Scores(Traj(ex_.t1));
+  for (double s : scores) {
+    EXPECT_NEAR(s, 0.0, 1e-9);
+  }
+}
+
+TEST_F(BaselineFigure1Test, CtssDetourScoresGrowAndExceedOnRouteScores) {
+  CtssDetector ctss(&ex_.net);
+  ctss.Fit(ex_.dataset);
+  const auto detour_scores = ctss.Scores(Traj(ex_.t3));
+  const auto normal_scores = ctss.Scores(Traj(ex_.t2));
+  // The detour's peak deviation dominates the alternative normal route's.
+  const double peak_detour =
+      *std::max_element(detour_scores.begin(), detour_scores.end());
+  const double peak_normal =
+      *std::max_element(normal_scores.begin(), normal_scores.end());
+  EXPECT_GT(peak_detour, peak_normal);
+  // Fréchet deviation is non-decreasing while the vehicle stays off the
+  // reference (monotone DP over prefixes): the max over the detour interior
+  // is reached inside or after the splice, not before it.
+  EXPECT_GT(peak_detour, detour_scores[1]);
+}
+
+TEST_F(BaselineFigure1Test, IboatFlagsTheDetourInterior) {
+  IboatDetector iboat(0.15);
+  iboat.Fit(ex_.dataset);
+  const auto labels = iboat.Detect(Traj(ex_.t3));
+  // The window support collapses when T3 leaves the shared prefix at e11
+  // (paper's worked example: only 1 of 10 trajectories contains those
+  // transitions).
+  int flagged = 0;
+  for (size_t i = 3; i <= 7; ++i) flagged += labels[i];
+  EXPECT_GE(flagged, 3) << "detour interior mostly flagged";
+  // The shared prefix (e1, e2, e4 — supported by T2's 4 trips + T3) stays
+  // normal.
+  EXPECT_EQ(labels[0], 0);
+  EXPECT_EQ(labels[1], 0);
+}
+
+TEST_F(BaselineFigure1Test, IboatNormalRoutesStayClean) {
+  IboatDetector iboat(0.15);
+  iboat.Fit(ex_.dataset);
+  for (const auto& route : {ex_.t1, ex_.t2}) {
+    const auto labels = iboat.Detect(Traj(route));
+    for (size_t i = 0; i < labels.size(); ++i) {
+      EXPECT_EQ(labels[i], 0) << "position " << i;
+    }
+  }
+}
+
+TEST_F(BaselineFigure1Test, TransitionFrequencyMatchesPreprocessor) {
+  // The simplest baseline must agree with the preprocessor's fractions: its
+  // score is exactly 1 - transition fraction.
+  TransitionFrequencyDetector tf;
+  tf.Fit(ex_.dataset);
+  core::Preprocessor pre;
+  pre.Fit(ex_.dataset);
+
+  const auto t3 = Traj(ex_.t3);
+  const auto scores = tf.Scores(t3);
+  const auto fractions = pre.TransitionFractions(t3);
+  ASSERT_EQ(scores.size(), fractions.size());
+  for (size_t i = 0; i < scores.size(); ++i) {
+    EXPECT_NEAR(scores[i], 1.0 - fractions[i], 1e-9) << "position " << i;
+  }
+}
+
+TEST_F(BaselineFigure1Test, ScoreThresholdSemantics) {
+  TransitionFrequencyDetector tf;
+  tf.Fit(ex_.dataset);
+  const auto t3 = Traj(ex_.t3);
+  const auto scores = tf.Scores(t3);
+
+  // Threshold above every score: nothing flagged.
+  tf.set_threshold(2.0);
+  auto labels = tf.Detect(t3);
+  for (uint8_t l : labels) EXPECT_EQ(l, 0);
+
+  // Threshold below the detour scores: interior flagged, endpoints forced
+  // normal regardless.
+  tf.set_threshold(0.5);
+  labels = tf.Detect(t3);
+  EXPECT_EQ(labels.front(), 0);
+  EXPECT_EQ(labels.back(), 0);
+  int flagged = 0;
+  for (size_t i = 1; i + 1 < labels.size(); ++i) {
+    flagged += labels[i];
+    EXPECT_EQ(labels[i], scores[i] > 0.5 ? 1 : 0);
+  }
+  EXPECT_GT(flagged, 0);
+}
+
+TEST_F(BaselineFigure1Test, TuneImprovesOrMaintainsDevF1) {
+  // Tuning on a labeled dev set must never leave the detector worse than
+  // its starting threshold on that same set.
+  for (double start : {0.01, 0.5, 0.99}) {
+    TransitionFrequencyDetector tf;
+    tf.Fit(ex_.dataset);
+    tf.set_threshold(start);
+    eval::F1Evaluator before_eval;
+    for (const auto& lt : ex_.dataset.trajs()) {
+      before_eval.Add(lt.labels, tf.Detect(lt.traj));
+    }
+    const double before = before_eval.Compute().f1;
+
+    tf.Tune(ex_.dataset);
+    eval::F1Evaluator after_eval;
+    for (const auto& lt : ex_.dataset.trajs()) {
+      after_eval.Add(lt.labels, tf.Detect(lt.traj));
+    }
+    EXPECT_GE(after_eval.Compute().f1 + 1e-9, before)
+        << "starting threshold " << start;
+  }
+}
+
+}  // namespace
+}  // namespace rl4oasd::baselines

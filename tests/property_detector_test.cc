@@ -1,0 +1,220 @@
+// Property-based tests for the detector's post-processing primitives:
+// Delayed Labeling (DL) and Road Network Enhanced Labeling (RNEL), swept
+// over random inputs with parameterized gtest.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/detector.h"
+#include "test_util.h"
+#include "traj/types.h"
+
+namespace rl4oasd::core {
+namespace {
+
+std::vector<uint8_t> RandomLabels(Rng* rng, size_t n, double p_one) {
+  std::vector<uint8_t> l(n);
+  for (auto& v : l) v = rng->Bernoulli(p_one) ? 1 : 0;
+  return l;
+}
+
+// ---------------------------------------------------------------------------
+// Delayed Labeling properties. Parameter: (seed, D).
+
+class DelayedLabelingProperty
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int>> {};
+
+TEST_P(DelayedLabelingProperty, Idempotent) {
+  auto [seed, d] = GetParam();
+  Rng rng(seed);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto labels = RandomLabels(&rng, 1 + rng.UniformInt(uint64_t{60}), 0.3);
+    auto once = labels;
+    ApplyDelayedLabeling(&once, d);
+    auto twice = once;
+    ApplyDelayedLabeling(&twice, d);
+    EXPECT_EQ(once, twice);
+  }
+}
+
+TEST_P(DelayedLabelingProperty, NeverClearsAnAnomalousLabel) {
+  auto [seed, d] = GetParam();
+  Rng rng(seed ^ 0x9E3779B9u);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto before = RandomLabels(&rng, 1 + rng.UniformInt(uint64_t{60}), 0.4);
+    auto after = before;
+    ApplyDelayedLabeling(&after, d);
+    ASSERT_EQ(after.size(), before.size());
+    for (size_t i = 0; i < before.size(); ++i) {
+      if (before[i] == 1) EXPECT_EQ(after[i], 1) << "position " << i;
+    }
+  }
+}
+
+TEST_P(DelayedLabelingProperty, ClosesEveryShortInteriorGap) {
+  auto [seed, d] = GetParam();
+  Rng rng(seed ^ 0xABCDu);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto labels = RandomLabels(&rng, 1 + rng.UniformInt(uint64_t{60}), 0.35);
+    ApplyDelayedLabeling(&labels, d);
+    // Invariant: no maximal 0-run strictly between two 1s has length < D.
+    const int n = static_cast<int>(labels.size());
+    for (int i = 0; i < n; ++i) {
+      if (labels[i] != 0) continue;
+      int j = i;
+      while (j < n && labels[j] == 0) ++j;
+      const bool interior = i > 0 && j < n;  // 1s on both sides
+      if (interior && d > 1) {
+        EXPECT_GE(j - i, d) << "gap [" << i << "," << j << ") survived DL";
+      }
+      i = j;
+    }
+  }
+}
+
+TEST_P(DelayedLabelingProperty, OnlyTouchesInteriorGaps) {
+  auto [seed, d] = GetParam();
+  Rng rng(seed ^ 0x1234u);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto before = RandomLabels(&rng, 1 + rng.UniformInt(uint64_t{60}), 0.3);
+    auto after = before;
+    ApplyDelayedLabeling(&after, d);
+    // A position flipped 0 -> 1 must have a 1 somewhere before AND after it
+    // in the original sequence (DL merges runs; it never extends outward).
+    for (size_t i = 0; i < before.size(); ++i) {
+      if (before[i] == 0 && after[i] == 1) {
+        bool one_before = false, one_after = false;
+        for (size_t k = 0; k < i; ++k) one_before |= before[k] == 1;
+        for (size_t k = i + 1; k < before.size(); ++k) {
+          one_after |= before[k] == 1;
+        }
+        EXPECT_TRUE(one_before && one_after) << "position " << i;
+      }
+    }
+  }
+}
+
+TEST(DelayedLabelingEdgeCases, ZeroAndNegativeDAreNoOps) {
+  std::vector<uint8_t> l = {1, 0, 1, 0, 0, 1};
+  auto copy = l;
+  ApplyDelayedLabeling(&copy, 0);
+  EXPECT_EQ(copy, l);
+  ApplyDelayedLabeling(&copy, -3);
+  EXPECT_EQ(copy, l);
+}
+
+TEST(DelayedLabelingEdgeCases, EmptyAndSingleton) {
+  std::vector<uint8_t> empty;
+  ApplyDelayedLabeling(&empty, 4);
+  EXPECT_TRUE(empty.empty());
+  std::vector<uint8_t> one = {1};
+  ApplyDelayedLabeling(&one, 4);
+  EXPECT_EQ(one, (std::vector<uint8_t>{1}));
+}
+
+TEST(DelayedLabelingEdgeCases, MergesDocumentedExample) {
+  // 1 0 0 1 with D=3: the 2-gap closes.
+  std::vector<uint8_t> l = {1, 0, 0, 1};
+  ApplyDelayedLabeling(&l, 3);
+  EXPECT_EQ(l, (std::vector<uint8_t>{1, 1, 1, 1}));
+  // With D=2 the gap (length 2) survives: the lookahead is too short.
+  std::vector<uint8_t> m = {1, 0, 0, 1};
+  ApplyDelayedLabeling(&m, 2);
+  EXPECT_EQ(m, (std::vector<uint8_t>{1, 0, 0, 1}));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DelayedLabelingProperty,
+    ::testing::Combine(::testing::Values(uint64_t{1}, uint64_t{7},
+                                         uint64_t{42}),
+                       ::testing::Values(1, 2, 4, 8, 16)),
+    [](const auto& info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) + "_D" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// RNEL properties over random graphs. Parameter: graph seed.
+
+class RnelProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RnelProperty, MatchesPaperRuleTable) {
+  auto net = rl4oasd::testing::SmallGrid(GetParam());
+  for (size_t e = 0; e < net.NumEdges(); ++e) {
+    const auto prev = static_cast<traj::EdgeId>(e);
+    for (traj::EdgeId cur : net.NextEdges(prev)) {
+      for (int prev_label : {0, 1}) {
+        const int got = RnelDeterministicLabel(net, prev, prev_label, cur);
+        const int out = net.EdgeOutDegree(prev);
+        const int in = net.EdgeInDegree(cur);
+        // Paper Section IV-E, cases (1)-(3).
+        if (out == 1 && in == 1) {
+          EXPECT_EQ(got, prev_label);
+        } else if (out == 1 && in > 1 && prev_label == 0) {
+          EXPECT_EQ(got, 0);
+        } else if (out > 1 && in == 1 && prev_label == 1) {
+          EXPECT_EQ(got, 1);
+        } else {
+          EXPECT_EQ(got, -1) << "policy must decide when no rule applies";
+        }
+      }
+    }
+  }
+}
+
+TEST_P(RnelProperty, LabelChangeRequiresAlternative) {
+  // Contrapositive of the paper's intuition: whenever RNEL *determines* a
+  // label that differs from prev_label... it cannot: all three rules output
+  // prev_label or a value equal to it under their preconditions. Verify no
+  // deterministic output ever flips the label.
+  auto net = rl4oasd::testing::SmallGrid(GetParam() + 100);
+  for (size_t e = 0; e < net.NumEdges(); ++e) {
+    const auto prev = static_cast<traj::EdgeId>(e);
+    for (traj::EdgeId cur : net.NextEdges(prev)) {
+      for (int prev_label : {0, 1}) {
+        const int got = RnelDeterministicLabel(net, prev, prev_label, cur);
+        if (got != -1) {
+          EXPECT_EQ(got, prev_label)
+              << "RNEL flipped a label deterministically";
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GraphSeeds, RnelProperty,
+                         ::testing::Values(uint64_t{3}, uint64_t{17},
+                                           uint64_t{99}));
+
+// ---------------------------------------------------------------------------
+// ExtractAnomalousRuns properties.
+
+class RunsProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RunsProperty, RunsPartitionTheOnes) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto labels = RandomLabels(&rng, rng.UniformInt(uint64_t{80}), 0.4);
+    const auto runs = traj::ExtractAnomalousRuns(labels);
+    // Reconstruct labels from runs; must round-trip exactly.
+    std::vector<uint8_t> rebuilt(labels.size(), 0);
+    int prev_end = -1;
+    for (const auto& r : runs) {
+      ASSERT_LT(r.begin, r.end);
+      ASSERT_GE(r.begin, 0);
+      ASSERT_LE(static_cast<size_t>(r.end), labels.size());
+      ASSERT_GT(r.begin, prev_end) << "runs must be disjoint and ordered "
+                                      "with a gap between them";
+      for (int i = r.begin; i < r.end; ++i) rebuilt[i] = 1;
+      prev_end = r.end;
+    }
+    EXPECT_EQ(rebuilt, labels);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RunsProperty,
+                         ::testing::Values(uint64_t{5}, uint64_t{25}));
+
+}  // namespace
+}  // namespace rl4oasd::core

@@ -1,0 +1,124 @@
+// Property-based tests for the GPS-sampling + HMM map-matching pipeline,
+// swept over noise levels and seeds: the matcher must recover most of the
+// driven edge sequence from noisy fixes, always produce connected output,
+// and degrade gracefully (not crash) as noise grows.
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "mapmatch/hmm_matcher.h"
+#include "test_util.h"
+#include "traj/gps_sampler.h"
+
+namespace rl4oasd::mapmatch {
+namespace {
+
+/// Jaccard similarity between two edge sets (order-insensitive recovery
+/// metric; the matched sequence may legitimately differ at boundaries).
+double EdgeJaccard(const std::vector<traj::EdgeId>& a,
+                   const std::vector<traj::EdgeId>& b) {
+  std::unordered_set<traj::EdgeId> sa(a.begin(), a.end());
+  std::unordered_set<traj::EdgeId> sb(b.begin(), b.end());
+  size_t inter = 0;
+  for (traj::EdgeId e : sa) inter += sb.contains(e) ? 1 : 0;
+  const size_t uni = sa.size() + sb.size() - inter;
+  return uni == 0 ? 1.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+class MapMatchProperty
+    : public ::testing::TestWithParam<std::tuple<uint64_t, double>> {
+ protected:
+  MapMatchProperty() : net_(rl4oasd::testing::SmallGrid()) {}
+
+  roadnet::RoadNetwork net_;
+};
+
+TEST_P(MapMatchProperty, RecoversDrivenRouteFromNoisyFixes) {
+  auto [seed, noise] = GetParam();
+  auto ds = rl4oasd::testing::SmallDataset(net_, 3, 0.0, seed);
+
+  traj::GpsSamplerConfig gps;
+  gps.noise_sigma_m = noise;
+  traj::GpsSampler sampler(&net_, gps, seed + 1);
+  HmmConfig hmm;
+  hmm.gps_sigma_m = std::max(10.0, noise * 1.5);
+  HmmMapMatcher matcher(&net_, hmm);
+
+  int matched = 0;
+  double jaccard_sum = 0.0;
+  for (size_t i = 0; i < std::min<size_t>(ds.size(), 25); ++i) {
+    const auto& truth = ds[i].traj;
+    const traj::RawTrajectory raw = sampler.Sample(truth);
+    ASSERT_GE(raw.points.size(), 2u);
+    auto result = matcher.Match(raw);
+    if (!result.ok()) continue;  // low-noise settings assert below
+    ++matched;
+    // Structural invariants on every successful match.
+    EXPECT_FALSE(result->edges.empty());
+    EXPECT_TRUE(net_.IsConnectedPath(result->edges));
+    EXPECT_EQ(result->start_time, raw.points.front().t);
+    jaccard_sum += EdgeJaccard(truth.edges, result->edges);
+  }
+  ASSERT_GT(matched, 0);
+  const double mean_jaccard = jaccard_sum / matched;
+  if (noise <= 15.0) {
+    // City-block spacing is ~200 m, so moderate GPS noise must allow a
+    // high-fidelity reconstruction.
+    EXPECT_GT(mean_jaccard, 0.7) << "noise " << noise;
+  } else {
+    // Heavy noise: recovery degrades but stays far above chance.
+    EXPECT_GT(mean_jaccard, 0.3) << "noise " << noise;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MapMatchProperty,
+    ::testing::Combine(::testing::Values(uint64_t{21}, uint64_t{77}),
+                       ::testing::Values(5.0, 15.0, 35.0)),
+    [](const auto& info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) + "_noise" +
+             std::to_string(static_cast<int>(std::get<1>(info.param)));
+    });
+
+TEST(MapMatchEdgeCases, AllFixesOffNetworkFails) {
+  auto net = rl4oasd::testing::SmallGrid();
+  HmmMapMatcher matcher(&net);
+  traj::RawTrajectory raw;
+  raw.id = 1;
+  // Fixes ~100 km away from the city.
+  raw.points.push_back({{31.6, 105.0}, 0.0});
+  raw.points.push_back({{31.6, 105.001}, 3.0});
+  auto result = matcher.Match(raw);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(MapMatchEdgeCases, SingleFixProducesSingleEdgeOrFails) {
+  auto net = rl4oasd::testing::SmallGrid();
+  HmmMapMatcher matcher(&net);
+  traj::RawTrajectory raw;
+  raw.id = 2;
+  raw.points.push_back({net.vertex(0).pos, 0.0});
+  auto result = matcher.Match(raw);
+  if (result.ok()) {
+    EXPECT_EQ(result->edges.size(), 1u);
+  }
+}
+
+TEST(GpsSamplerProperty, FixTimesAreMonotoneAtPaperRate) {
+  auto net = rl4oasd::testing::SmallGrid();
+  auto ds = rl4oasd::testing::SmallDataset(net, 2);
+  traj::GpsSampler sampler(&net, {}, 5);
+  for (size_t i = 0; i < std::min<size_t>(ds.size(), 20); ++i) {
+    const traj::RawTrajectory raw = sampler.Sample(ds[i].traj);
+    ASSERT_GE(raw.points.size(), 2u);
+    EXPECT_EQ(raw.points.front().t, ds[i].traj.start_time);
+    for (size_t k = 1; k < raw.points.size(); ++k) {
+      const double dt = raw.points[k].t - raw.points[k - 1].t;
+      EXPECT_GE(dt, 2.0 - 1e-9);  // paper: 2-4 s sampling
+      EXPECT_LE(dt, 4.0 + 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rl4oasd::mapmatch

@@ -1,0 +1,153 @@
+// Property-based tests for the NER-style subtrajectory metrics (paper
+// Section V-A): bounds, degenerate cases, and monotonicity, swept over
+// random label sequences.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "eval/metrics.h"
+
+namespace rl4oasd::eval {
+namespace {
+
+std::vector<uint8_t> RandomLabels(Rng* rng, size_t n, double p_one) {
+  std::vector<uint8_t> l(n);
+  for (auto& v : l) v = rng->Bernoulli(p_one) ? 1 : 0;
+  return l;
+}
+
+class MetricsProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MetricsProperty, ScoresAlwaysInUnitInterval) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 100; ++trial) {
+    F1Evaluator ev;
+    const int trajs = 1 + static_cast<int>(rng.UniformInt(uint64_t{10}));
+    for (int t = 0; t < trajs; ++t) {
+      const size_t n = 1 + rng.UniformInt(uint64_t{40});
+      ev.Add(RandomLabels(&rng, n, 0.3), RandomLabels(&rng, n, 0.3));
+    }
+    const Scores s = ev.Compute();
+    for (double v : {s.precision, s.recall, s.f1, s.tprecision, s.trecall,
+                     s.tf1}) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST_P(MetricsProperty, PerfectPredictionScoresOne) {
+  Rng rng(GetParam() ^ 0xBEEF);
+  for (int trial = 0; trial < 50; ++trial) {
+    F1Evaluator ev;
+    bool any_anomaly = false;
+    for (int t = 0; t < 5; ++t) {
+      const auto gt = RandomLabels(&rng, 1 + rng.UniformInt(uint64_t{40}), 0.4);
+      for (uint8_t l : gt) any_anomaly |= l == 1;
+      ev.Add(gt, gt);
+    }
+    if (!any_anomaly) continue;
+    const Scores s = ev.Compute();
+    EXPECT_DOUBLE_EQ(s.precision, 1.0);
+    EXPECT_DOUBLE_EQ(s.recall, 1.0);
+    EXPECT_DOUBLE_EQ(s.f1, 1.0);
+    EXPECT_DOUBLE_EQ(s.tf1, 1.0);
+  }
+}
+
+TEST_P(MetricsProperty, AllNormalPredictionHasZeroRecall) {
+  Rng rng(GetParam() ^ 0xF00D);
+  for (int trial = 0; trial < 50; ++trial) {
+    F1Evaluator ev;
+    bool any_anomaly = false;
+    for (int t = 0; t < 5; ++t) {
+      const auto gt = RandomLabels(&rng, 1 + rng.UniformInt(uint64_t{40}), 0.4);
+      for (uint8_t l : gt) any_anomaly |= l == 1;
+      ev.Add(gt, std::vector<uint8_t>(gt.size(), 0));
+    }
+    if (!any_anomaly) continue;
+    const Scores s = ev.Compute();
+    EXPECT_DOUBLE_EQ(s.recall, 0.0);
+    EXPECT_DOUBLE_EQ(s.f1, 0.0);
+  }
+}
+
+TEST_P(MetricsProperty, TF1NeverCountsMoreMatchesThanJaccardSum) {
+  // The thresholded Jaccard (0/1 at phi) can only shrink per-anomaly credit
+  // when the raw Jaccard is below 1, so tprecision <= 1 and the thresholded
+  // match count is bounded by the number of ground-truth runs.
+  Rng rng(GetParam() ^ 0xCAFE);
+  for (int trial = 0; trial < 50; ++trial) {
+    F1Evaluator ev;
+    for (int t = 0; t < 8; ++t) {
+      const size_t n = 1 + rng.UniformInt(uint64_t{40});
+      ev.Add(RandomLabels(&rng, n, 0.35), RandomLabels(&rng, n, 0.35));
+    }
+    const Scores s = ev.Compute();
+    // A detection that clears phi = 0.5 contributes 1 instead of J >= 0.5,
+    // so the thresholded scores are at most twice the raw ones.
+    EXPECT_LE(s.tprecision, 2.0 * s.precision + 1e-9);
+    EXPECT_LE(s.trecall, 2.0 * s.recall + 1e-9);
+  }
+}
+
+TEST_P(MetricsProperty, PhiOneOnlyCreditsExactMatches) {
+  Rng rng(GetParam() ^ 0x7777);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto gt = RandomLabels(&rng, 30, 0.4);
+    auto pred = gt;
+    // Perturb one position: any overlap becomes inexact.
+    pred[rng.UniformInt(uint64_t{30})] ^= 1;
+
+    F1Evaluator exact(/*phi=*/0.999999);
+    exact.Add(gt, gt);
+    const Scores s_same = exact.Compute();
+    if (s_same.num_gt_anomalies > 0) {
+      EXPECT_DOUBLE_EQ(s_same.tf1, 1.0);
+    }
+  }
+}
+
+TEST_P(MetricsProperty, ResetClearsState) {
+  Rng rng(GetParam() ^ 0x5151);
+  F1Evaluator ev;
+  ev.Add(RandomLabels(&rng, 20, 0.5), RandomLabels(&rng, 20, 0.5));
+  ev.Reset();
+  const Scores s = ev.Compute();
+  EXPECT_EQ(s.num_gt_anomalies, 0);
+  EXPECT_EQ(s.num_detected, 0);
+  EXPECT_DOUBLE_EQ(s.f1, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricsProperty,
+                         ::testing::Values(uint64_t{2}, uint64_t{13},
+                                           uint64_t{71}, uint64_t{2024}));
+
+// ---------------------------------------------------------------------------
+// Length groups (Table III's G1..G4).
+
+TEST(LengthGroupTest, PaperBoundaries) {
+  // G1 < 15, 15 <= G2 < 30, 30 <= G3 < 45, G4 >= 45.
+  EXPECT_EQ(LengthGroupOf(0), 0);
+  EXPECT_EQ(LengthGroupOf(14), 0);
+  EXPECT_EQ(LengthGroupOf(15), 1);
+  EXPECT_EQ(LengthGroupOf(29), 1);
+  EXPECT_EQ(LengthGroupOf(30), 2);
+  EXPECT_EQ(LengthGroupOf(44), 2);
+  EXPECT_EQ(LengthGroupOf(45), 3);
+  EXPECT_EQ(LengthGroupOf(1000), 3);
+}
+
+TEST(LengthGroupTest, MonotoneNonDecreasing) {
+  int prev = 0;
+  for (size_t n = 0; n < 100; ++n) {
+    const int g = LengthGroupOf(n);
+    EXPECT_GE(g, prev);
+    EXPECT_LT(g, kNumLengthGroups);
+    prev = g;
+  }
+}
+
+}  // namespace
+}  // namespace rl4oasd::eval

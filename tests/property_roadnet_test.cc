@@ -1,0 +1,270 @@
+// Property-based tests for the road-network substrate: shortest paths
+// cross-checked against a brute-force Bellman-Ford oracle on random graphs,
+// alternative-route invariants, spatial-index correctness against linear
+// scan, and geometry sanity.
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "mapmatch/spatial_index.h"
+#include "roadnet/geometry.h"
+#include "roadnet/grid_city.h"
+#include "roadnet/road_network.h"
+#include "roadnet/shortest_path.h"
+#include "test_util.h"
+
+namespace rl4oasd::roadnet {
+namespace {
+
+/// Brute-force single-source shortest distances over vertices (Bellman-Ford,
+/// edge-length weights) — the oracle for Dijkstra.
+std::vector<double> BellmanFord(const RoadNetwork& net, VertexId src) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(net.NumVertices(), kInf);
+  dist[src] = 0.0;
+  for (size_t round = 0; round + 1 < net.NumVertices(); ++round) {
+    bool changed = false;
+    for (size_t e = 0; e < net.NumEdges(); ++e) {
+      const Edge& ed = net.edge(static_cast<EdgeId>(e));
+      if (dist[ed.from] + ed.length_m < dist[ed.to] - 1e-9) {
+        dist[ed.to] = dist[ed.from] + ed.length_m;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  return dist;
+}
+
+/// Random sparse digraph with positive edge lengths.
+RoadNetwork RandomGraph(Rng* rng, int vertices, int edges) {
+  RoadNetwork net;
+  for (int v = 0; v < vertices; ++v) {
+    net.AddVertex({30.0 + 0.001 * rng->Uniform(), 104.0 + 0.001 * rng->Uniform()});
+  }
+  for (int e = 0; e < edges; ++e) {
+    const auto a = static_cast<VertexId>(rng->UniformInt(uint64_t(vertices)));
+    auto b = static_cast<VertexId>(rng->UniformInt(uint64_t(vertices)));
+    if (a == b) b = (b + 1) % vertices;
+    net.AddEdge(a, b, rng->Uniform(10.0, 500.0));
+  }
+  net.Build();
+  return net;
+}
+
+class ShortestPathProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ShortestPathProperty, MatchesBellmanFordOracle) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto net = RandomGraph(&rng, 25, 80);
+    const auto src = static_cast<VertexId>(rng.UniformInt(uint64_t{25}));
+    const auto oracle = BellmanFord(net, src);
+    for (VertexId dst = 0; dst < static_cast<VertexId>(net.NumVertices());
+         ++dst) {
+      const auto path = ShortestPath(net, src, dst);
+      if (oracle[dst] == std::numeric_limits<double>::infinity()) {
+        if (src != dst) {
+          EXPECT_TRUE(path.empty()) << "oracle says unreachable";
+        }
+        continue;
+      }
+      if (src == dst) continue;  // zero-length convention: skip
+      ASSERT_FALSE(path.empty()) << "oracle says reachable";
+      EXPECT_TRUE(net.IsConnectedPath(path));
+      EXPECT_EQ(net.edge(path.front()).from, src);
+      EXPECT_EQ(net.edge(path.back()).to, dst);
+      EXPECT_NEAR(net.PathLengthMeters(path), oracle[dst],
+                  1e-6 * std::max(1.0, oracle[dst]));
+    }
+  }
+}
+
+TEST_P(ShortestPathProperty, EdgeToEdgePathTraversesBothEndpoints) {
+  Rng rng(GetParam() ^ 0xA5A5);
+  const auto net = testing::SmallGrid(GetParam());
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto a = static_cast<EdgeId>(rng.UniformInt(net.NumEdges()));
+    const auto b = static_cast<EdgeId>(rng.UniformInt(net.NumEdges()));
+    const auto path = ShortestPathBetweenEdges(net, a, b);
+    if (path.empty()) continue;
+    EXPECT_EQ(path.front(), a);
+    EXPECT_EQ(path.back(), b);
+    EXPECT_TRUE(net.IsConnectedPath(path));
+  }
+}
+
+TEST_P(ShortestPathProperty, AlternativeRoutesInvariants) {
+  Rng rng(GetParam() ^ 0x1111);
+  const auto net = testing::SmallGrid(GetParam() + 5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto a = static_cast<EdgeId>(rng.UniformInt(net.NumEdges()));
+    const auto b = static_cast<EdgeId>(rng.UniformInt(net.NumEdges()));
+    const auto routes = AlternativeRoutes(net, a, b, 4);
+    if (routes.empty()) continue;
+    // First route is the true shortest path.
+    const auto sp = ShortestPathBetweenEdges(net, a, b);
+    EXPECT_NEAR(net.PathLengthMeters(routes[0]), net.PathLengthMeters(sp),
+                1e-9);
+    for (size_t i = 0; i < routes.size(); ++i) {
+      EXPECT_TRUE(net.IsConnectedPath(routes[i]));
+      EXPECT_EQ(routes[i].front(), a);
+      EXPECT_EQ(routes[i].back(), b);
+      // No shorter route may appear after a longer one was found first...
+      // (penalties only grow), and all routes are pairwise distinct.
+      for (size_t j = i + 1; j < routes.size(); ++j) {
+        EXPECT_NE(routes[i], routes[j]);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShortestPathProperty,
+                         ::testing::Values(uint64_t{3}, uint64_t{29},
+                                           uint64_t{123}));
+
+// ---------------------------------------------------------------------------
+// Spatial index vs linear scan.
+
+class SpatialIndexProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SpatialIndexProperty, QueryMatchesLinearScan) {
+  const auto net = testing::SmallGrid(GetParam());
+  mapmatch::SpatialIndex index(&net, /*cell_size_m=*/150.0);
+  Rng rng(GetParam() ^ 0xDEAD);
+
+  for (int trial = 0; trial < 40; ++trial) {
+    // A query point near a random vertex.
+    const auto v = static_cast<VertexId>(rng.UniformInt(net.NumVertices()));
+    LatLon p = net.vertex(v).pos;
+    p.lat += rng.Uniform(-0.001, 0.001);
+    p.lon += rng.Uniform(-0.001, 0.001);
+    const double radius = rng.Uniform(50.0, 400.0);
+
+    const auto got = index.Query(p, radius, /*max_candidates=*/1000);
+
+    // Oracle: all edges within radius, by point-to-segment distance.
+    size_t expected_count = 0;
+    double best = std::numeric_limits<double>::infinity();
+    for (size_t e = 0; e < net.NumEdges(); ++e) {
+      const Edge& ed = net.edge(static_cast<EdgeId>(e));
+      const double d = PointToSegmentMeters(p, net.vertex(ed.from).pos,
+                                            net.vertex(ed.to).pos);
+      if (d <= radius) ++expected_count;
+      best = std::min(best, d);
+    }
+    EXPECT_EQ(got.size(), expected_count) << "radius " << radius;
+    if (!got.empty()) {
+      // Sorted by distance, closest first, and the closest agrees with the
+      // oracle's minimum.
+      EXPECT_NEAR(got.front().distance_m, best, 1e-6);
+      for (size_t i = 1; i < got.size(); ++i) {
+        EXPECT_LE(got[i - 1].distance_m, got[i].distance_m + 1e-9);
+      }
+    }
+  }
+}
+
+TEST_P(SpatialIndexProperty, MaxCandidatesTruncatesClosestFirst) {
+  const auto net = testing::SmallGrid(GetParam());
+  mapmatch::SpatialIndex index(&net, 150.0);
+  const LatLon p = net.vertex(net.NumVertices() / 2).pos;
+  const auto all = index.Query(p, 500.0, 1000);
+  const auto top3 = index.Query(p, 500.0, 3);
+  ASSERT_LE(top3.size(), 3u);
+  for (size_t i = 0; i < top3.size() && i < all.size(); ++i) {
+    EXPECT_EQ(top3[i].edge, all[i].edge);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpatialIndexProperty,
+                         ::testing::Values(uint64_t{7}, uint64_t{77}));
+
+// ---------------------------------------------------------------------------
+// Geometry.
+
+TEST(GeometryProperty, HaversineAxioms) {
+  Rng rng(4);
+  for (int trial = 0; trial < 100; ++trial) {
+    const LatLon a{rng.Uniform(-60, 60), rng.Uniform(-180, 180)};
+    const LatLon b{rng.Uniform(-60, 60), rng.Uniform(-180, 180)};
+    EXPECT_NEAR(HaversineMeters(a, b), HaversineMeters(b, a), 1e-6);
+    EXPECT_GE(HaversineMeters(a, b), 0.0);
+    EXPECT_NEAR(HaversineMeters(a, a), 0.0, 1e-9);
+  }
+}
+
+TEST(GeometryProperty, ApproxDistanceCloseToHaversineAtCityScale) {
+  Rng rng(8);
+  for (int trial = 0; trial < 100; ++trial) {
+    const LatLon a{30.6 + rng.Uniform(-0.05, 0.05),
+                   104.0 + rng.Uniform(-0.05, 0.05)};
+    const LatLon b{30.6 + rng.Uniform(-0.05, 0.05),
+                   104.0 + rng.Uniform(-0.05, 0.05)};
+    const double h = HaversineMeters(a, b);
+    const double approx = ApproxDistanceMeters(a, b);
+    EXPECT_NEAR(approx, h, 0.01 * std::max(10.0, h));  // within 1%
+  }
+}
+
+TEST(GeometryProperty, PointToSegmentBounds) {
+  Rng rng(16);
+  for (int trial = 0; trial < 100; ++trial) {
+    const LatLon a{30.6 + rng.Uniform(-0.01, 0.01),
+                   104.0 + rng.Uniform(-0.01, 0.01)};
+    const LatLon b{30.6 + rng.Uniform(-0.01, 0.01),
+                   104.0 + rng.Uniform(-0.01, 0.01)};
+    const LatLon p{30.6 + rng.Uniform(-0.01, 0.01),
+                   104.0 + rng.Uniform(-0.01, 0.01)};
+    const double d = PointToSegmentMeters(p, a, b);
+    // Segment distance is at most the distance to either endpoint and
+    // non-negative.
+    EXPECT_GE(d, -1e-9);
+    EXPECT_LE(d, ApproxDistanceMeters(p, a) + 1e-6);
+    EXPECT_LE(d, ApproxDistanceMeters(p, b) + 1e-6);
+    // Projection parameter clamps to [0, 1] and the reported closest point
+    // is consistent with the distance.
+    LatLon closest;
+    const double t = ProjectOntoSegment(p, a, b, &closest);
+    EXPECT_GE(t, 0.0);
+    EXPECT_LE(t, 1.0);
+    EXPECT_NEAR(ApproxDistanceMeters(p, closest), d, 1e-6 + 0.01 * d);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Grid city structural invariants.
+
+class GridCityProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GridCityProperty, DegreesConsistentWithAdjacency) {
+  const auto net = testing::SmallGrid(GetParam());
+  for (size_t e = 0; e < net.NumEdges(); ++e) {
+    const auto id = static_cast<EdgeId>(e);
+    EXPECT_EQ(net.EdgeOutDegree(id),
+              static_cast<int>(net.NextEdges(id).size()));
+    EXPECT_EQ(net.EdgeInDegree(id),
+              static_cast<int>(net.PrevEdges(id).size()));
+    for (EdgeId next : net.NextEdges(id)) {
+      EXPECT_TRUE(net.AreConsecutive(id, next));
+    }
+  }
+}
+
+TEST_P(GridCityProperty, EdgeLengthsPositiveAndFinite) {
+  const auto net = testing::SmallGrid(GetParam());
+  for (size_t e = 0; e < net.NumEdges(); ++e) {
+    const double len = net.edge(static_cast<EdgeId>(e)).length_m;
+    EXPECT_GT(len, 0.0);
+    EXPECT_LT(len, 2000.0);  // blocks are ~200 m with jitter
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GridCityProperty,
+                         ::testing::Values(uint64_t{1}, uint64_t{2},
+                                           uint64_t{3}));
+
+}  // namespace
+}  // namespace rl4oasd::roadnet

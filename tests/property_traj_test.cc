@@ -1,0 +1,230 @@
+// Property-based tests for the trajectory substrate: workload-generator
+// invariants swept over seeds/configs, dataset splitting, and time slots.
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "test_util.h"
+#include "traj/dataset.h"
+#include "traj/generator.h"
+#include "traj/types.h"
+
+namespace rl4oasd::traj {
+namespace {
+
+class GeneratorProperty
+    : public ::testing::TestWithParam<std::tuple<uint64_t, double>> {
+ protected:
+  Dataset Make(const roadnet::RoadNetwork& net) {
+    auto [seed, anomaly_ratio] = GetParam();
+    GeneratorConfig cfg;
+    cfg.num_sd_pairs = 5;
+    cfg.min_trajs_per_pair = 40;
+    cfg.max_trajs_per_pair = 80;
+    cfg.anomaly_ratio = anomaly_ratio;
+    cfg.min_pair_dist_m = 800;
+    cfg.max_pair_dist_m = 2500;
+    cfg.min_route_edges = 8;
+    cfg.seed = seed;
+    TrajectoryGenerator gen(&net, cfg);
+    return gen.Generate();
+  }
+};
+
+TEST_P(GeneratorProperty, EveryTrajectoryIsConsistent) {
+  const auto net = rl4oasd::testing::SmallGrid();
+  const auto ds = Make(net);
+  ASSERT_GT(ds.size(), 0u);
+  std::unordered_set<int64_t> ids;
+  for (const auto& lt : ds.trajs()) {
+    // Labels parallel to edges; connected path; unique id; valid start time.
+    ASSERT_EQ(lt.labels.size(), lt.traj.edges.size());
+    EXPECT_TRUE(net.IsConnectedPath(lt.traj.edges));
+    EXPECT_TRUE(ids.insert(lt.traj.id).second);
+    EXPECT_GE(lt.traj.start_time, 0.0);
+    EXPECT_LT(lt.traj.start_time, 24 * 3600.0);
+    EXPECT_GE(lt.traj.edges.size(), 2u);
+  }
+}
+
+TEST_P(GeneratorProperty, EndpointsAreAlwaysNormal) {
+  // The paper defines source and destination segments as normal.
+  const auto net = rl4oasd::testing::SmallGrid();
+  const auto ds = Make(net);
+  for (const auto& lt : ds.trajs()) {
+    EXPECT_EQ(lt.labels.front(), 0);
+    EXPECT_EQ(lt.labels.back(), 0);
+  }
+}
+
+TEST_P(GeneratorProperty, AnomalyRatioApproximatelyRespected) {
+  auto [seed, ratio] = GetParam();
+  const auto net = rl4oasd::testing::SmallGrid();
+  const auto ds = Make(net);
+  const double actual =
+      static_cast<double>(ds.NumAnomalous()) / static_cast<double>(ds.size());
+  // Detour injection can fail and fall back to normal, so the realized
+  // ratio may undershoot; it must never overshoot by more than noise.
+  EXPECT_LE(actual, ratio * 1.6 + 0.02);
+  if (ratio >= 0.05) {
+    EXPECT_GT(actual, ratio * 0.3);
+  }
+}
+
+TEST_P(GeneratorProperty, DetoursReallyLeaveTheNormalRoutes) {
+  // A detour splice guarantees at least two interior edges off the pair's
+  // normal routes (individual anomalous edges may briefly cross a normal
+  // segment — the generator labels the whole splice contiguously, as a
+  // human labeler would).
+  auto [seed, ratio] = GetParam();
+  const auto net = rl4oasd::testing::SmallGrid();
+  GeneratorConfig cfg;
+  cfg.num_sd_pairs = 5;
+  cfg.min_trajs_per_pair = 40;
+  cfg.max_trajs_per_pair = 80;
+  cfg.anomaly_ratio = ratio;
+  cfg.min_pair_dist_m = 800;
+  cfg.max_pair_dist_m = 2500;
+  cfg.min_route_edges = 8;
+  cfg.seed = seed;
+  TrajectoryGenerator gen(&net, cfg);
+  const auto ds = gen.Generate();
+
+  int64_t anomalous_total = 0, anomalous_off_normal = 0;
+  for (const auto& info : gen.pairs()) {
+    std::unordered_set<EdgeId> normal_edges;
+    for (const auto& route : info.normal_routes) {
+      normal_edges.insert(route.begin(), route.end());
+    }
+    for (size_t idx : ds.Group(info.sd)) {
+      const auto& lt = ds[idx];
+      if (!lt.HasAnomaly()) continue;
+      int off_normal = 0;
+      for (size_t i = 0; i < lt.labels.size(); ++i) {
+        if (lt.labels[i] != 1) continue;
+        ++anomalous_total;
+        if (!normal_edges.contains(lt.traj.edges[i])) {
+          ++off_normal;
+          ++anomalous_off_normal;
+        }
+      }
+      EXPECT_GE(off_normal, 2)
+          << "trajectory " << lt.traj.id << " has a detour that never "
+          << "leaves its pair's normal routes";
+    }
+  }
+  // In aggregate, the overwhelming majority of anomalous edges are off the
+  // normal routes; brief crossings are the exception.
+  if (anomalous_total > 0) {
+    EXPECT_GT(anomalous_off_normal * 10, anomalous_total * 7);
+  }
+}
+
+TEST_P(GeneratorProperty, SameSeedSameDataset) {
+  const auto net = rl4oasd::testing::SmallGrid();
+  const auto a = Make(net);
+  const auto b = Make(net);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].traj.edges, b[i].traj.edges);
+    EXPECT_EQ(a[i].labels, b[i].labels);
+    EXPECT_EQ(a[i].traj.start_time, b[i].traj.start_time);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GeneratorProperty,
+    ::testing::Combine(::testing::Values(uint64_t{11}, uint64_t{42},
+                                         uint64_t{2023}),
+                       ::testing::Values(0.0, 0.05, 0.2)),
+    [](const auto& info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) + "_ratio" +
+             std::to_string(static_cast<int>(std::get<1>(info.param) * 100));
+    });
+
+// ---------------------------------------------------------------------------
+// Dataset operations.
+
+class DatasetProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DatasetProperty, SplitIsAPartition) {
+  const auto net = rl4oasd::testing::SmallGrid();
+  const auto ds = rl4oasd::testing::SmallDataset(net, 4);
+  Rng rng(GetParam());
+  const size_t train_size = ds.size() / 3;
+  auto [train, test] = ds.Split(train_size, &rng);
+  EXPECT_EQ(train.size(), train_size);
+  EXPECT_EQ(train.size() + test.size(), ds.size());
+  std::unordered_set<int64_t> ids;
+  for (const auto& lt : train.trajs()) ids.insert(lt.traj.id);
+  for (const auto& lt : test.trajs()) {
+    EXPECT_FALSE(ids.contains(lt.traj.id)) << "id in both splits";
+  }
+}
+
+TEST_P(DatasetProperty, DropFractionKeepsAtLeastOnePerPair) {
+  const auto net = rl4oasd::testing::SmallGrid();
+  const auto ds = rl4oasd::testing::SmallDataset(net, 4);
+  Rng rng(GetParam());
+  for (double rate : {0.5, 0.9, 0.99}) {
+    const auto dropped = ds.DropFraction(rate, &rng);
+    EXPECT_LT(dropped.size(), ds.size());
+    EXPECT_EQ(dropped.NumSdPairs(), ds.NumSdPairs());
+    for (const auto& [sd, indices] : dropped.Groups()) {
+      EXPECT_GE(indices.size(), 1u);
+    }
+  }
+}
+
+TEST_P(DatasetProperty, FilterSparsePairsThreshold) {
+  const auto net = rl4oasd::testing::SmallGrid();
+  auto ds = rl4oasd::testing::SmallDataset(net, 5);
+  // Add one pair with 3 trajectories only.
+  LabeledTrajectory tiny;
+  tiny.traj.id = 1 << 20;
+  tiny.traj.edges = ds[0].traj.edges;
+  std::reverse(tiny.traj.edges.begin(), tiny.traj.edges.end());
+  // A reversed edge sequence is not a valid path, but SD grouping only
+  // reads the endpoints; use 3 copies to form a sparse pair.
+  tiny.labels.assign(tiny.traj.edges.size(), 0);
+  for (int i = 0; i < 3; ++i) {
+    auto copy = tiny;
+    copy.traj.id += i;
+    ds.Add(std::move(copy));
+  }
+  const size_t pairs_before = ds.NumSdPairs();
+  ds.FilterSparsePairs(25);
+  EXPECT_EQ(ds.NumSdPairs(), pairs_before - 1);
+  for (const auto& [sd, indices] : ds.Groups()) {
+    EXPECT_GE(indices.size(), 25u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DatasetProperty,
+                         ::testing::Values(uint64_t{6}, uint64_t{66}));
+
+// ---------------------------------------------------------------------------
+// Time slots.
+
+TEST(TimeSlotProperty, CoversTheDayWithoutGaps) {
+  for (int granularity : {1, 2, 3, 6, 12, 24}) {
+    const int slots = NumTimeSlots(granularity);
+    EXPECT_EQ(slots, 24 / granularity);
+    int prev = -1;
+    for (double t = 0; t < 24 * 3600.0; t += 977.0) {
+      const int slot = TimeSlotOf(t, granularity);
+      EXPECT_GE(slot, 0);
+      EXPECT_LT(slot, slots);
+      EXPECT_GE(slot, prev);  // non-decreasing over the day
+      prev = slot;
+    }
+    // Slot boundaries at exact hour multiples.
+    EXPECT_EQ(TimeSlotOf(0.0, granularity), 0);
+    EXPECT_EQ(TimeSlotOf(granularity * 3600.0, granularity),
+              slots > 1 ? 1 : 0);
+  }
+}
+
+}  // namespace
+}  // namespace rl4oasd::traj

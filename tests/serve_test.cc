@@ -1,0 +1,287 @@
+// Tests for the fleet monitoring service: trip lifecycle, alert-on-formation
+// semantics, eviction, service counters, and thread-safe concurrent ingest.
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/fleet.h"
+#include "test_util.h"
+
+namespace rl4oasd::serve {
+namespace {
+
+/// One small trained model shared by every test in the suite (training takes
+/// a few seconds; the tests only need a consistent detector).
+class FleetTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    net_ = new roadnet::RoadNetwork(testing::SmallGrid());
+    dataset_ = new traj::Dataset(testing::SmallDataset(*net_, 6, 0.12));
+    core::Rl4OasdConfig cfg;
+    cfg.preprocess.alpha = 0.1;
+    cfg.preprocess.delta = 0.12;
+    cfg.detector.delay_d = 2;
+    cfg.rsr.embed_dim = 16;
+    cfg.rsr.nrf_dim = 8;
+    cfg.rsr.hidden_dim = 16;
+    cfg.asd.label_dim = 8;
+    cfg.embedding.dim = 16;
+    cfg.embedding.epochs = 1;
+    cfg.pretrain_samples = 60;
+    cfg.pretrain_epochs = 2;
+    cfg.joint_samples = 120;
+    cfg.epochs_per_traj = 1;
+    model_ = new core::Rl4Oasd(net_, cfg);
+    model_->Fit(*dataset_);
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete dataset_;
+    delete net_;
+    model_ = nullptr;
+    dataset_ = nullptr;
+    net_ = nullptr;
+  }
+
+  /// Feeds a whole trajectory through the monitor as vehicle `vid`.
+  static std::vector<uint8_t> RunTrip(FleetMonitor* monitor, int64_t vid,
+                                      const traj::MapMatchedTrajectory& t) {
+    EXPECT_TRUE(monitor->StartTrip(vid, t.sd(), t.start_time).ok());
+    double ts = t.start_time;
+    for (traj::EdgeId e : t.edges) {
+      auto label = monitor->Feed(vid, e, ts);
+      EXPECT_TRUE(label.ok());
+      ts += 2.0;  // paper sampling rate: 2-4 s
+    }
+    auto labels = monitor->EndTrip(vid);
+    EXPECT_TRUE(labels.ok());
+    return labels.ValueOr({});
+  }
+
+  static roadnet::RoadNetwork* net_;
+  static traj::Dataset* dataset_;
+  static core::Rl4Oasd* model_;
+};
+
+roadnet::RoadNetwork* FleetTest::net_ = nullptr;
+traj::Dataset* FleetTest::dataset_ = nullptr;
+core::Rl4Oasd* FleetTest::model_ = nullptr;
+
+TEST_F(FleetTest, TripLifecycle) {
+  CollectingSink sink;
+  FleetMonitor monitor(model_, {}, &sink);
+  const auto& t = (*dataset_)[0].traj;
+
+  EXPECT_EQ(monitor.ActiveTrips(), 0u);
+  ASSERT_TRUE(monitor.StartTrip(7, t.sd(), t.start_time).ok());
+  EXPECT_EQ(monitor.ActiveTrips(), 1u);
+
+  for (traj::EdgeId e : t.edges) {
+    auto label = monitor.Feed(7, e, t.start_time);
+    ASSERT_TRUE(label.ok());
+    EXPECT_TRUE(*label == 0 || *label == 1);
+  }
+  auto labels = monitor.EndTrip(7);
+  ASSERT_TRUE(labels.ok());
+  EXPECT_EQ(labels->size(), t.edges.size());
+  EXPECT_EQ(monitor.ActiveTrips(), 0u);
+
+  const FleetStats stats = monitor.Stats();
+  EXPECT_EQ(stats.trips_started, 1);
+  EXPECT_EQ(stats.trips_finished, 1);
+  EXPECT_EQ(stats.points_processed,
+            static_cast<int64_t>(t.edges.size()));
+  EXPECT_EQ(sink.NumFinished(), 1u);
+}
+
+TEST_F(FleetTest, MonitorLabelsMatchBatchDetection) {
+  // The streaming service must reproduce Rl4Oasd::Detect exactly.
+  CollectingSink sink;
+  FleetMonitor monitor(model_, {}, &sink);
+  for (size_t i = 0; i < 30; ++i) {
+    const auto& t = (*dataset_)[i].traj;
+    if (t.edges.size() < 2) continue;
+    EXPECT_EQ(RunTrip(&monitor, static_cast<int64_t>(i), t),
+              model_->Detect(t))
+        << "trajectory " << i;
+  }
+}
+
+TEST_F(FleetTest, DoubleStartRejected) {
+  FleetMonitor monitor(model_, {}, nullptr);
+  const auto& t = (*dataset_)[0].traj;
+  ASSERT_TRUE(monitor.StartTrip(1, t.sd(), 0.0).ok());
+  const Status st = monitor.StartTrip(1, t.sd(), 0.0);
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(FleetTest, FeedAndEndWithoutStartRejected) {
+  FleetMonitor monitor(model_, {}, nullptr);
+  EXPECT_EQ(monitor.Feed(99, 0, 0.0).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(monitor.EndTrip(99).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(FleetTest, AnomalousTripEmitsAlert) {
+  CollectingSink sink;
+  FleetMonitor monitor(model_, {}, &sink);
+  // Find anomalous trajectories the batch detector actually flags, and
+  // verify the streaming path alerts on them.
+  int checked = 0;
+  int64_t vid = 1000;
+  for (const auto& lt : dataset_->trajs()) {
+    if (!lt.HasAnomaly() || lt.traj.edges.size() < 2) continue;
+    const auto batch = model_->Detect(lt.traj);
+    const auto batch_runs = traj::ExtractAnomalousRuns(batch);
+    if (batch_runs.empty()) continue;
+
+    const size_t alerts_before = sink.NumAlerts();
+    RunTrip(&monitor, vid++, lt.traj);
+    EXPECT_GT(sink.NumAlerts(), alerts_before)
+        << "trajectory " << lt.traj.id << " flagged in batch but no alert";
+    if (++checked >= 5) break;
+  }
+  EXPECT_GT(checked, 0) << "dataset produced no detectable anomalies";
+}
+
+TEST_F(FleetTest, AlertRangesMatchFinalRuns) {
+  CollectingSink sink;
+  FleetMonitor monitor(model_, {}, &sink);
+  for (const auto& lt : dataset_->trajs()) {
+    if (!lt.HasAnomaly() || lt.traj.edges.size() < 2) continue;
+    const auto labels = RunTrip(&monitor, 1, lt.traj);
+    const auto final_runs = traj::ExtractAnomalousRuns(labels);
+    const auto alerts = sink.TakeAlerts();
+    // Every alert must correspond to an anomalous region: each alerted range
+    // overlaps some final run (DL post-processing may extend boundaries).
+    for (const Alert& a : alerts) {
+      bool overlaps = false;
+      for (const auto& r : final_runs) {
+        if (a.range.begin < r.end && r.begin < a.range.end) overlaps = true;
+      }
+      EXPECT_TRUE(overlaps) << "alert [" << a.range.begin << ","
+                            << a.range.end << ") matches no final run";
+    }
+    // And every final run was alerted at least once.
+    if (!final_runs.empty()) {
+      EXPECT_GE(alerts.size(), final_runs.size());
+    }
+    break;
+  }
+}
+
+TEST_F(FleetTest, StatsCountAlerts) {
+  CollectingSink sink;
+  FleetMonitor monitor(model_, {}, &sink);
+  int64_t vid = 0;
+  for (size_t i = 0; i < 40; ++i) {
+    const auto& t = (*dataset_)[i].traj;
+    if (t.edges.size() < 2) continue;
+    RunTrip(&monitor, vid++, t);
+  }
+  EXPECT_EQ(monitor.Stats().alerts_emitted,
+            static_cast<int64_t>(sink.NumAlerts()));
+}
+
+TEST_F(FleetTest, EvictStaleDropsIdleTrips) {
+  FleetConfig cfg;
+  cfg.trip_timeout_s = 100.0;
+  FleetMonitor monitor(model_, cfg, nullptr);
+  const auto& t = (*dataset_)[0].traj;
+  ASSERT_TRUE(monitor.StartTrip(1, t.sd(), 0.0).ok());
+  ASSERT_TRUE(monitor.StartTrip(2, t.sd(), 0.0).ok());
+  ASSERT_TRUE(monitor.Feed(2, t.edges[0], 500.0).ok());
+
+  // Vehicle 1 last updated at t=0, vehicle 2 at t=500.
+  EXPECT_EQ(monitor.EvictStale(550.0), 1u);
+  EXPECT_EQ(monitor.ActiveTrips(), 1u);
+  EXPECT_EQ(monitor.Feed(1, t.edges[0], 551.0).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_TRUE(monitor.Feed(2, t.edges[1], 551.0).ok());
+  EXPECT_EQ(monitor.Stats().trips_evicted, 1);
+}
+
+TEST_F(FleetTest, MaxActiveTripsEvictsStalest) {
+  FleetConfig cfg;
+  cfg.max_active_trips = 3;
+  FleetMonitor monitor(model_, cfg, nullptr);
+  const auto& t = (*dataset_)[0].traj;
+  for (int64_t v = 0; v < 3; ++v) {
+    ASSERT_TRUE(monitor.StartTrip(v, t.sd(), 100.0 * static_cast<double>(v))
+                    .ok());
+  }
+  EXPECT_EQ(monitor.ActiveTrips(), 3u);
+  // The cap is reached: starting a fourth evicts vehicle 0 (stalest).
+  ASSERT_TRUE(monitor.StartTrip(100, t.sd(), 400.0).ok());
+  EXPECT_EQ(monitor.ActiveTrips(), 3u);
+  EXPECT_EQ(monitor.Feed(0, t.edges[0], 401.0).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(FleetTest, ConcurrentIngestFromManyThreads) {
+  CollectingSink sink;
+  FleetMonitor monitor(model_, {}, &sink);
+
+  constexpr int kThreads = 8;
+  constexpr int kTripsPerThread = 12;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int th = 0; th < kThreads; ++th) {
+    threads.emplace_back([&, th] {
+      for (int k = 0; k < kTripsPerThread; ++k) {
+        const auto& lt =
+            (*dataset_)[(static_cast<size_t>(th) * 31 + static_cast<size_t>(k)) %
+                        dataset_->size()];
+        const auto& t = lt.traj;
+        if (t.edges.size() < 2) continue;
+        const int64_t vid = th * 1000 + k;
+        if (!monitor.StartTrip(vid, t.sd(), t.start_time).ok()) {
+          ++failures;
+          continue;
+        }
+        for (traj::EdgeId e : t.edges) {
+          if (!monitor.Feed(vid, e, t.start_time).ok()) ++failures;
+        }
+        auto labels = monitor.EndTrip(vid);
+        if (!labels.ok() || labels->size() != t.edges.size()) ++failures;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(monitor.ActiveTrips(), 0u);
+  const FleetStats stats = monitor.Stats();
+  EXPECT_EQ(stats.trips_started, stats.trips_finished);
+  EXPECT_GT(stats.points_processed, 0);
+}
+
+TEST_F(FleetTest, ConcurrentResultsMatchSerialDetection) {
+  // Interleaved multi-vehicle streaming must not cross-contaminate sessions:
+  // run the same 16 trajectories concurrently and compare every label
+  // sequence against the serial batch result.
+  std::vector<const traj::LabeledTrajectory*> picks;
+  for (const auto& lt : dataset_->trajs()) {
+    if (lt.traj.edges.size() >= 2) picks.push_back(&lt);
+    if (picks.size() == 16) break;
+  }
+  FleetMonitor monitor(model_, {}, nullptr);
+  std::vector<std::vector<uint8_t>> streamed(picks.size());
+  std::vector<std::thread> threads;
+  for (size_t i = 0; i < picks.size(); ++i) {
+    threads.emplace_back([&, i] {
+      streamed[i] = RunTrip(&monitor, static_cast<int64_t>(i),
+                            picks[i]->traj);
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (size_t i = 0; i < picks.size(); ++i) {
+    EXPECT_EQ(streamed[i], model_->Detect(picks[i]->traj)) << "vehicle " << i;
+  }
+}
+
+}  // namespace
+}  // namespace rl4oasd::serve

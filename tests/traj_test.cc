@@ -1,0 +1,263 @@
+// Trajectory substrate tests: dataset container, generator invariants
+// (property-style over seeds), and the GPS sampler.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <unordered_set>
+
+#include "test_util.h"
+#include "traj/dataset.h"
+#include "traj/generator.h"
+#include "traj/gps_sampler.h"
+
+namespace rl4oasd::traj {
+namespace {
+
+using ::rl4oasd::testing::SmallDataset;
+using ::rl4oasd::testing::SmallGrid;
+
+TEST(DatasetTest, GroupsBySdPair) {
+  const auto net = SmallGrid();
+  const auto ds = SmallDataset(net, 4);
+  EXPECT_GT(ds.size(), 0u);
+  size_t total = 0;
+  for (const auto& [sd, idxs] : ds.Groups()) {
+    for (size_t i : idxs) {
+      EXPECT_EQ(ds[i].traj.sd(), sd);
+    }
+    total += idxs.size();
+  }
+  EXPECT_EQ(total, ds.size());
+}
+
+TEST(DatasetTest, SplitPartitions) {
+  const auto net = SmallGrid();
+  const auto ds = SmallDataset(net, 4);
+  Rng rng(1);
+  const auto [train, test] = ds.Split(ds.size() / 2, &rng);
+  EXPECT_EQ(train.size(), ds.size() / 2);
+  EXPECT_EQ(train.size() + test.size(), ds.size());
+  // Ids are disjoint.
+  std::unordered_set<int64_t> train_ids;
+  for (const auto& t : train.trajs()) train_ids.insert(t.traj.id);
+  for (const auto& t : test.trajs()) {
+    EXPECT_FALSE(train_ids.contains(t.traj.id));
+  }
+}
+
+TEST(DatasetTest, FilterSparsePairs) {
+  const auto net = SmallGrid();
+  auto ds = SmallDataset(net, 5);
+  const size_t before_pairs = ds.NumSdPairs();
+  ds.FilterSparsePairs(1000);  // nothing has 1000 trajectories
+  EXPECT_EQ(ds.size(), 0u);
+  auto ds2 = SmallDataset(net, 5);
+  ds2.FilterSparsePairs(1);
+  EXPECT_EQ(ds2.NumSdPairs(), before_pairs);
+}
+
+TEST(DatasetTest, DropFractionKeepsPairs) {
+  const auto net = SmallGrid();
+  const auto ds = SmallDataset(net, 5);
+  Rng rng(3);
+  const auto dropped = ds.DropFraction(0.8, &rng);
+  EXPECT_LT(dropped.size(), ds.size());
+  // Every pair survives (cold-start experiment requirement).
+  EXPECT_EQ(dropped.NumSdPairs(), ds.NumSdPairs());
+  for (const auto& [sd, idxs] : dropped.Groups()) {
+    const auto& orig = ds.Group(sd);
+    EXPECT_GE(idxs.size(), 1u);
+    EXPECT_NEAR(static_cast<double>(idxs.size()),
+                0.2 * static_cast<double>(orig.size()),
+                2.0);
+  }
+}
+
+TEST(DatasetTest, CsvRoundTrip) {
+  const auto net = SmallGrid();
+  const auto ds = SmallDataset(net, 3);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "rl4oasd_ds_test.csv")
+          .string();
+  ASSERT_TRUE(ds.SaveCsv(path).ok());
+  auto loaded = Dataset::LoadCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), ds.size());
+  for (size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_EQ((*loaded)[i].traj.id, ds[i].traj.id);
+    EXPECT_EQ((*loaded)[i].traj.edges, ds[i].traj.edges);
+    EXPECT_EQ((*loaded)[i].labels, ds[i].labels);
+    EXPECT_NEAR((*loaded)[i].traj.start_time, ds[i].traj.start_time, 0.1);
+  }
+  std::remove(path.c_str());
+}
+
+// ---- Generator properties, swept over seeds (parameterized).
+
+class GeneratorPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GeneratorPropertyTest, TrajectoriesAreConnectedPaths) {
+  const auto net = SmallGrid();
+  const auto ds = SmallDataset(net, 4, 0.2, GetParam());
+  for (const auto& lt : ds.trajs()) {
+    EXPECT_TRUE(net.IsConnectedPath(lt.traj.edges));
+    EXPECT_EQ(lt.labels.size(), lt.traj.edges.size());
+  }
+}
+
+TEST_P(GeneratorPropertyTest, EndpointsNeverAnomalous) {
+  const auto net = SmallGrid();
+  const auto ds = SmallDataset(net, 4, 0.3, GetParam());
+  for (const auto& lt : ds.trajs()) {
+    ASSERT_FALSE(lt.labels.empty());
+    EXPECT_EQ(lt.labels.front(), 0);
+    EXPECT_EQ(lt.labels.back(), 0);
+  }
+}
+
+TEST_P(GeneratorPropertyTest, SdPairPreservedUnderDetour) {
+  const auto net = SmallGrid();
+  GeneratorConfig cfg;
+  cfg.num_sd_pairs = 3;
+  cfg.min_trajs_per_pair = 20;
+  cfg.max_trajs_per_pair = 30;
+  cfg.anomaly_ratio = 1.0;  // every trajectory gets a detour if possible
+  cfg.min_pair_dist_m = 800;
+  cfg.max_pair_dist_m = 2500;
+  cfg.seed = GetParam();
+  TrajectoryGenerator gen(&net, cfg);
+  const auto ds = gen.Generate();
+  for (const auto& info : gen.pairs()) {
+    for (size_t i : ds.Group(info.sd)) {
+      EXPECT_EQ(ds[i].traj.edges.front(), info.sd.source);
+      EXPECT_EQ(ds[i].traj.edges.back(), info.sd.dest);
+    }
+  }
+}
+
+TEST_P(GeneratorPropertyTest, AnomalousEdgesAreMostlyOffNormalRoutes) {
+  const auto net = SmallGrid();
+  GeneratorConfig cfg;
+  cfg.num_sd_pairs = 3;
+  cfg.min_trajs_per_pair = 20;
+  cfg.max_trajs_per_pair = 30;
+  cfg.anomaly_ratio = 0.5;
+  cfg.min_pair_dist_m = 800;
+  cfg.max_pair_dist_m = 2500;
+  cfg.seed = GetParam();
+  TrajectoryGenerator gen(&net, cfg);
+  const auto ds = gen.Generate();
+  // Ground truth marks the detour interior contiguously (like a human
+  // labeler); each interior must still deviate substantially from the
+  // pair's normal routes.
+  for (const auto& info : gen.pairs()) {
+    std::unordered_set<EdgeId> normal_edges;
+    for (const auto& r : info.normal_routes) {
+      normal_edges.insert(r.begin(), r.end());
+    }
+    for (size_t i : ds.Group(info.sd)) {
+      const auto& lt = ds[i];
+      int anomalous = 0, off_normal = 0;
+      for (size_t k = 0; k < lt.labels.size(); ++k) {
+        if (lt.labels[k]) {
+          ++anomalous;
+          off_normal += normal_edges.contains(lt.traj.edges[k]) ? 0 : 1;
+        }
+      }
+      if (anomalous > 0) {
+        EXPECT_GE(off_normal, 2)
+            << "detour does not deviate from the normal routes";
+      }
+    }
+  }
+}
+
+TEST_P(GeneratorPropertyTest, AnomalyRatioApproximatelyRespected) {
+  const auto net = SmallGrid();
+  GeneratorConfig cfg;
+  cfg.num_sd_pairs = 6;
+  cfg.min_trajs_per_pair = 50;
+  cfg.max_trajs_per_pair = 80;
+  cfg.anomaly_ratio = 0.2;
+  cfg.min_pair_dist_m = 800;
+  cfg.max_pair_dist_m = 2500;
+  cfg.seed = GetParam();
+  TrajectoryGenerator gen(&net, cfg);
+  const auto ds = gen.Generate();
+  const double ratio =
+      static_cast<double>(ds.NumAnomalous()) / static_cast<double>(ds.size());
+  EXPECT_GT(ratio, 0.08);
+  EXPECT_LT(ratio, 0.35);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorPropertyTest,
+                         ::testing::Values(1, 2, 3, 17, 42));
+
+TEST(GeneratorTest, PopularityRotatesUnderDrift) {
+  const auto net = SmallGrid();
+  GeneratorConfig cfg;
+  cfg.num_sd_pairs = 2;
+  cfg.drift_parts = 4;
+  cfg.min_pair_dist_m = 800;
+  cfg.max_pair_dist_m = 2500;
+  TrajectoryGenerator gen(&net, cfg);
+  gen.Generate();
+  ASSERT_FALSE(gen.pairs().empty());
+  const auto& info = gen.pairs()[0];
+  if (info.normal_routes.size() < 2) GTEST_SKIP();
+  const auto w0 = gen.EffectivePopularity(info, 1 * 3600.0);   // part 0
+  const auto w1 = gen.EffectivePopularity(info, 7 * 3600.0);   // part 1
+  EXPECT_NE(w0, w1);
+  // Part 0 equals the base popularity.
+  EXPECT_EQ(w0, info.base_popularity);
+}
+
+TEST(GeneratorTest, NoDriftMeansStablePopularity) {
+  const auto net = SmallGrid();
+  GeneratorConfig cfg;
+  cfg.num_sd_pairs = 2;
+  cfg.min_pair_dist_m = 800;
+  cfg.max_pair_dist_m = 2500;
+  TrajectoryGenerator gen(&net, cfg);
+  gen.Generate();
+  const auto& info = gen.pairs()[0];
+  EXPECT_EQ(gen.EffectivePopularity(info, 0.0),
+            gen.EffectivePopularity(info, 80000.0));
+}
+
+TEST(GpsSamplerTest, ProducesPlausibleTrace) {
+  const auto net = SmallGrid();
+  const auto ds = SmallDataset(net, 3);
+  GpsSampler sampler(&net, GpsSamplerConfig{});
+  const auto& t = ds[0].traj;
+  const auto raw = sampler.Sample(t);
+  ASSERT_GT(raw.points.size(), 2u);
+  // Timestamps strictly increase and intervals are in [2, 4] s.
+  for (size_t i = 1; i < raw.points.size(); ++i) {
+    const double dt = raw.points[i].t - raw.points[i - 1].t;
+    EXPECT_GE(dt, 2.0 - 1e-9);
+    EXPECT_LE(dt, 4.0 + 1e-9);
+  }
+  // Every fix lies near some edge of the trajectory (within noise bounds).
+  for (const auto& p : raw.points) {
+    double best = 1e18;
+    for (EdgeId e : t.edges) {
+      const auto& edge = net.edge(e);
+      best = std::min(best, roadnet::PointToSegmentMeters(
+                                p.pos, net.vertex(edge.from).pos,
+                                net.vertex(edge.to).pos));
+    }
+    EXPECT_LT(best, 100.0);  // 10 m sigma, so 100 m is a >9-sigma bound
+  }
+}
+
+TEST(GpsSamplerTest, EmptyTrajectoryGivesEmptyTrace) {
+  const auto net = SmallGrid();
+  GpsSampler sampler(&net, GpsSamplerConfig{});
+  MapMatchedTrajectory t;
+  EXPECT_TRUE(sampler.Sample(t).points.empty());
+}
+
+}  // namespace
+}  // namespace rl4oasd::traj

@@ -1,0 +1,62 @@
+// oasd_inspect: prints the structure of a model bundle — format version,
+// every config key, preprocessor statistics, and tensor shapes — without
+// needing the road network it was trained on. Useful for auditing what a
+// deployed model was trained with.
+//
+//   oasd_inspect data/model.rlmb
+#include <cstdio>
+
+#include "common/flags.h"
+#include "io/model_io.h"
+#include "tools/tool_util.h"
+
+namespace rl4oasd {
+namespace {
+
+int Main(int argc, char** argv) {
+  FlagSet flags("oasd_inspect", "describe a model bundle's contents");
+  flags.AddBool("tensors", true, "list tensor shapes");
+  flags.AddBool("config", true, "list config key-values");
+  tools::ParseFlagsOrExit(&flags, argc, argv);
+  if (flags.positional().size() != 1) {
+    std::fprintf(stderr, "usage: oasd_inspect [flags] <model.rlmb>\n\n%s",
+                 flags.Help().c_str());
+    return 1;
+  }
+
+  const auto desc =
+      tools::ExitIfError(io::DescribeModel(flags.positional()[0]));
+  std::printf("model bundle: %s\n", flags.positional()[0].c_str());
+  std::printf("  format version:   %u\n", desc.version);
+  std::printf("  history:          %lld trajectories across %zu "
+              "(SD pair, slot) groups\n",
+              static_cast<long long>(desc.num_trajs), desc.num_groups);
+  std::printf("  total weights:    %zu\n", desc.total_weights);
+
+  if (flags.GetBool("tensors")) {
+    std::printf("\n  RSRNet tensors:\n");
+    for (const auto& t : desc.rsr_tensors) {
+      std::printf("    %-24s %6llu x %-6llu\n", t.name.c_str(),
+                  static_cast<unsigned long long>(t.rows),
+                  static_cast<unsigned long long>(t.cols));
+    }
+    std::printf("  ASDNet tensors:\n");
+    for (const auto& t : desc.asd_tensors) {
+      std::printf("    %-24s %6llu x %-6llu\n", t.name.c_str(),
+                  static_cast<unsigned long long>(t.rows),
+                  static_cast<unsigned long long>(t.cols));
+    }
+  }
+  if (flags.GetBool("config")) {
+    std::printf("\n  config:\n");
+    for (const auto& [key, value] : desc.config) {
+      std::printf("    %-36s %g\n", key.c_str(), value);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace rl4oasd
+
+int main(int argc, char** argv) { return rl4oasd::Main(argc, argv); }
