@@ -11,9 +11,10 @@ void ApplyDelayedLabeling(std::vector<uint8_t>* labels, int delay_d) {
   int last_one = -1;
   for (int i = 0; i < n; ++i) {
     if (!l[i]) continue;
-    // A boundary formed at `last_one`; this 1 at `i` is within the D-segment
-    // lookahead if the zero gap is shorter than D.
-    if (last_one >= 0 && i - last_one <= delay_d && i - last_one > 1) {
+    // A boundary formed at `last_one`; the D-segment lookahead scans D more
+    // segments past it, so this 1 at `i` merges when the zero gap
+    // (i - last_one - 1) is at most D.
+    if (last_one >= 0 && i - last_one <= delay_d + 1 && i - last_one > 1) {
       for (int k = last_one + 1; k < i; ++k) l[k] = 1;
     }
     last_one = i;
@@ -58,6 +59,7 @@ OnlineDetector::Session::Session(const OnlineDetector* owner, traj::SdPair sd,
       sd_(sd),
       start_time_(start_time),
       stream_(owner->rsr_->config().hidden_dim),
+      tracker_(owner->config_.use_dl ? owner->config_.delay_d : 0),
       rng_(owner->config_.seed) {}
 
 int OnlineDetector::Session::Feed(traj::EdgeId edge) {
@@ -91,12 +93,32 @@ int OnlineDetector::Session::Feed(traj::EdgeId edge) {
   edges_.push_back(edge);
   prev_edge_ = edge;
   prev_label_ = label;
+  if (const auto run = tracker_.Push(label)) RecordClosedRun(*run);
   return label;
 }
 
 std::vector<uint8_t> OnlineDetector::Session::Finish() {
   if (!labels_.empty()) labels_.back() = 0;
   Postprocess(&labels_);
+  if (!finished_) {
+    finished_ = true;
+    // Reconcile the incremental run list with the authoritative final
+    // labels. Runs already finalized are bit-identical here (the tail was
+    // out of their DL reach); anything beyond them — the open tail, or a
+    // pending run reshaped by the forced-normal destination — surfaces now.
+    // Matching by begin offset guarantees a run is neither re-reported nor
+    // skipped.
+    size_t known = 0;
+    for (const auto& run : traj::ExtractAnomalousRuns(labels_)) {
+      if (known < closed_runs_.size() &&
+          closed_runs_[known].begin == run.begin) {
+        ++known;
+        continue;
+      }
+      closed_runs_.push_back(run);
+      newly_closed_.push_back(run);
+    }
+  }
   return labels_;
 }
 
@@ -112,29 +134,58 @@ void OnlineDetector::Session::Postprocess(std::vector<uint8_t>* labels) const {
 void OnlineDetector::Session::TrimRunBoundaries(
     std::vector<uint8_t>* labels) const {
   auto& l = *labels;
-  const auto& pre = *owner_->preprocessor_;
   for (const auto& run : traj::ExtractAnomalousRuns(l)) {
-    // Walk the run ends inward while the boundary edge itself lies on a
-    // normal route of the group (the transition into it was rare, the
-    // segment is not).
-    int b = run.begin;
-    int e = run.end;  // exclusive
-    while (b < e &&
-           pre.EdgeOnNormalRouteAt(sd_, start_time_, edges_[b])) {
-      l[b++] = 0;
-    }
-    while (e > b &&
-           pre.EdgeOnNormalRouteAt(sd_, start_time_, edges_[e - 1])) {
-      l[--e] = 0;
-    }
+    const traj::Subtrajectory kept = TrimmedRun(run);
+    for (int k = run.begin; k < kept.begin; ++k) l[k] = 0;
+    for (int k = kept.end; k < run.end; ++k) l[k] = 0;
   }
+}
+
+traj::Subtrajectory OnlineDetector::Session::TrimmedRun(
+    traj::Subtrajectory run) const {
+  // Walk the run ends inward while the boundary edge itself lies on a
+  // normal route of the group (the transition into it was rare, the
+  // segment is not).
+  const auto& pre = *owner_->preprocessor_;
+  while (run.begin < run.end &&
+         pre.EdgeOnNormalRouteAt(sd_, start_time_, edges_[run.begin])) {
+    ++run.begin;
+  }
+  while (run.end > run.begin &&
+         pre.EdgeOnNormalRouteAt(sd_, start_time_, edges_[run.end - 1])) {
+    --run.end;
+  }
+  return run;
+}
+
+void OnlineDetector::Session::RecordClosedRun(traj::Subtrajectory run) {
+  if (owner_->config_.use_boundary_trim) run = TrimmedRun(run);
+  if (run.begin >= run.end) return;  // trimmed away entirely
+  closed_runs_.push_back(run);
+  newly_closed_.push_back(run);
 }
 
 std::vector<traj::Subtrajectory> OnlineDetector::Session::CurrentAnomalies()
     const {
-  std::vector<uint8_t> copy = labels_;
-  Postprocess(&copy);
-  return traj::ExtractAnomalousRuns(copy);
+  std::vector<traj::Subtrajectory> runs = closed_runs_;
+  if (auto open = OpenRun()) runs.push_back(*open);
+  return runs;
+}
+
+std::vector<traj::Subtrajectory>
+OnlineDetector::Session::TakeNewlyClosedRuns() {
+  std::vector<traj::Subtrajectory> taken;
+  taken.swap(newly_closed_);
+  return taken;
+}
+
+std::optional<traj::Subtrajectory> OnlineDetector::Session::OpenRun() const {
+  if (finished_) return std::nullopt;  // settled into closed_runs_
+  auto run = tracker_.pending();
+  if (!run.has_value()) return std::nullopt;
+  if (owner_->config_.use_boundary_trim) run = TrimmedRun(*run);
+  if (run->begin >= run->end) return std::nullopt;
+  return run;
 }
 
 std::vector<uint8_t> OnlineDetector::Detect(

@@ -7,6 +7,7 @@
 // which is what the per-point efficiency experiments (Figure 3) measure.
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "common/rng.h"
@@ -35,9 +36,56 @@ struct DetectorConfig {
 };
 
 /// Applies the Delayed-Labeling merge to a finished label sequence: a run of
-/// 0s of length < D sandwiched between 1s is converted to 1s (paper: scan D
-/// more segments after a boundary and extend to the last 1 found).
+/// 0s of length <= D sandwiched between 1s is converted to 1s (paper: scan D
+/// more segments after a boundary and extend to the last 1 found, so a zero
+/// gap of exactly D is still within the lookahead).
 void ApplyDelayedLabeling(std::vector<uint8_t>* labels, int delay_d);
+
+/// Incrementally maintains the post-Delayed-Labeling run structure of a
+/// streaming 0/1 label sequence in O(1) per label. A run becomes *final*
+/// once no future label can reach it: DL merges a zero gap of at most D, so
+/// a run followed by D+1 zeros can never change again. Feeding the raw
+/// per-point labels reproduces exactly the runs that ApplyDelayedLabeling +
+/// traj::ExtractAnomalousRuns would compute on the same prefix.
+class RunTracker {
+ public:
+  /// `delay_d` <= 0 disables merging (a run is final at its first zero).
+  explicit RunTracker(int delay_d) : d_(delay_d > 0 ? delay_d : 0) {}
+
+  /// Consumes the next label; returns the run that just became final, if
+  /// any. Runs are returned in order and exactly once each.
+  std::optional<traj::Subtrajectory> Push(int label) {
+    const int i = pos_++;
+    std::optional<traj::Subtrajectory> closed;
+    if (label != 0) {
+      if (has_pending_ && i - pending_.end <= d_) {
+        pending_.end = i + 1;  // extend (gap 0) or DL-merge (gap <= D)
+      } else {
+        if (has_pending_) closed = pending_;
+        pending_ = {i, i + 1};
+        has_pending_ = true;
+      }
+    } else if (has_pending_ && i >= pending_.end + d_) {
+      // The (D+1)-th zero after the run: no future 1 is within DL reach.
+      closed = pending_;
+      has_pending_ = false;
+    }
+    return closed;
+  }
+
+  /// The run still reachable by future labels (open or inside the DL merge
+  /// window), if any.
+  std::optional<traj::Subtrajectory> pending() const {
+    if (!has_pending_) return std::nullopt;
+    return pending_;
+  }
+
+ private:
+  int d_;
+  int pos_ = 0;
+  bool has_pending_ = false;
+  traj::Subtrajectory pending_{0, 0};
+};
 
 /// RNEL rule (paper Section IV-E). Returns 0/1 when the label of the current
 /// segment is deterministic given the previous segment's label and the graph
@@ -62,19 +110,44 @@ class OnlineDetector {
     int Feed(traj::EdgeId edge);
 
     /// Marks the trajectory complete: forces the last label to 0 and applies
-    /// Delayed Labeling. Returns the final labels.
+    /// Delayed Labeling. Returns the final labels. Any run not yet surfaced
+    /// through TakeNewlyClosedRuns (the open tail, a pending run the
+    /// forced-normal destination shrank) becomes takable after this call.
     std::vector<uint8_t> Finish();
 
     /// Anomalous subtrajectories formed so far (with DL applied to the
-    /// already-seen prefix). Usable mid-stream for monitoring.
+    /// already-seen prefix). Usable mid-stream for monitoring. O(runs), not
+    /// O(points): the run list is maintained incrementally by Feed.
     std::vector<traj::Subtrajectory> CurrentAnomalies() const;
 
+    /// Drains the runs that became final since the last call: Delayed
+    /// Labeling can no longer extend or merge them, and boundary trimming
+    /// has been applied. Each run is returned exactly once, in stream
+    /// order — a caller alerting on these never re-reports or skips a run
+    /// when DL merges fragments, and never rescans the trip.
+    std::vector<traj::Subtrajectory> TakeNewlyClosedRuns();
+
+    /// The trimmed anomalous run still open or inside the DL merge window,
+    /// if any. This is what an eviction must surface so that an in-progress
+    /// anomaly is not silently dropped.
+    std::optional<traj::Subtrajectory> OpenRun() const;
+
     const std::vector<uint8_t>& labels() const { return labels_; }
+
+    /// All runs finalized so far (post-DL, post-trim), in stream order.
+    const std::vector<traj::Subtrajectory>& closed_runs() const {
+      return closed_runs_;
+    }
 
    private:
     /// DL merge followed by route-level boundary trimming.
     void Postprocess(std::vector<uint8_t>* labels) const;
     void TrimRunBoundaries(std::vector<uint8_t>* labels) const;
+    /// Walks `run`'s ends inward past edges lying on a normal route of the
+    /// group; may return an empty range.
+    traj::Subtrajectory TrimmedRun(traj::Subtrajectory run) const;
+    /// Trims a DL-final run and records it (dropped if trimmed to empty).
+    void RecordClosedRun(traj::Subtrajectory run);
 
     const OnlineDetector* owner_;
     traj::SdPair sd_;
@@ -84,6 +157,10 @@ class OnlineDetector {
     int prev_label_ = 0;
     std::vector<uint8_t> labels_;
     std::vector<traj::EdgeId> edges_;
+    RunTracker tracker_;
+    std::vector<traj::Subtrajectory> closed_runs_;
+    std::vector<traj::Subtrajectory> newly_closed_;
+    bool finished_ = false;
     mutable Rng rng_;
   };
 

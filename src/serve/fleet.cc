@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 #include "common/logging.h"
 
 namespace rl4oasd::serve {
 
 namespace {
+
+constexpr auto kRelaxed = std::memory_order_relaxed;
 
 /// Rounds up to a power of two (shard indexing uses a bitmask).
 size_t RoundUpPow2(size_t n) {
@@ -34,154 +37,281 @@ FleetMonitor::FleetMonitor(const core::Rl4Oasd* model, FleetConfig config,
 
 Status FleetMonitor::StartTrip(int64_t vehicle_id, traj::SdPair sd,
                                double start_time) {
-  if (ActiveTrips() >= config_.max_active_trips) EvictStalest();
   Shard& shard = ShardOf(vehicle_id);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  if (shard.trips.contains(vehicle_id)) {
-    return Status::FailedPrecondition(
-        "vehicle " + std::to_string(vehicle_id) +
-        " already has an active trip (EndTrip it first)");
-  }
-  Trip trip{model_->StartSession(sd, start_time), sd, start_time, 0, 0, 0};
-  shard.trips.emplace(vehicle_id, std::move(trip));
+  const std::string precondition_msg =
+      "vehicle " + std::to_string(vehicle_id) +
+      " already has an active trip (EndTrip it first)";
+  // Reject duplicates before making room: a failing call must not evict a
+  // live trip. (A racing double-start can still reach the emplace below,
+  // which stays authoritative.)
   {
-    std::lock_guard<std::mutex> stats_lock(stats_mu_);
-    stats_.trips_started += 1;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.trips.contains(vehicle_id)) {
+      return Status::FailedPrecondition(precondition_msg);
+    }
   }
+  if (active_trips_.load(kRelaxed) >=
+      static_cast<int64_t>(config_.max_active_trips)) {
+    EvictStalest();
+  }
+  // The session (LSTM state allocation) is built before any lock is taken.
+  auto trip = std::make_shared<Trip>(model_->StartSession(sd, start_time), sd,
+                                     start_time);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto [it, inserted] = shard.trips.emplace(vehicle_id, trip);
+    if (!inserted) {
+      return Status::FailedPrecondition(precondition_msg);
+    }
+  }
+  shard.counters.trips_started.fetch_add(1, kRelaxed);
+  active_trips_.fetch_add(1, kRelaxed);
   return Status::OK();
 }
 
-void FleetMonitor::EmitClosedRuns(int64_t vehicle_id, Trip* trip,
-                                  double timestamp, bool include_open_tail) {
-  const auto runs = trip->session.CurrentAnomalies();
-  const size_t n = trip->session.labels().size();
-  size_t emitted = 0;
-  for (size_t i = 0; i < runs.size(); ++i) {
-    const bool closed = static_cast<size_t>(runs[i].end) < n;
-    if (i < trip->alerted_runs) continue;  // already reported
-    if (!closed && !include_open_tail) continue;
-    Alert alert;
-    alert.vehicle_id = vehicle_id;
-    alert.sd = trip->sd;
-    alert.range = runs[i];
-    alert.timestamp = timestamp;
-    alert.position = n;
-    if (sink_ != nullptr) sink_->OnAlert(alert);
-    trip->alerted_runs = i + 1;
-    ++emitted;
+std::shared_ptr<FleetMonitor::Trip> FleetMonitor::ResolveTrip(
+    Shard& shard, int64_t vehicle_id) {
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.trips.find(vehicle_id);
+  return it == shard.trips.end() ? nullptr : it->second;
+}
+
+void FleetMonitor::EmitNewRuns(int64_t vehicle_id, Trip* trip, Shard* shard,
+                               double timestamp) {
+  const auto runs = trip->session.TakeNewlyClosedRuns();
+  if (runs.empty()) return;
+  const size_t position = trip->session.labels().size();
+  for (const auto& run : runs) {
+    if (sink_ != nullptr) {
+      sink_->OnAlert(Alert{vehicle_id, trip->sd, trip->start_time, run,
+                           timestamp, position});
+    }
   }
-  if (emitted > 0) {
-    std::lock_guard<std::mutex> stats_lock(stats_mu_);
-    stats_.alerts_emitted += static_cast<int64_t>(emitted);
-  }
+  shard->counters.alerts_emitted.fetch_add(static_cast<int64_t>(runs.size()),
+                                           kRelaxed);
 }
 
 Result<int> FleetMonitor::Feed(int64_t vehicle_id, traj::EdgeId edge,
                                double timestamp) {
   Shard& shard = ShardOf(vehicle_id);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  auto it = shard.trips.find(vehicle_id);
-  if (it == shard.trips.end()) {
-    return Status::NotFound("vehicle " + std::to_string(vehicle_id) +
-                            " has no active trip");
+  for (;;) {
+    const std::shared_ptr<Trip> trip = ResolveTrip(shard, vehicle_id);
+    if (trip == nullptr) {
+      return Status::NotFound("vehicle " + std::to_string(vehicle_id) +
+                              " has no active trip");
+    }
+    std::lock_guard<std::mutex> lock(trip->mu);
+    // A finisher (EndTrip/eviction) erases the trip from the shard map
+    // *before* setting finished, so observing the flag here means a fresh
+    // resolve sees either nothing or the vehicle's next trip — retry
+    // rather than dropping a point the vehicle's live trip should get.
+    if (trip->finished) continue;
+    const int label = trip->session.Feed(edge);
+    trip->last_update.store(timestamp, kRelaxed);
+    EmitNewRuns(vehicle_id, trip.get(), &shard, timestamp);
+    shard.counters.points_processed.fetch_add(1, kRelaxed);
+    return label;
   }
-  Trip& trip = it->second;
-  const int label = trip.session.Feed(edge);
-  trip.last_update = timestamp;
-  trip.points += 1;
-  // An anomalous run can only close on a 1 -> 0 transition; skip the
-  // (comparatively expensive) run extraction otherwise.
-  if (trip.prev_label == 1 && label == 0) {
-    EmitClosedRuns(vehicle_id, &trip, timestamp, /*include_open_tail=*/false);
+}
+
+size_t FleetMonitor::FeedBatch(std::span<const FleetPoint> points) {
+  if (points.empty()) return 0;
+  const size_t num_shards = shards_.size();
+  // Counting-sort point indices by shard — stable, so a vehicle's points
+  // keep their relative order. Flat arrays: a handful of allocations per
+  // batch regardless of shard count (vs one bucket vector per shard).
+  std::vector<size_t> offsets(num_shards + 1, 0);
+  for (const FleetPoint& p : points) ++offsets[ShardIndexOf(p.vehicle_id) + 1];
+  for (size_t s = 0; s < num_shards; ++s) offsets[s + 1] += offsets[s];
+  std::vector<size_t> order(points.size());
+  std::vector<size_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (size_t i = 0; i < points.size(); ++i) {
+    order[cursor[ShardIndexOf(points[i].vehicle_id)]++] = i;
   }
-  trip.prev_label = label;
-  {
-    std::lock_guard<std::mutex> stats_lock(stats_mu_);
-    stats_.points_processed += 1;
+  std::vector<std::shared_ptr<Trip>> resolved(points.size());
+  size_t fed = 0;
+  for (size_t s = 0; s < num_shards; ++s) {
+    const size_t begin = offsets[s];
+    const size_t end = offsets[s + 1];
+    if (begin == end) continue;
+    Shard& shard = shards_[s];
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      for (size_t k = begin; k < end; ++k) {
+        const auto it = shard.trips.find(points[order[k]].vehicle_id);
+        if (it != shard.trips.end()) resolved[k] = it->second;
+      }
+    }
+    size_t shard_fed = 0;
+    for (size_t k = begin; k < end;) {
+      Trip* trip = resolved[k].get();
+      if (trip == nullptr) {
+        ++k;
+        continue;
+      }
+      // Feed the maximal run of consecutive points of this trip under one
+      // lock acquisition.
+      bool stale = false;
+      {
+        std::lock_guard<std::mutex> lock(trip->mu);
+        for (; k < end && resolved[k].get() == trip; ++k) {
+          if (trip->finished) {
+            stale = true;
+            break;
+          }
+          const FleetPoint& p = points[order[k]];
+          (void)trip->session.Feed(p.edge);
+          trip->last_update.store(p.timestamp, kRelaxed);
+          EmitNewRuns(p.vehicle_id, trip, &shard, p.timestamp);
+          ++shard_fed;
+        }
+      }
+      if (stale) {
+        // The resolved trip ended under us (EndTrip or eviction, possibly
+        // followed by a same-vehicle restart): route the rest of this run
+        // through Feed, which re-resolves from the live map. Feed counts
+        // the points it accepts itself.
+        for (; k < end && resolved[k].get() == trip; ++k) {
+          const FleetPoint& p = points[order[k]];
+          if (Feed(p.vehicle_id, p.edge, p.timestamp).ok()) ++fed;
+        }
+      }
+    }
+    shard.counters.points_processed.fetch_add(
+        static_cast<int64_t>(shard_fed), kRelaxed);
+    fed += shard_fed;
   }
-  return label;
+  return fed;
 }
 
 Result<std::vector<uint8_t>> FleetMonitor::EndTrip(int64_t vehicle_id) {
   Shard& shard = ShardOf(vehicle_id);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  auto it = shard.trips.find(vehicle_id);
-  if (it == shard.trips.end()) {
-    return Status::NotFound("vehicle " + std::to_string(vehicle_id) +
-                            " has no active trip");
-  }
-  Trip& trip = it->second;
-  // Report any run not yet alerted (including one still open: reaching the
-  // destination closes it by definition) before finishing.
-  EmitClosedRuns(vehicle_id, &trip, trip.last_update,
-                 /*include_open_tail=*/true);
-  std::vector<uint8_t> labels = trip.session.Finish();
-  if (sink_ != nullptr) sink_->OnTripEnd(vehicle_id, labels);
-  shard.trips.erase(it);
+  std::shared_ptr<Trip> trip;
   {
-    std::lock_guard<std::mutex> stats_lock(stats_mu_);
-    stats_.trips_finished += 1;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.trips.find(vehicle_id);
+    if (it == shard.trips.end()) {
+      return Status::NotFound("vehicle " + std::to_string(vehicle_id) +
+                              " has no active trip");
+    }
+    trip = std::move(it->second);
+    shard.trips.erase(it);
   }
+  active_trips_.fetch_sub(1, kRelaxed);
+  std::vector<uint8_t> labels;
+  {
+    std::lock_guard<std::mutex> lock(trip->mu);
+    trip->finished = true;
+    // Finish settles Delayed Labeling over the whole trip; any run not yet
+    // alerted (including one still open: reaching the destination closes it
+    // by definition) becomes takable and is emitted here.
+    labels = trip->session.Finish();
+    EmitNewRuns(vehicle_id, trip.get(), &shard,
+                trip->last_update.load(kRelaxed));
+    if (sink_ != nullptr) sink_->OnTripEnd(vehicle_id, labels);
+  }
+  shard.counters.trips_finished.fetch_add(1, kRelaxed);
   return labels;
+}
+
+void FleetMonitor::FinishEvicted(int64_t vehicle_id, Trip* trip,
+                                 Shard* shard) {
+  active_trips_.fetch_sub(1, kRelaxed);
+  {
+    std::lock_guard<std::mutex> lock(trip->mu);
+    trip->finished = true;
+    const double ts = trip->last_update.load(kRelaxed);
+    // Runs that became final but were never drained, then the still-open
+    // tail: eviction must not silently drop an anomaly in progress.
+    EmitNewRuns(vehicle_id, trip, shard, ts);
+    if (const auto open = trip->session.OpenRun()) {
+      if (sink_ != nullptr) {
+        sink_->OnAlert(Alert{vehicle_id, trip->sd, trip->start_time, *open,
+                             ts, trip->session.labels().size()});
+      }
+      shard->counters.alerts_emitted.fetch_add(1, kRelaxed);
+    }
+    if (sink_ != nullptr) {
+      sink_->OnTripEvicted(vehicle_id, trip->start_time,
+                           trip->session.labels());
+    }
+  }
+  shard->counters.trips_evicted.fetch_add(1, kRelaxed);
 }
 
 size_t FleetMonitor::EvictStale(double now) {
   size_t evicted = 0;
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    for (auto it = shard.trips.begin(); it != shard.trips.end();) {
-      if (now - it->second.last_update > config_.trip_timeout_s) {
-        it = shard.trips.erase(it);
-        ++evicted;
-      } else {
-        ++it;
+    std::vector<std::pair<int64_t, std::shared_ptr<Trip>>> victims;
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      for (auto it = shard.trips.begin(); it != shard.trips.end();) {
+        if (now - it->second->last_update.load(kRelaxed) >
+            config_.trip_timeout_s) {
+          victims.emplace_back(it->first, std::move(it->second));
+          it = shard.trips.erase(it);
+        } else {
+          ++it;
+        }
       }
     }
-  }
-  if (evicted > 0) {
-    std::lock_guard<std::mutex> stats_lock(stats_mu_);
-    stats_.trips_evicted += static_cast<int64_t>(evicted);
+    // Notify outside the shard lock so other vehicles keep flowing while
+    // the sink handles the evictions.
+    for (auto& [vehicle, trip] : victims) {
+      FinishEvicted(vehicle, trip.get(), &shard);
+    }
+    evicted += victims.size();
   }
   return evicted;
 }
 
 void FleetMonitor::EvictStalest() {
-  // Two passes: find the globally stalest trip, then erase it. A trip fed
-  // between the passes is simply spared — the cap is advisory, not exact.
+  // Two passes: find the globally stalest trip, then remove it. A trip that
+  // ended (or was replaced by a same-vehicle restart) between the passes is
+  // simply spared — the cap is advisory, not exact — which is why pass 2
+  // rechecks the trip's identity, not just the vehicle id.
   int64_t victim = 0;
+  std::shared_ptr<Trip> observed;
   double oldest = std::numeric_limits<double>::infinity();
-  bool found = false;
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
     for (const auto& [vehicle, trip] : shard.trips) {
-      if (trip.last_update < oldest) {
-        oldest = trip.last_update;
+      const double last = trip->last_update.load(kRelaxed);
+      if (last < oldest) {
+        oldest = last;
         victim = vehicle;
-        found = true;
+        observed = trip;
       }
     }
   }
-  if (!found) return;
+  if (observed == nullptr) return;
   Shard& shard = ShardOf(victim);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  if (shard.trips.erase(victim) > 0) {
-    std::lock_guard<std::mutex> stats_lock(stats_mu_);
-    stats_.trips_evicted += 1;
+  std::shared_ptr<Trip> trip;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.trips.find(victim);
+    if (it == shard.trips.end() || it->second != observed) return;
+    trip = std::move(it->second);
+    shard.trips.erase(it);
   }
+  FinishEvicted(victim, trip.get(), &shard);
 }
 
 size_t FleetMonitor::ActiveTrips() const {
-  size_t n = 0;
-  for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    n += shard.trips.size();
-  }
-  return n;
+  const int64_t n = active_trips_.load(kRelaxed);
+  return n > 0 ? static_cast<size_t>(n) : 0;
 }
 
 FleetStats FleetMonitor::Stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  return stats_;
+  FleetStats stats;
+  for (const Shard& shard : shards_) {
+    stats.trips_started += shard.counters.trips_started.load(kRelaxed);
+    stats.trips_finished += shard.counters.trips_finished.load(kRelaxed);
+    stats.points_processed += shard.counters.points_processed.load(kRelaxed);
+    stats.alerts_emitted += shard.counters.alerts_emitted.load(kRelaxed);
+    stats.trips_evicted += shard.counters.trips_evicted.load(kRelaxed);
+  }
+  return stats;
 }
 
 }  // namespace rl4oasd::serve

@@ -5,14 +5,25 @@
 // deviate from the normal route". A deployment therefore runs one detection
 // session per *active trip*, fed by an interleaved stream of GPS-derived
 // road segments from the whole fleet. FleetMonitor owns that bookkeeping:
-// trip lifecycle, thread-safe ingest (vehicle-sharded locks), stale-trip
-// eviction, alert delivery, and service counters.
+// trip lifecycle, thread-safe ingest, stale-trip eviction, alert delivery,
+// and service counters.
+//
+// Locking is two-level so throughput scales with cores:
+//   * a per-shard mutex guards only the vehicle -> trip map (insert, lookup,
+//     erase — microseconds), and
+//   * a per-trip mutex guards the detection session itself, so the LSTM
+//     forward + policy step and sink callbacks run outside the shard lock
+//     and two vehicles hashing to one shard never serialize on model work.
+// Service counters are per-shard relaxed atomics aggregated by Stats(), and
+// the active-trip count is a single approximate atomic, so the per-point
+// path takes no global lock at all.
 #pragma once
 
-#include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -23,24 +34,42 @@
 namespace rl4oasd::serve {
 
 /// An anomalous subtrajectory alert for one vehicle. Emitted as soon as the
-/// detector closes an anomalous run (paper Algorithm 1, line 9: "return the
-/// subtrajectory when it is formed") and again at trip end for a run still
-/// open at the destination.
+/// detector finalizes an anomalous run — Delayed Labeling scans D more
+/// segments past a boundary, so a run is reported once no future segment
+/// can extend or merge it (at most D+1 segments after its last anomalous
+/// point) — and at trip end or eviction for a run still open. Each run is
+/// reported exactly once: run identity is maintained incrementally by the
+/// session, so a DL merge can never re-report or skip a run.
 struct Alert {
   int64_t vehicle_id = 0;
   traj::SdPair sd;
+  /// Start time of the trip the alert belongs to. Together with vehicle_id
+  /// this identifies the trip: delivery happens outside the shard lock, so
+  /// an eviction notice for a vanished trip can arrive after the same
+  /// vehicle already started a new one (see AlertSink).
+  double trip_start_time = 0.0;
   /// Segment-index range of the anomalous run within the trip so far.
   traj::Subtrajectory range;
-  /// Timestamp of the point that closed the run.
+  /// Timestamp of the point that finalized the run.
   double timestamp = 0.0;
   /// Number of segments fed when the alert fired (detection latency metric:
-  /// position - range.end counts segments between formation and alerting).
+  /// position - range.end counts segments between formation and alerting,
+  /// including the D-segment Delayed-Labeling confirmation window).
   size_t position = 0;
 };
 
-/// Alert delivery interface. Callbacks are invoked under the shard lock of
-/// the reporting vehicle — implementations must not call back into the
+/// Alert delivery interface. Callbacks are invoked under the reporting
+/// trip's lock — never under a shard lock, so other vehicles' ingest
+/// proceeds concurrently — but implementations must not call back into the
 /// monitor and should hand off to a queue if processing is slow.
+///
+/// Delivery ordering: within one trip, callbacks arrive in order. Across
+/// trips of the *same vehicle* there is one caveat — a trip is removed from
+/// the routing table before its final callbacks are delivered, so when an
+/// evicted vehicle immediately starts a new trip, the old trip's
+/// OnAlert/OnTripEvicted can interleave with the new trip's callbacks.
+/// Sinks that key state by vehicle must use (vehicle_id, trip_start_time)
+/// as the trip identity.
 class AlertSink {
  public:
   virtual ~AlertSink() = default;
@@ -50,6 +79,16 @@ class AlertSink {
                          const std::vector<uint8_t>& final_labels) {
     (void)vehicle_id;
     (void)final_labels;
+  }
+  /// Called when a trip is evicted (the vehicle vanished mid-trip, or the
+  /// active-trip cap forced the stalest trip out) with the labels seen so
+  /// far. An anomalous run still open at eviction is OnAlert-ed immediately
+  /// before this call — eviction never silently drops an anomaly.
+  virtual void OnTripEvicted(int64_t vehicle_id, double trip_start_time,
+                             const std::vector<uint8_t>& labels_so_far) {
+    (void)vehicle_id;
+    (void)trip_start_time;
+    (void)labels_so_far;
   }
 };
 
@@ -65,6 +104,11 @@ class CollectingSink : public AlertSink {
     std::lock_guard<std::mutex> lock(mu_);
     finished_.emplace_back(vehicle_id, final_labels);
   }
+  void OnTripEvicted(int64_t vehicle_id, double /*trip_start_time*/,
+                     const std::vector<uint8_t>& labels_so_far) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    evicted_.emplace_back(vehicle_id, labels_so_far);
+  }
 
   std::vector<Alert> TakeAlerts() {
     std::lock_guard<std::mutex> lock(mu_);
@@ -78,21 +122,39 @@ class CollectingSink : public AlertSink {
     std::lock_guard<std::mutex> lock(mu_);
     return finished_.size();
   }
+  size_t NumEvicted() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return evicted_.size();
+  }
+  std::vector<std::pair<int64_t, std::vector<uint8_t>>> TakeEvicted() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return std::move(evicted_);
+  }
 
  private:
   mutable std::mutex mu_;
   std::vector<Alert> alerts_;
   std::vector<std::pair<int64_t, std::vector<uint8_t>>> finished_;
+  std::vector<std::pair<int64_t, std::vector<uint8_t>>> evicted_;
+};
+
+/// One GPS-derived road segment of one vehicle, for batched ingest.
+struct FleetPoint {
+  int64_t vehicle_id = 0;
+  traj::EdgeId edge = 0;
+  double timestamp = 0.0;
 };
 
 struct FleetConfig {
-  /// Hard cap on simultaneously active trips; StartTrip beyond it evicts the
-  /// stalest trip first.
+  /// Soft cap on simultaneously active trips; StartTrip beyond it evicts the
+  /// stalest trip first. Checked against an approximate counter, so brief
+  /// overshoot by the number of concurrent starters is possible.
   size_t max_active_trips = 100000;
   /// Trips with no Feed for this long are evictable by EvictStale.
   double trip_timeout_s = 2 * 3600.0;
-  /// Number of lock shards (power of two). One shard per ingest thread is
-  /// plenty; contention only occurs between vehicles hashing to one shard.
+  /// Number of lock shards (power of two). Shard locks are held only for
+  /// map mutation; model work runs under per-trip locks, so this bounds
+  /// lookup contention, not detection parallelism.
   size_t num_shards = 16;
 };
 
@@ -122,60 +184,93 @@ class FleetMonitor {
 
   /// Feeds the next road segment of a vehicle's active trip. Returns the
   /// (pre-delayed-labeling) label of the segment, emitting alerts to the
-  /// sink when an anomalous run closes.
+  /// sink when an anomalous run becomes final.
   Result<int> Feed(int64_t vehicle_id, traj::EdgeId edge, double timestamp);
 
-  /// Completes a trip, returning the final post-processed labels. An
-  /// anomalous run still open at the destination is alerted before return.
+  /// Batched ingest: feeds every point whose vehicle has an active trip,
+  /// grouping points by shard (one shard-lock acquisition per shard) and
+  /// coalescing consecutive same-vehicle points under one trip-lock
+  /// acquisition. Relative order of a vehicle's points is preserved; points
+  /// without an active trip are skipped. Returns the number of points fed.
+  size_t FeedBatch(std::span<const FleetPoint> points);
+
+  /// Completes a trip, returning the final post-processed labels. Runs not
+  /// yet alerted (including one still open at the destination) are alerted
+  /// before return.
   Result<std::vector<uint8_t>> EndTrip(int64_t vehicle_id);
 
   /// Drops trips whose last update is older than `now - trip_timeout_s`
-  /// (vehicles that vanished mid-trip). Returns the number evicted.
+  /// (vehicles that vanished mid-trip). A still-open anomalous run is
+  /// alerted and the sink's OnTripEvicted hook fires for every dropped
+  /// trip. Returns the number evicted.
   size_t EvictStale(double now);
 
+  /// Active-trip count, maintained as an O(1) approximate counter: exact in
+  /// quiescence, momentarily off by in-flight starts/ends under concurrency.
   size_t ActiveTrips() const;
   FleetStats Stats() const;
 
  private:
   struct Trip {
+    Trip(core::OnlineDetector::Session s, traj::SdPair sd_in, double t0)
+        : session(std::move(s)), sd(sd_in), start_time(t0), last_update(t0) {}
+
+    std::mutex mu;  // guards session and finished
     core::OnlineDetector::Session session;
-    traj::SdPair sd;
-    double last_update = 0.0;
-    size_t points = 0;
-    /// Number of anomalous runs already alerted (so a closing run is
-    /// reported exactly once).
-    size_t alerted_runs = 0;
-    int prev_label = 0;
+    const traj::SdPair sd;
+    const double start_time;
+    /// Atomic so eviction scans can read it without the trip lock.
+    std::atomic<double> last_update;
+    /// Set (under mu) by whichever caller removed the trip from its shard
+    /// map — EndTrip or an eviction. A Feed that resolved the trip pointer
+    /// before removal observes it and re-resolves from the map instead of
+    /// feeding a dead session (delivering the point to the vehicle's next
+    /// trip if one already started, else reporting NotFound).
+    bool finished = false;
   };
 
-  struct Shard {
+  struct ShardCounters {
+    std::atomic<int64_t> trips_started{0};
+    std::atomic<int64_t> trips_finished{0};
+    std::atomic<int64_t> points_processed{0};
+    std::atomic<int64_t> alerts_emitted{0};
+    std::atomic<int64_t> trips_evicted{0};
+  };
+
+  struct alignas(64) Shard {
+    /// Guards `trips` (the map itself, never the Trips behind the
+    /// pointers). Held only for insert/lookup/erase.
     mutable std::mutex mu;
-    std::unordered_map<int64_t, Trip> trips;
+    std::unordered_map<int64_t, std::shared_ptr<Trip>> trips;
+    ShardCounters counters;
   };
 
-  Shard& ShardOf(int64_t vehicle_id) {
-    return shards_[static_cast<uint64_t>(vehicle_id) & (shards_.size() - 1)];
+  size_t ShardIndexOf(int64_t vehicle_id) const {
+    return static_cast<uint64_t>(vehicle_id) & (shards_.size() - 1);
   }
-  const Shard& ShardOf(int64_t vehicle_id) const {
-    return shards_[static_cast<uint64_t>(vehicle_id) & (shards_.size() - 1)];
-  }
+  Shard& ShardOf(int64_t vehicle_id) { return shards_[ShardIndexOf(vehicle_id)]; }
 
-  /// Emits alerts for every closed-and-unreported anomalous run. Caller
-  /// holds the shard lock.
-  void EmitClosedRuns(int64_t vehicle_id, Trip* trip, double timestamp,
-                      bool include_open_tail);
+  /// Looks up a trip under the shard lock; null when absent.
+  std::shared_ptr<Trip> ResolveTrip(Shard& shard, int64_t vehicle_id);
+
+  /// Drains the session's newly finalized runs and delivers them to the
+  /// sink. Caller holds trip->mu.
+  void EmitNewRuns(int64_t vehicle_id, Trip* trip, Shard* shard,
+                   double timestamp);
+
+  /// Finishes a trip already removed from its shard map by eviction:
+  /// alerts the open tail, fires OnTripEvicted, updates counters.
+  void FinishEvicted(int64_t vehicle_id, Trip* trip, Shard* shard);
 
   /// Evicts the least-recently-updated trip across all shards (requires no
-  /// shard lock held by the caller).
+  /// lock held by the caller).
   void EvictStalest();
 
   const core::Rl4Oasd* model_;
   FleetConfig config_;
   AlertSink* sink_;
   std::vector<Shard> shards_;
-
-  mutable std::mutex stats_mu_;
-  FleetStats stats_;
+  std::atomic<int64_t> active_trips_{0};
 };
 
 }  // namespace rl4oasd::serve

@@ -2,6 +2,10 @@
 // conditions, and streaming-session equivalence.
 #include "core/detector.h"
 
+#include <optional>
+#include <utility>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "core/rl4oasd.h"
@@ -20,23 +24,45 @@ TEST(DelayedLabelingTest, MergesShortGaps) {
 }
 
 TEST(DelayedLabelingTest, RespectsDelayBound) {
-  // Gap of 4 zeros; D = 3 cannot bridge it (next 1 is 5 positions away).
+  // Gap of 4 zeros; D = 3 cannot bridge it (the lookahead scans only 3
+  // segments past the boundary).
   std::vector<uint8_t> labels = {1, 0, 0, 0, 0, 1};
   ApplyDelayedLabeling(&labels, 3);
   EXPECT_EQ(labels, (std::vector<uint8_t>{1, 0, 0, 0, 0, 1}));
-  // D = 5 bridges it.
-  ApplyDelayedLabeling(&labels, 5);
+  // D = 4 reaches the far 1 exactly at the edge of the window.
+  ApplyDelayedLabeling(&labels, 4);
   EXPECT_EQ(labels, (std::vector<uint8_t>{1, 1, 1, 1, 1, 1}));
 }
 
 TEST(DelayedLabelingTest, ExactBoundary) {
-  // 1 at position 0 and 1 at position D: distance D merges.
+  // A zero gap of exactly D merges: the paper scans D more segments past
+  // the boundary, and the far 1 sits on the D-th of them.
   std::vector<uint8_t> labels = {1, 0, 0, 1};
-  ApplyDelayedLabeling(&labels, 3);
+  ApplyDelayedLabeling(&labels, 2);
   EXPECT_EQ(labels, (std::vector<uint8_t>{1, 1, 1, 1}));
+  // A gap of D+1 is out of reach.
   std::vector<uint8_t> labels2 = {1, 0, 0, 1};
-  ApplyDelayedLabeling(&labels2, 2);
+  ApplyDelayedLabeling(&labels2, 1);
   EXPECT_EQ(labels2, (std::vector<uint8_t>{1, 0, 0, 1}));
+}
+
+TEST(DelayedLabelingTest, BoundaryValuesAroundD) {
+  // Regression for the historical off-by-one (gaps of exactly D failed to
+  // merge): sweep gap = D-1, D, D+1 for several D.
+  for (int d = 1; d <= 8; ++d) {
+    for (int gap = d - 1; gap <= d + 1; ++gap) {
+      if (gap < 1) continue;
+      std::vector<uint8_t> labels(static_cast<size_t>(gap) + 2, 0);
+      labels.front() = 1;
+      labels.back() = 1;
+      ApplyDelayedLabeling(&labels, d);
+      const bool should_merge = gap <= d;
+      std::vector<uint8_t> expected(labels.size(), should_merge ? 1 : 0);
+      expected.front() = 1;
+      expected.back() = 1;
+      EXPECT_EQ(labels, expected) << "D=" << d << " gap=" << gap;
+    }
+  }
 }
 
 TEST(DelayedLabelingTest, NoOpCases) {
@@ -61,6 +87,93 @@ TEST(DelayedLabelingTest, ChainsMultipleGaps) {
   std::vector<uint8_t> labels = {1, 0, 1, 0, 1};
   ApplyDelayedLabeling(&labels, 2);
   EXPECT_EQ(labels, (std::vector<uint8_t>{1, 1, 1, 1, 1}));
+}
+
+// ---------------------------------------------------------------------------
+// RunTracker: the O(1)-per-label incremental form of DL run extraction.
+
+/// Runs a label stream through a tracker, returning {runs finalized by
+/// Push, pending run at end of stream (if any)}.
+std::pair<std::vector<traj::Subtrajectory>, std::optional<traj::Subtrajectory>>
+TrackStream(const std::vector<uint8_t>& labels, int d) {
+  RunTracker tracker(d);
+  std::vector<traj::Subtrajectory> closed;
+  for (uint8_t label : labels) {
+    if (const auto run = tracker.Push(label)) closed.push_back(*run);
+  }
+  return {closed, tracker.pending()};
+}
+
+TEST(RunTrackerTest, MatchesBatchDelayedLabelingOnRandomStreams) {
+  // The tracker's finalized-runs-plus-pending must equal the runs that the
+  // batch pipeline (ApplyDelayedLabeling + ExtractAnomalousRuns) computes
+  // over the same sequence, for every D.
+  Rng rng(123);
+  for (int d : {0, 1, 2, 4, 8}) {
+    for (int trial = 0; trial < 60; ++trial) {
+      std::vector<uint8_t> labels(1 + rng.UniformInt(uint64_t{70}));
+      for (auto& l : labels) l = rng.Bernoulli(0.35) ? 1 : 0;
+      auto [closed, pending] = TrackStream(labels, d);
+      if (pending.has_value()) closed.push_back(*pending);
+
+      auto batch = labels;
+      ApplyDelayedLabeling(&batch, d);
+      EXPECT_EQ(closed, traj::ExtractAnomalousRuns(batch))
+          << "D=" << d << " trial=" << trial;
+    }
+  }
+}
+
+TEST(RunTrackerTest, RunSurvivesDlMergeWithoutDuplicateClose) {
+  // Regression for the duplicate/lost-alert bug: the old serving path
+  // treated a run as closed at its first trailing 0 and tracked "already
+  // alerted" by run *index*, so a later DL merge shifted indices and
+  // re-reported or skipped runs. The tracker never finalizes a run while DL
+  // can still merge it, so each final run surfaces exactly once.
+  RunTracker tracker(2);
+  EXPECT_EQ(tracker.Push(1), std::nullopt);  // run opens at 0
+  EXPECT_EQ(tracker.Push(0), std::nullopt);  // naive closure point
+  EXPECT_EQ(tracker.Push(1), std::nullopt);  // DL merges across the gap
+  ASSERT_TRUE(tracker.pending().has_value());
+  EXPECT_EQ(*tracker.pending(), (traj::Subtrajectory{0, 3}));
+  EXPECT_EQ(tracker.Push(0), std::nullopt);  // zeros begin
+  EXPECT_EQ(tracker.Push(0), std::nullopt);  // still within the DL window
+  const auto closed = tracker.Push(0);       // D+1-th zero: now final
+  ASSERT_TRUE(closed.has_value());
+  EXPECT_EQ(*closed, (traj::Subtrajectory{0, 3}));
+  EXPECT_EQ(tracker.pending(), std::nullopt);
+}
+
+TEST(RunTrackerTest, GapOfExactlyDMerges) {
+  RunTracker tracker(3);
+  (void)tracker.Push(1);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(tracker.Push(0), std::nullopt);
+  EXPECT_EQ(tracker.Push(1), std::nullopt);  // gap == D: one merged run
+  ASSERT_TRUE(tracker.pending().has_value());
+  EXPECT_EQ(*tracker.pending(), (traj::Subtrajectory{0, 5}));
+}
+
+TEST(RunTrackerTest, GapOfDPlusOneClosesTheFirstRun) {
+  RunTracker tracker(3);
+  (void)tracker.Push(1);
+  std::vector<traj::Subtrajectory> closed;
+  for (int i = 0; i < 4; ++i) {
+    if (const auto run = tracker.Push(0)) closed.push_back(*run);
+  }
+  ASSERT_EQ(closed.size(), 1u);
+  EXPECT_EQ(closed[0], (traj::Subtrajectory{0, 1}));
+  // The next 1 starts a fresh run instead of merging.
+  EXPECT_EQ(tracker.Push(1), std::nullopt);
+  ASSERT_TRUE(tracker.pending().has_value());
+  EXPECT_EQ(tracker.pending()->begin, 5);
+}
+
+TEST(RunTrackerTest, ZeroDelayClosesOnFirstZero) {
+  RunTracker tracker(0);
+  (void)tracker.Push(1);
+  const auto closed = tracker.Push(0);
+  ASSERT_TRUE(closed.has_value());
+  EXPECT_EQ(*closed, (traj::Subtrajectory{0, 1}));
 }
 
 class RnelTest : public ::testing::Test {
@@ -158,6 +271,35 @@ TEST_F(DetectorSessionTest, CurrentAnomaliesAvailableMidStream) {
     EXPECT_GE(run.begin, 0);
     EXPECT_LE(run.end, static_cast<int>(t.edges.size()));
     EXPECT_LT(run.begin, run.end);
+  }
+}
+
+TEST_F(DetectorSessionTest, IncrementalRunsCoverFinalRunsExactlyOnce) {
+  // The alert stream — TakeNewlyClosedRuns drained after every Feed plus
+  // one final drain after Finish — must cover the final post-processed runs
+  // exactly: no duplicate, no loss, begins strictly increasing. This is the
+  // session-level duplicate/lost-alert regression.
+  for (const auto& lt : ex_.dataset.trajs()) {
+    const auto& t = lt.traj;
+    if (t.edges.size() < 2) continue;
+    auto session = model_->StartSession(t.sd(), t.start_time);
+    std::vector<traj::Subtrajectory> alerted;
+    for (auto e : t.edges) {
+      session.Feed(e);
+      for (const auto& run : session.TakeNewlyClosedRuns()) {
+        alerted.push_back(run);
+      }
+    }
+    const auto final_labels = session.Finish();
+    for (const auto& run : session.TakeNewlyClosedRuns()) {
+      alerted.push_back(run);
+    }
+    EXPECT_EQ(alerted, traj::ExtractAnomalousRuns(final_labels));
+    for (size_t i = 1; i < alerted.size(); ++i) {
+      EXPECT_GT(alerted[i].begin, alerted[i - 1].begin);
+    }
+    // A second drain must be empty (each run surfaces exactly once).
+    EXPECT_TRUE(session.TakeNewlyClosedRuns().empty());
   }
 }
 

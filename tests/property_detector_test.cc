@@ -47,7 +47,9 @@ TEST_P(DelayedLabelingProperty, NeverClearsAnAnomalousLabel) {
     ApplyDelayedLabeling(&after, d);
     ASSERT_EQ(after.size(), before.size());
     for (size_t i = 0; i < before.size(); ++i) {
-      if (before[i] == 1) EXPECT_EQ(after[i], 1) << "position " << i;
+      if (before[i] == 1) {
+        EXPECT_EQ(after[i], 1) << "position " << i;
+      }
     }
   }
 }
@@ -58,15 +60,17 @@ TEST_P(DelayedLabelingProperty, ClosesEveryShortInteriorGap) {
   for (int trial = 0; trial < 50; ++trial) {
     auto labels = RandomLabels(&rng, 1 + rng.UniformInt(uint64_t{60}), 0.35);
     ApplyDelayedLabeling(&labels, d);
-    // Invariant: no maximal 0-run strictly between two 1s has length < D.
+    // Invariant: no maximal 0-run strictly between two 1s has length <= D
+    // (the lookahead scans D segments past a boundary, so a gap of exactly
+    // D merges).
     const int n = static_cast<int>(labels.size());
     for (int i = 0; i < n; ++i) {
       if (labels[i] != 0) continue;
       int j = i;
       while (j < n && labels[j] == 0) ++j;
       const bool interior = i > 0 && j < n;  // 1s on both sides
-      if (interior && d > 1) {
-        EXPECT_GE(j - i, d) << "gap [" << i << "," << j << ") survived DL";
+      if (interior && d >= 1) {
+        EXPECT_GT(j - i, d) << "gap [" << i << "," << j << ") survived DL";
       }
       i = j;
     }
@@ -118,10 +122,15 @@ TEST(DelayedLabelingEdgeCases, MergesDocumentedExample) {
   std::vector<uint8_t> l = {1, 0, 0, 1};
   ApplyDelayedLabeling(&l, 3);
   EXPECT_EQ(l, (std::vector<uint8_t>{1, 1, 1, 1}));
-  // With D=2 the gap (length 2) survives: the lookahead is too short.
+  // With D=2 the gap of exactly D also closes (the lookahead scans D
+  // segments past the boundary).
   std::vector<uint8_t> m = {1, 0, 0, 1};
   ApplyDelayedLabeling(&m, 2);
-  EXPECT_EQ(m, (std::vector<uint8_t>{1, 0, 0, 1}));
+  EXPECT_EQ(m, (std::vector<uint8_t>{1, 1, 1, 1}));
+  // With D=1 the gap (length 2) survives: the lookahead is too short.
+  std::vector<uint8_t> s = {1, 0, 0, 1};
+  ApplyDelayedLabeling(&s, 1);
+  EXPECT_EQ(s, (std::vector<uint8_t>{1, 0, 0, 1}));
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -1,7 +1,9 @@
 // Tests for the fleet monitoring service: trip lifecycle, alert-on-formation
 // semantics, eviction, service counters, and thread-safe concurrent ingest.
+#include <algorithm>
 #include <atomic>
 #include <memory>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -220,6 +222,167 @@ TEST_F(FleetTest, MaxActiveTripsEvictsStalest) {
             StatusCode::kNotFound);
 }
 
+TEST_F(FleetTest, AlertsMatchFinalRunsExactlyOncePerRun) {
+  // The duplicate/lost-alert regression at the service level: for every
+  // trip, the alert stream must equal the final post-processed runs exactly
+  // — one alert per run, begins strictly increasing, nothing re-reported
+  // when Delayed Labeling merges fragments and nothing skipped.
+  int64_t vid = 5000;
+  for (const auto& lt : dataset_->trajs()) {
+    if (lt.traj.edges.size() < 2) continue;
+    CollectingSink sink;
+    FleetMonitor monitor(model_, {}, &sink);
+    const auto labels = RunTrip(&monitor, vid++, lt.traj);
+    const auto final_runs = traj::ExtractAnomalousRuns(labels);
+    const auto alerts = sink.TakeAlerts();
+    ASSERT_EQ(alerts.size(), final_runs.size()) << "trajectory " << lt.traj.id;
+    for (size_t i = 0; i < alerts.size(); ++i) {
+      EXPECT_EQ(alerts[i].range, final_runs[i]) << "trajectory " << lt.traj.id;
+      if (i > 0) {
+        EXPECT_GT(alerts[i].range.begin, alerts[i - 1].range.begin);
+      }
+    }
+  }
+}
+
+TEST_F(FleetTest, EvictionAlertsOpenTailAndNotifiesSink) {
+  // Find a trajectory whose streaming session still reports an anomaly at
+  // the end of the feed, replay it without EndTrip, and evict: every run
+  // (finalized or still open) must have been alerted, and the sink must be
+  // told about the eviction — nothing vanishes silently.
+  for (const auto& lt : dataset_->trajs()) {
+    if (!lt.HasAnomaly() || lt.traj.edges.size() < 2) continue;
+    auto reference = model_->StartSession(lt.traj.sd(), lt.traj.start_time);
+    for (traj::EdgeId e : lt.traj.edges) reference.Feed(e);
+    const auto expected = reference.CurrentAnomalies();
+    if (expected.empty()) continue;
+
+    CollectingSink sink;
+    FleetConfig cfg;
+    cfg.trip_timeout_s = 100.0;
+    FleetMonitor monitor(model_, cfg, &sink);
+    ASSERT_TRUE(
+        monitor.StartTrip(42, lt.traj.sd(), lt.traj.start_time).ok());
+    for (traj::EdgeId e : lt.traj.edges) {
+      ASSERT_TRUE(monitor.Feed(42, e, lt.traj.start_time).ok());
+    }
+    ASSERT_EQ(monitor.EvictStale(lt.traj.start_time + 500.0), 1u);
+
+    const auto alerts = sink.TakeAlerts();
+    ASSERT_EQ(alerts.size(), expected.size());
+    for (size_t i = 0; i < alerts.size(); ++i) {
+      EXPECT_EQ(alerts[i].range, expected[i]);
+      // (vehicle_id, trip_start_time) identifies the trip across restarts.
+      EXPECT_EQ(alerts[i].trip_start_time, lt.traj.start_time);
+    }
+    const auto evicted = sink.TakeEvicted();
+    ASSERT_EQ(evicted.size(), 1u);
+    EXPECT_EQ(evicted[0].first, 42);
+    EXPECT_EQ(evicted[0].second.size(), lt.traj.edges.size());
+    EXPECT_EQ(sink.NumFinished(), 0u);
+    const FleetStats stats = monitor.Stats();
+    EXPECT_EQ(stats.trips_evicted, 1);
+    EXPECT_EQ(stats.alerts_emitted, static_cast<int64_t>(alerts.size()));
+    EXPECT_EQ(monitor.ActiveTrips(), 0u);
+    return;  // one qualifying trajectory is enough
+  }
+  GTEST_SKIP() << "dataset produced no trip with a detectable anomaly";
+}
+
+TEST_F(FleetTest, DuplicateStartAtCapEvictsNothing) {
+  // A StartTrip that fails (duplicate vehicle) must not evict a live trip
+  // to make room for the trip it never starts.
+  CollectingSink sink;
+  FleetConfig cfg;
+  cfg.max_active_trips = 1;
+  FleetMonitor monitor(model_, cfg, &sink);
+  const auto& t = (*dataset_)[0].traj;
+  ASSERT_TRUE(monitor.StartTrip(1, t.sd(), 0.0).ok());
+  EXPECT_EQ(monitor.StartTrip(1, t.sd(), 5.0).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(monitor.ActiveTrips(), 1u);
+  EXPECT_EQ(monitor.Stats().trips_evicted, 0);
+  EXPECT_EQ(sink.NumEvicted(), 0u);
+}
+
+TEST_F(FleetTest, CapEvictionNotifiesSink) {
+  CollectingSink sink;
+  FleetConfig cfg;
+  cfg.max_active_trips = 2;
+  FleetMonitor monitor(model_, cfg, &sink);
+  const auto& t = (*dataset_)[0].traj;
+  ASSERT_TRUE(monitor.StartTrip(1, t.sd(), 0.0).ok());
+  ASSERT_TRUE(monitor.StartTrip(2, t.sd(), 10.0).ok());
+  // The cap is reached: the third start evicts vehicle 1 (stalest) and the
+  // sink hears about it.
+  ASSERT_TRUE(monitor.StartTrip(3, t.sd(), 20.0).ok());
+  const auto evicted = sink.TakeEvicted();
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0].first, 1);
+  EXPECT_EQ(monitor.Stats().trips_evicted, 1);
+  EXPECT_EQ(monitor.ActiveTrips(), 2u);
+}
+
+TEST_F(FleetTest, FeedBatchMatchesPerPointFeed) {
+  // The same two trajectories, interleaved into batches, must produce the
+  // same labels and the same alerts as per-point Feed.
+  const traj::MapMatchedTrajectory* a = nullptr;
+  const traj::MapMatchedTrajectory* b = nullptr;
+  for (const auto& lt : dataset_->trajs()) {
+    if (lt.traj.edges.size() < 2) continue;
+    if (a == nullptr) {
+      a = &lt.traj;
+    } else if (lt.HasAnomaly()) {
+      b = &lt.traj;
+      break;
+    }
+  }
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+
+  CollectingSink per_point_sink;
+  FleetMonitor per_point(model_, {}, &per_point_sink);
+  const auto labels_a = RunTrip(&per_point, 1, *a);
+  const auto labels_b = RunTrip(&per_point, 2, *b);
+
+  CollectingSink batch_sink;
+  FleetMonitor batched(model_, {}, &batch_sink);
+  ASSERT_TRUE(batched.StartTrip(1, a->sd(), a->start_time).ok());
+  ASSERT_TRUE(batched.StartTrip(2, b->sd(), b->start_time).ok());
+  std::vector<FleetPoint> points;
+  for (size_t i = 0; i < std::max(a->edges.size(), b->edges.size()); ++i) {
+    if (i < a->edges.size()) {
+      points.push_back({1, a->edges[i], a->start_time + 2.0 * i});
+    }
+    if (i < b->edges.size()) {
+      points.push_back({2, b->edges[i], b->start_time + 2.0 * i});
+    }
+  }
+  // Feed in uneven chunks to exercise batch boundaries.
+  size_t offset = 0;
+  size_t fed = 0;
+  for (size_t chunk = 7; offset < points.size(); chunk = chunk * 2 + 1) {
+    const size_t n = std::min(chunk, points.size() - offset);
+    fed += batched.FeedBatch(
+        std::span<const FleetPoint>(points.data() + offset, n));
+    offset += n;
+  }
+  EXPECT_EQ(fed, points.size());
+  // A batch point for an unknown vehicle is skipped, not fatal.
+  const FleetPoint stray{99, a->edges[0], 0.0};
+  EXPECT_EQ(batched.FeedBatch(std::span<const FleetPoint>(&stray, 1)), 0u);
+
+  auto batch_a = batched.EndTrip(1);
+  auto batch_b = batched.EndTrip(2);
+  ASSERT_TRUE(batch_a.ok());
+  ASSERT_TRUE(batch_b.ok());
+  EXPECT_EQ(*batch_a, labels_a);
+  EXPECT_EQ(*batch_b, labels_b);
+  EXPECT_EQ(batch_sink.NumAlerts(), per_point_sink.NumAlerts());
+  EXPECT_EQ(batched.Stats().points_processed,
+            static_cast<int64_t>(points.size()));
+}
+
 TEST_F(FleetTest, ConcurrentIngestFromManyThreads) {
   CollectingSink sink;
   FleetMonitor monitor(model_, {}, &sink);
@@ -257,6 +420,74 @@ TEST_F(FleetTest, ConcurrentIngestFromManyThreads) {
   const FleetStats stats = monitor.Stats();
   EXPECT_EQ(stats.trips_started, stats.trips_finished);
   EXPECT_GT(stats.points_processed, 0);
+}
+
+TEST_F(FleetTest, StressConservationUnderConcurrentEviction) {
+  // Ingest, trip lifecycle, and eviction all running concurrently. Designed
+  // to run under ThreadSanitizer (the CI tsan job includes this suite).
+  // Invariants checked at the end:
+  //   * conservation: started == finished + evicted + active (== 0 here),
+  //   * no lost or phantom alerts: monitor counter == sink delivery count,
+  //   * every lifecycle event reached the sink exactly once.
+  CollectingSink sink;
+  FleetConfig cfg;
+  cfg.trip_timeout_s = 50.0;
+  cfg.num_shards = 4;  // force cross-thread shard sharing
+  FleetMonitor monitor(model_, cfg, &sink);
+
+  constexpr int kThreads = 8;
+  constexpr int kTripsPerThread = 10;
+  std::atomic<int64_t> ok_points{0};
+  std::atomic<int> started{0};
+  std::atomic<bool> stop_evictor{false};
+
+  // One thread aggressively evicts "stale" trips while others feed: any
+  // trip pausing between points can be yanked mid-flight.
+  std::thread evictor([&] {
+    while (!stop_evictor.load()) {
+      monitor.EvictStale(1e12);
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int th = 0; th < kThreads; ++th) {
+    threads.emplace_back([&, th] {
+      for (int k = 0; k < kTripsPerThread; ++k) {
+        const auto& lt =
+            (*dataset_)[(static_cast<size_t>(th) * 13 +
+                         static_cast<size_t>(k) * 7) %
+                        dataset_->size()];
+        const auto& t = lt.traj;
+        if (t.edges.size() < 2) continue;
+        const int64_t vid = th * 1000 + k;
+        if (!monitor.StartTrip(vid, t.sd(), t.start_time).ok()) continue;
+        started.fetch_add(1);
+        for (traj::EdgeId e : t.edges) {
+          if (monitor.Feed(vid, e, t.start_time).ok()) {
+            ok_points.fetch_add(1);
+          } else {
+            break;  // evicted mid-trip; the monitor already notified
+          }
+        }
+        (void)monitor.EndTrip(vid);  // NotFound when the evictor won
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  stop_evictor.store(true);
+  evictor.join();
+  monitor.EvictStale(1e12);  // clear any remaining active trips
+
+  EXPECT_EQ(monitor.ActiveTrips(), 0u);
+  const FleetStats stats = monitor.Stats();
+  EXPECT_EQ(stats.trips_started, started.load());
+  EXPECT_EQ(stats.trips_started, stats.trips_finished + stats.trips_evicted);
+  EXPECT_EQ(stats.points_processed, ok_points.load());
+  EXPECT_EQ(stats.alerts_emitted, static_cast<int64_t>(sink.NumAlerts()));
+  EXPECT_EQ(stats.trips_finished, static_cast<int64_t>(sink.NumFinished()));
+  EXPECT_EQ(stats.trips_evicted, static_cast<int64_t>(sink.NumEvicted()));
 }
 
 TEST_F(FleetTest, ConcurrentResultsMatchSerialDetection) {

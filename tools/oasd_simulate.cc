@@ -30,6 +30,9 @@ int Main(int argc, char** argv) {
   flags.AddInt("threads", 4, "ingest threads");
   flags.AddInt("repeat", 1, "replay the dataset this many times");
   flags.AddInt("max-active", 100000, "active-trip cap (evicts stalest)");
+  flags.AddInt("batch", 0,
+               "ingest via FeedBatch in chunks of this many points "
+               "(0 = per-point Feed)");
   flags.AddBool("print-alerts", false, "print each alert as it fires");
   tools::ParseFlagsOrExit(&flags, argc, argv);
 
@@ -57,11 +60,22 @@ int Main(int argc, char** argv) {
                     alert.range.begin, alert.range.end);
       }
     }
+    void OnTripEvicted(int64_t vehicle_id, double /*trip_start_time*/,
+                       const std::vector<uint8_t>& labels_so_far) override {
+      evicted_.fetch_add(1);
+      if (print_) {
+        std::printf("EVICTED vehicle %lld after %zu segments\n",
+                    static_cast<long long>(vehicle_id),
+                    labels_so_far.size());
+      }
+    }
     int64_t count() const { return count_.load(); }
+    int64_t evicted() const { return evicted_.load(); }
 
    private:
     bool print_;
     std::atomic<int64_t> count_{0};
+    std::atomic<int64_t> evicted_{0};
   };
   Sink sink(flags.GetBool("print-alerts"));
 
@@ -72,8 +86,11 @@ int Main(int argc, char** argv) {
 
   const int threads = std::max(1, static_cast<int>(flags.GetInt("threads")));
   const int repeat = std::max(1, static_cast<int>(flags.GetInt("repeat")));
-  std::printf("replaying %zu trips x%d across %d threads...\n", input.size(),
-              repeat, threads);
+  const size_t batch_size =
+      static_cast<size_t>(std::max<int64_t>(0, flags.GetInt("batch")));
+  std::printf("replaying %zu trips x%d across %d threads%s...\n",
+              input.size(), repeat, threads,
+              batch_size > 0 ? " (batched ingest)" : "");
 
   Stopwatch sw;
   std::atomic<int64_t> points{0};
@@ -81,6 +98,8 @@ int Main(int argc, char** argv) {
   workers.reserve(threads);
   for (int th = 0; th < threads; ++th) {
     workers.emplace_back([&, th] {
+      std::vector<serve::FleetPoint> batch;
+      batch.reserve(batch_size);
       for (int rep = 0; rep < repeat; ++rep) {
         for (size_t i = static_cast<size_t>(th); i < input.size();
              i += static_cast<size_t>(threads)) {
@@ -92,8 +111,20 @@ int Main(int argc, char** argv) {
           if (!monitor.StartTrip(vid, t.sd(), t.start_time).ok()) continue;
           double ts = t.start_time;
           for (traj::EdgeId e : t.edges) {
-            (void)monitor.Feed(vid, e, ts);
+            if (batch_size > 0) {
+              batch.push_back({vid, e, ts});
+              if (batch.size() == batch_size) {
+                (void)monitor.FeedBatch(batch);
+                batch.clear();
+              }
+            } else {
+              (void)monitor.Feed(vid, e, ts);
+            }
             ts += 2.0;  // paper's sampling rate
+          }
+          if (!batch.empty()) {
+            (void)monitor.FeedBatch(batch);
+            batch.clear();
           }
           (void)monitor.EndTrip(vid);
           points.fetch_add(static_cast<int64_t>(t.edges.size()));
@@ -115,7 +146,9 @@ int Main(int argc, char** argv) {
               static_cast<double>(points.load()) / elapsed,
               elapsed * 1e6 / static_cast<double>(std::max<int64_t>(
                                   1, points.load())));
-  std::printf("  alerts:     %lld\n", static_cast<long long>(sink.count()));
+  std::printf("  alerts:     %lld (%lld eviction notices)\n",
+              static_cast<long long>(sink.count()),
+              static_cast<long long>(sink.evicted()));
   return 0;
 }
 
