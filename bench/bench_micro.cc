@@ -1,7 +1,10 @@
 // Microbenchmarks of the hot paths behind the paper's efficiency claims
 // (google-benchmark): LSTM streaming step, policy action, the full
 // per-point detector Feed, preprocessor lookups, discrete-Frechet row
-// update, and bounded shortest paths.
+// update, and bounded shortest paths — plus batch sweeps (B in {1, 8, 32,
+// 128}) of the GEMM-backed batched inference path at each layer (LSTM cell,
+// RSRNet step, detector FeedBatch), reported per *point* so the batched
+// rows read directly against their streaming counterparts.
 #include <cstdio>
 
 #include <benchmark/benchmark.h>
@@ -11,6 +14,7 @@
 #include "io/checkpoint.h"
 #include "io/model_io.h"
 #include "nn/gru.h"
+#include "nn/lstm.h"
 #include "roadnet/shortest_path.h"
 #include "serve/fleet.h"
 
@@ -168,6 +172,107 @@ void BM_FleetFeed(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FleetFeed);
+
+void BM_LstmStepBatch(benchmark::State& state) {
+  // Batched counterpart of BM_LstmStreamingStep: one fused (4H x I) x
+  // (I x B) step for B streams. items == points, so time-per-item is the
+  // per-point cost to compare against the streaming row.
+  Rng rng(3);
+  auto& f = Fixture();
+  const size_t embed = f.model.rsrnet().config().embed_dim;
+  const size_t hidden = f.model.rsrnet().config().hidden_dim;
+  const auto B = static_cast<size_t>(state.range(0));
+  nn::Lstm lstm("micro", embed, hidden, &rng);
+  nn::LstmBatchState batch_state(hidden, B);
+  nn::Matrix x(embed, B, 0.1f);
+  for (auto _ : state) {
+    lstm.StepForwardBatch(x, &batch_state);
+    benchmark::DoNotOptimize(batch_state.h.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(B));
+}
+BENCHMARK(BM_LstmStepBatch)->Arg(1)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_RsrStepBatch(benchmark::State& state) {
+  // Full batched RSRNet streaming step: embedding gather, fused recurrent
+  // GEMMs, state scatter, z assembly.
+  auto& f = Fixture();
+  const auto B = static_cast<size_t>(state.range(0));
+  std::vector<core::RsrStream> streams(B);
+  std::vector<core::RsrStream*> ptrs;
+  ptrs.reserve(B);
+  for (auto& s : streams) ptrs.push_back(&s);
+  const auto& edges = f.long_traj.edges;
+  std::vector<traj::EdgeId> batch_edges(B);
+  std::vector<uint8_t> nrf(B, 0);
+  nn::Matrix z;
+  size_t i = 0;
+  for (auto _ : state) {
+    for (size_t b = 0; b < B; ++b) {
+      batch_edges[b] = edges[(i + b) % edges.size()];
+    }
+    f.model.rsrnet().StepForwardBatch(batch_edges, nrf, ptrs, &z);
+    benchmark::DoNotOptimize(z.data());
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(B));
+}
+BENCHMARK(BM_RsrStepBatch)->Arg(1)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_DetectorFeedBatch(benchmark::State& state) {
+  // Batched counterpart of BM_DetectorPerPoint: B concurrent sessions
+  // advanced one segment per call through OnlineDetector::FeedBatch.
+  auto& f = Fixture();
+  const auto& t = f.long_traj;
+  const auto B = static_cast<size_t>(state.range(0));
+  std::vector<core::OnlineDetector::Session> sessions;
+  std::vector<core::OnlineDetector::Session*> ptrs;
+  auto reset = [&] {
+    sessions.clear();
+    ptrs.clear();
+    for (size_t b = 0; b < B; ++b) {
+      sessions.push_back(f.model.StartSession(t.sd(), t.start_time));
+    }
+    for (auto& s : sessions) ptrs.push_back(&s);
+  };
+  reset();
+  std::vector<traj::EdgeId> edges(B);
+  size_t i = 0;
+  for (auto _ : state) {
+    if (i == t.edges.size()) {
+      state.PauseTiming();
+      reset();
+      i = 0;
+      state.ResumeTiming();
+    }
+    std::fill(edges.begin(), edges.end(), t.edges[i++]);
+    f.model.detector().FeedBatch(ptrs, edges);
+    benchmark::DoNotOptimize(sessions.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(B));
+}
+BENCHMARK(BM_DetectorFeedBatch)->Arg(1)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_GemmKernel(benchmark::State& state) {
+  // The raw blocked GEMM at the LSTM gate shape (4H x I) * (I x B).
+  auto& f = Fixture();
+  const size_t embed = f.model.rsrnet().config().embed_dim;
+  const size_t hidden = f.model.rsrnet().config().hidden_dim;
+  const auto B = static_cast<size_t>(state.range(0));
+  nn::Matrix a(4 * hidden, embed, 0.01f);
+  nn::Matrix b(embed, B, 0.1f);
+  nn::Matrix c;
+  for (auto _ : state) {
+    nn::MatMul(a, b, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(B));
+  state.counters["MAC/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(4 * hidden * embed * B),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmKernel)->Arg(1)->Arg(8)->Arg(32)->Arg(128);
 
 void BM_ModelBundleSaveLoad(benchmark::State& state) {
   auto& f = Fixture();

@@ -1,6 +1,7 @@
 #include "core/asdnet.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/logging.h"
 
@@ -32,6 +33,27 @@ std::array<float, 2> AsdNet::ActionProbs(const float* z,
   policy_.Forward(state.data(), logits);
   nn::SoftmaxInPlace(logits, 2);
   return {logits[0], logits[1]};
+}
+
+void AsdNet::ActionProbsBatch(const nn::Matrix& z,
+                              std::span<const int> prev_labels,
+                              nn::Matrix* probs) const {
+  const size_t B = z.cols();
+  RL4_CHECK_EQ(z.rows(), config_.z_dim);
+  RL4_CHECK_EQ(prev_labels.size(), B);
+  // State matrix (z_dim + label_dim) x B: the z block is a straight copy
+  // (full-width rows), the label embedding scatters per column. Thread-
+  // local scratch, every row rewritten per call.
+  static thread_local nn::Matrix state;
+  state.EnsureShape(state_dim(), B);
+  std::memcpy(state.data(), z.data(), config_.z_dim * B * sizeof(float));
+  for (size_t b = 0; b < B; ++b) {
+    const float* v = label_embed_.Lookup(prev_labels[b] ? 1 : 0);
+    float* col = state.data() + config_.z_dim * B + b;
+    for (size_t r = 0; r < config_.label_dim; ++r) col[r * B] = v[r];
+  }
+  policy_.ForwardBatch(state, probs);
+  nn::SoftmaxColumnsInPlace(probs);
 }
 
 int AsdNet::SampleAction(const float* z, int prev_label, Rng* rng) const {

@@ -10,6 +10,7 @@
 
 #include <array>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/rng.h"
@@ -44,6 +45,14 @@ class AsdNet {
 
   /// π(a | s): action probabilities for state (z, prev_label).
   std::array<float, 2> ActionProbs(const float* z, int prev_label) const;
+
+  /// Batched policy evaluation: `z` is (z_dim x B) column-per-sample,
+  /// `prev_labels` the matching previous labels; `probs` is resized to
+  /// (2 x B) with column b equal to ActionProbs on sample b (<= 1e-6
+  /// relative; see nn::Gemm's equivalence contract). The policy matmul of
+  /// all B samples runs as one GEMM.
+  void ActionProbsBatch(const nn::Matrix& z, std::span<const int> prev_labels,
+                        nn::Matrix* probs) const;
 
   /// Samples an action from the stochastic policy.
   int SampleAction(const float* z, int prev_label, Rng* rng) const;

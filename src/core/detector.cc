@@ -188,6 +188,104 @@ std::optional<traj::Subtrajectory> OnlineDetector::Session::OpenRun() const {
   return run;
 }
 
+void OnlineDetector::FeedBatch(std::span<Session* const> sessions,
+                               std::span<const traj::EdgeId> edges,
+                               int* labels) const {
+  const size_t B = sessions.size();
+  RL4_CHECK_EQ(edges.size(), B);
+  if (B == 0) return;
+  if (B == 1) {  // GEMMs degenerate to the matvec path; skip the plumbing
+    const int label = sessions[0]->Feed(edges[0]);
+    if (labels != nullptr) labels[0] = label;
+    return;
+  }
+
+  // Phase 1 (scalar, cheap): per-session NRF bits and deterministic labels.
+  // A session's first segment is normal by definition and skips the policy;
+  // RNEL decides some of the rest without the policy. The RSRNet step still
+  // runs for every session so downstream states see the full history.
+  // All scratch is thread-local and fully rewritten per call, so
+  // steady-state waves allocate nothing.
+  static thread_local std::vector<uint8_t> nrf;
+  static thread_local std::vector<int> det;
+  static thread_local std::vector<RsrStream*> streams;
+  nrf.assign(B, 0);
+  det.assign(B, -1);
+  streams.resize(B);
+  for (size_t b = 0; b < B; ++b) {
+    Session* s = sessions[b];
+    RL4_CHECK(s->owner_ == this);
+    streams[b] = &s->stream_;
+    if (s->labels_.empty()) continue;  // first point: nrf 0, label 0
+    nrf[b] = preprocessor_->NormalRouteFeatureAt(s->sd_, s->start_time_,
+                                                 s->prev_edge_, edges[b]);
+    if (config_.use_rnel) {
+      det[b] = RnelDeterministicLabel(*net_, s->prev_edge_, s->prev_label_,
+                                      edges[b]);
+    }
+  }
+
+  // Phase 2: one batched RSRNet step across all B sessions.
+  static thread_local nn::Matrix z;
+  rsr_->StepForwardBatch(edges, nrf, streams, &z);
+
+  // Phase 3: batched policy over the sessions RNEL left undecided.
+  static thread_local std::vector<int> decided;
+  static thread_local std::vector<size_t> need;
+  decided.resize(B);
+  need.clear();
+  for (size_t b = 0; b < B; ++b) {
+    if (sessions[b]->labels_.empty()) {
+      decided[b] = 0;
+    } else if (det[b] >= 0) {
+      decided[b] = det[b];
+    } else {
+      need.push_back(b);
+    }
+  }
+  if (!need.empty()) {
+    const size_t M = need.size();
+    const size_t zd = z.rows();
+    static thread_local nn::Matrix zsub;
+    static thread_local std::vector<int> prev;
+    static thread_local nn::Matrix probs;
+    zsub.EnsureShape(zd, M);
+    prev.resize(M);
+    for (size_t m = 0; m < M; ++m) {
+      const size_t b = need[m];
+      const float* src = z.data() + b;
+      float* dst = zsub.data() + m;
+      for (size_t r = 0; r < zd; ++r) dst[r * M] = src[r * B];
+      prev[m] = sessions[b]->prev_label_;
+    }
+    asd_->ActionProbsBatch(zsub, prev, &probs);
+    for (size_t m = 0; m < M; ++m) {
+      const size_t b = need[m];
+      const float p0 = probs(0, m);
+      const float p1 = probs(1, m);
+      if (config_.stochastic) {
+        // Same per-session draw as SampleAction, so batched and streaming
+        // stochastic runs consume each session's RNG identically.
+        decided[b] = sessions[b]->rng_.Uniform() < p0 ? 0 : 1;
+      } else {
+        decided[b] = p1 > p0 ? 1 : 0;
+      }
+    }
+  }
+
+  // Phase 4 (scalar): per-session bookkeeping, identical to Feed's tail.
+  for (size_t b = 0; b < B; ++b) {
+    Session* s = sessions[b];
+    const int label = decided[b];
+    s->labels_.push_back(static_cast<uint8_t>(label));
+    s->edges_.push_back(edges[b]);
+    s->prev_edge_ = edges[b];
+    s->prev_label_ = label;
+    if (const auto run = s->tracker_.Push(label)) s->RecordClosedRun(*run);
+    if (labels != nullptr) labels[b] = label;
+  }
+}
+
 std::vector<uint8_t> OnlineDetector::Detect(
     const traj::MapMatchedTrajectory& t) const {
   Session session(this, t.sd(), t.start_time);

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "common/rng.h"
@@ -140,6 +141,8 @@ class OnlineDetector {
     }
 
    private:
+    friend class OnlineDetector;  // FeedBatch drives sessions directly
+
     /// DL merge followed by route-level boundary trimming.
     void Postprocess(std::vector<uint8_t>* labels) const;
     void TrimRunBoundaries(std::vector<uint8_t>* labels) const;
@@ -166,6 +169,18 @@ class OnlineDetector {
 
   /// Convenience: runs a full trajectory through a session.
   std::vector<uint8_t> Detect(const traj::MapMatchedTrajectory& t) const;
+
+  /// Batched step: advances sessions[b] by edges[b], for B *distinct*
+  /// sessions of this detector, producing exactly the labels, run
+  /// bookkeeping, and (in stochastic mode) per-session RNG draws that
+  /// sessions[b]->Feed(edges[b]) would — but with the RSRNet recurrent step
+  /// of all B sessions fused into GEMMs, and the ASDNet policy batched over
+  /// the sessions RNEL leaves undecided. `labels` (optional) receives the B
+  /// per-point labels. This is the model-step amortization layer under
+  /// serve::FleetMonitor's micro-batching.
+  void FeedBatch(std::span<Session* const> sessions,
+                 std::span<const traj::EdgeId> edges,
+                 int* labels = nullptr) const;
 
   Session StartSession(traj::SdPair sd, double start_time) const {
     return Session(this, sd, start_time);

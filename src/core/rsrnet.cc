@@ -1,6 +1,7 @@
 #include "core/rsrnet.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/logging.h"
 #include "nn/stacked.h"
@@ -162,6 +163,57 @@ nn::Vec RsrNet::StepForward(traj::EdgeId edge, uint8_t nrf_bit,
     (*probs) = {logits[0], logits[1]};
   }
   return z;
+}
+
+void RsrNet::StepForwardBatch(std::span<const traj::EdgeId> edges,
+                              std::span<const uint8_t> nrf_bits,
+                              std::span<RsrStream* const> streams,
+                              nn::Matrix* z, nn::Matrix* probs) const {
+  const size_t B = edges.size();
+  RL4_CHECK_EQ(nrf_bits.size(), B);
+  RL4_CHECK_EQ(streams.size(), B);
+  const size_t H = config_.hidden_dim;
+  const size_t N = config_.nrf_dim;
+  const size_t S = rnn_->state_size();
+
+  // Gather: embedding columns and per-stream recurrent states (fresh
+  // streams are sized here, like the scalar path). Scratch buffers are
+  // thread-local and fully overwritten, so steady-state waves allocate
+  // nothing.
+  static thread_local std::vector<size_t> ids;
+  static thread_local std::vector<nn::RnnState*> states;
+  static thread_local nn::Matrix x;  // embed_dim x B
+  static thread_local nn::RnnBatchState batch_state;
+  ids.resize(B);
+  states.resize(B);
+  for (size_t b = 0; b < B; ++b) {
+    ids[b] = static_cast<size_t>(edges[b]);
+    if (streams[b]->state.h.size() != S) {
+      streams[b]->state = nn::RnnState(S);
+    }
+    states[b] = &streams[b]->state;
+  }
+  tcf_embed_.LookupBatch(ids, &x);
+  batch_state.Gather(states, S);
+
+  rnn_->StepForwardBatch(x, &batch_state);
+
+  batch_state.Scatter(states);
+
+  // z = [h_top; nrf]: the top layer's hidden block is the last H rows of
+  // the packed state (contiguous, full width), the NRF embedding scatters
+  // per column.
+  z->EnsureShape(H + N, B);
+  std::memcpy(z->data(), batch_state.h.Row(S - H), H * B * sizeof(float));
+  for (size_t b = 0; b < B; ++b) {
+    const float* nv = nrf_embed_.Lookup(nrf_bits[b] ? 1 : 0);
+    float* col = z->data() + H * B + b;
+    for (size_t r = 0; r < N; ++r) col[r * B] = nv[r];
+  }
+  if (probs != nullptr) {
+    head_.ForwardBatch(*z, probs);
+    nn::SoftmaxColumnsInPlace(probs);
+  }
 }
 
 }  // namespace rl4oasd::core

@@ -9,6 +9,7 @@
 
 #include <array>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/rng.h"
@@ -91,6 +92,19 @@ class RsrNet {
   /// fills `probs`. O(hidden * (hidden + embed)) per call.
   nn::Vec StepForward(traj::EdgeId edge, uint8_t nrf_bit, RsrStream* stream,
                       std::array<float, 2>* probs) const;
+
+  /// Batched streaming step over B independent trip streams: advances
+  /// streams[b] by edges[b]/nrf_bits[b] exactly as StepForward would
+  /// (<= 1e-6 relative; see nn::Gemm's equivalence contract), but with the
+  /// recurrent gate matmuls of all B streams fused into GEMMs. `z` is
+  /// resized to (z_dim x B), column b = z_b; `probs` (optional) is resized
+  /// to (2 x B) of softmaxed class probabilities. Streams may differ per
+  /// call — the caller gathers whichever trips have a point to process, so
+  /// ragged final batches are just smaller B.
+  void StepForwardBatch(std::span<const traj::EdgeId> edges,
+                        std::span<const uint8_t> nrf_bits,
+                        std::span<RsrStream* const> streams, nn::Matrix* z,
+                        nn::Matrix* probs = nullptr) const;
 
   nn::ParameterRegistry* registry() { return &registry_; }
   float lr() const { return optimizer_->lr(); }

@@ -8,4 +8,17 @@ Embedding::Embedding(std::string name, size_t vocab, size_t dim,
   param_.UniformInit(rng, 0.5f / static_cast<float>(dim));
 }
 
+void Embedding::LookupBatch(std::span<const size_t> ids, Matrix* out) const {
+  const size_t d = dim();
+  const size_t batch = ids.size();
+  out->EnsureShape(d, batch);
+  // Transposing gather: embedding rows scatter into columns of the
+  // feature-major batch matrix.
+  for (size_t b = 0; b < batch; ++b) {
+    const float* row = Lookup(ids[b]);
+    float* col = out->data() + b;
+    for (size_t r = 0; r < d; ++r) col[r * batch] = row[r];
+  }
+}
+
 }  // namespace rl4oasd::nn

@@ -1,6 +1,7 @@
 // Trainable embedding table: token id -> dense vector.
 #pragma once
 
+#include <span>
 #include <string>
 
 #include "nn/param.h"
@@ -26,6 +27,11 @@ class Embedding {
     RL4_CHECK_LT(id, vocab());
     return param_.value.Row(id);
   }
+
+  /// Batched gather: `out` is resized to (dim x ids.size()) feature-major —
+  /// column b holds the embedding of ids[b] — ready to feed the batched
+  /// GEMM path as the (I x B) input block.
+  void LookupBatch(std::span<const size_t> ids, Matrix* out) const;
 
   /// Adds `grad` (length dim()) into the gradient row for `id`.
   void AccumulateGrad(size_t id, const float* grad) {

@@ -25,23 +25,22 @@ Gru::Gru(std::string name, size_t input_dim, size_t hidden_dim,
 void Gru::ComputeGates(const float* x, const float* h_prev, float* gates,
                        float* q) const {
   const size_t H = hidden_dim_;
-  // Pre-activations from the input path for all three blocks.
+  // Pre-activations from the input path for all three blocks. Recurrent
+  // contributions are summed as their own product chains and added once —
+  // the association the batched GEMM path uses, so the paths agree
+  // bit-for-bit.
   MatVec(wx_.value, x, gates);
-  // z and r blocks: += U h_prev + b, then sigmoid.
+  // z and r blocks: (Wx x + b) + U h_prev, then sigmoid.
   for (size_t r = 0; r < 2 * H; ++r) {
-    const float* row = wh_.value.Row(r);
-    float acc = gates[r] + b_.value(0, r);
-    for (size_t c = 0; c < H; ++c) acc += row[c] * h_prev[c];
-    gates[r] = Sigmoid(acc);
+    gates[r] = Sigmoid(gates[r] + b_.value(0, r) +
+                       Dot(wh_.value.Row(r), h_prev, H));
   }
   // q = r ⊙ h_prev feeds the candidate's recurrent term.
   for (size_t i = 0; i < H; ++i) q[i] = gates[H + i] * h_prev[i];
-  // n block: += Un q + b, then tanh.
+  // n block: (Wx x + b) + Un q, then tanh.
   for (size_t r = 2 * H; r < 3 * H; ++r) {
-    const float* row = wh_.value.Row(r);
-    float acc = gates[r] + b_.value(0, r);
-    for (size_t c = 0; c < H; ++c) acc += row[c] * q[c];
-    gates[r] = std::tanh(acc);
+    gates[r] = Tanh(gates[r] + b_.value(0, r) +
+                         Dot(wh_.value.Row(r), q, H));
   }
 }
 
@@ -54,6 +53,44 @@ void Gru::StepForward(const float* x, GruState* state) const {
   const float* n = gates.data() + 2 * H;
   for (size_t i = 0; i < H; ++i) {
     state->h[i] = (1.0f - z[i]) * n[i] + z[i] * state->h[i];
+  }
+}
+
+void Gru::StepForwardBatch(const Matrix& x, Matrix* h_mat) const {
+  const size_t H = hidden_dim_;
+  const size_t B = x.cols();
+  RL4_CHECK_EQ(x.rows(), input_dim_);
+  RL4_CHECK_EQ(h_mat->rows(), H);
+  RL4_CHECK_EQ(h_mat->cols(), B);
+  // Mirrors the scalar ComputeGates accumulation order per gate block:
+  // Wx x, then + b, then + U (h_prev or q), then the activation.
+  // Thread-local scratch, fully overwritten every call.
+  static thread_local Matrix gates;  // 3H x B
+  MatMul(wx_.value, x, &gates);
+  AddBiasPerRow(&gates, b_.value.Row(0));
+  const size_t hb = H * B;
+  float* g = gates.data();
+  const float* h_prev = h_mat->data();
+  // z and r blocks (rows [0, 2H)): += U h_prev, sigmoid.
+  Gemm(wh_.value.data(), 2 * H, H, wh_.value.cols(), h_prev, B, B, g, B,
+       /*accumulate=*/true);
+  for (size_t i = 0; i < 2 * hb; ++i) g[i] = Sigmoid(g[i]);
+  // q = r ⊙ h_prev feeds the candidate's recurrent term.
+  static thread_local Matrix q;
+  q.EnsureShape(H, B);
+  const float* r = g + hb;
+  float* qd = q.data();
+  for (size_t i = 0; i < hb; ++i) qd[i] = r[i] * h_prev[i];
+  // n block (rows [2H, 3H)): += Un q, tanh.
+  Gemm(wh_.value.Row(2 * H), H, H, wh_.value.cols(), qd, B, B, g + 2 * hb, B,
+       /*accumulate=*/true);
+  for (size_t i = 2 * hb; i < 3 * hb; ++i) g[i] = Tanh(g[i]);
+  // Blend: h = (1 - z) ⊙ n + z ⊙ h_prev.
+  const float* z = g;
+  const float* n = g + 2 * hb;
+  float* h = h_mat->data();
+  for (size_t i = 0; i < hb; ++i) {
+    h[i] = (1.0f - z[i]) * n[i] + z[i] * h[i];
   }
 }
 

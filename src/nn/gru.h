@@ -19,6 +19,16 @@ struct GruState {
   void Reset() { std::fill(h.begin(), h.end(), 0.0f); }
 };
 
+/// Recurrent state of a batch of B streaming GRUs: a feature-major (H x B)
+/// matrix whose column b is sample b's hidden state.
+struct GruBatchState {
+  Matrix h;  // H x B
+
+  GruBatchState() = default;
+  GruBatchState(size_t hidden, size_t batch) : h(hidden, batch) {}
+  void Reset() { h.SetZero(); }
+};
+
 /// Per-step cache retained by sequence-mode forward for BPTT.
 struct GruStepCache {
   Vec x;      // input at this step
@@ -42,6 +52,18 @@ class Gru {
 
   /// Streaming step (inference only; no caches kept).
   void StepForward(const float* x, GruState* state) const;
+
+  /// Batched streaming step over B independent streams: x is (input_dim x B)
+  /// column-per-sample, `state->h` is (H x B), updated in place. The gate
+  /// matmuls become (3H x I) * (I x B) / (2H x H) * (H x B) / (H x H) *
+  /// (H x B) GEMMs; column b matches StepForward on sample b (<= 1e-6
+  /// relative; see Gemm's equivalence contract). Inference only.
+  void StepForwardBatch(const Matrix& x, GruBatchState* state) const {
+    StepForwardBatch(x, &state->h);
+  }
+
+  /// As above on a raw (H x B) hidden matrix.
+  void StepForwardBatch(const Matrix& x, Matrix* h) const;
 
   /// Sequence forward from the zero state.
   std::vector<GruStepCache> Forward(

@@ -14,6 +14,12 @@ void Linear::Forward(const float* x, float* out) const {
   for (size_t i = 0; i < out_dim(); ++i) out[i] += b[i];
 }
 
+void Linear::ForwardBatch(const Matrix& x, Matrix* out) const {
+  RL4_CHECK_EQ(x.rows(), in_dim());
+  MatMul(w_.value, x, out);
+  AddBiasPerRow(out, b_.value.Row(0));
+}
+
 void Linear::Backward(const float* x, const float* d_out, float* d_x) {
   OuterAccum(&w_.grad, d_out, x);
   float* db = b_.grad.Row(0);

@@ -19,6 +19,11 @@ class Linear {
   /// out = W x + b.
   void Forward(const float* x, float* out) const;
 
+  /// Batched forward: x is (in_dim x B) column-per-sample; out is resized to
+  /// (out_dim x B) with column b equal to Forward on x's column b (<= 1e-6
+  /// relative; see Gemm's equivalence contract).
+  void ForwardBatch(const Matrix& x, Matrix* out) const;
+
   /// Given d(out), accumulates dW += d_out outer x, db += d_out, and (when
   /// `d_x` is non-null) d_x += W^T d_out.
   void Backward(const float* x, const float* d_out, float* d_x);

@@ -24,19 +24,19 @@ void Lstm::ComputeGates(const float* x, const float* h_prev,
                         float* gates) const {
   const size_t h4 = 4 * hidden_dim_;
   MatVec(wx_.value, x, gates);
-  // gates += Wh h_prev + b
-  const size_t rows = h4;
-  for (size_t r = 0; r < rows; ++r) {
-    const float* row = wh_.value.Row(r);
-    float acc = gates[r] + b_.value(0, r);
-    for (size_t c = 0; c < hidden_dim_; ++c) acc += row[c] * h_prev[c];
-    gates[r] = acc;
+  // gates = (Wx x + b) + Wh h_prev, with the recurrent dot product summed
+  // on its own before the single add — the same association the batched
+  // GEMM path uses (fresh product chain, added to C once), so the two
+  // paths agree bit-for-bit.
+  for (size_t r = 0; r < h4; ++r) {
+    gates[r] = gates[r] + b_.value(0, r) +
+               Dot(wh_.value.Row(r), h_prev, hidden_dim_);
   }
   // Activations: [i, f] sigmoid, [g] tanh, [o] sigmoid.
   const size_t H = hidden_dim_;
   for (size_t i = 0; i < H; ++i) gates[i] = Sigmoid(gates[i]);
   for (size_t i = H; i < 2 * H; ++i) gates[i] = Sigmoid(gates[i]);
-  for (size_t i = 2 * H; i < 3 * H; ++i) gates[i] = std::tanh(gates[i]);
+  for (size_t i = 2 * H; i < 3 * H; ++i) gates[i] = Tanh(gates[i]);
   for (size_t i = 3 * H; i < 4 * H; ++i) gates[i] = Sigmoid(gates[i]);
 }
 
@@ -50,7 +50,42 @@ void Lstm::StepForward(const float* x, LstmState* state) const {
   const float* og = gates.data() + 3 * H;
   for (size_t i = 0; i < H; ++i) {
     state->c[i] = fg[i] * state->c[i] + ig[i] * gg[i];
-    state->h[i] = og[i] * std::tanh(state->c[i]);
+    state->h[i] = og[i] * Tanh(state->c[i]);
+  }
+}
+
+void Lstm::StepForwardBatch(const Matrix& x, Matrix* h_mat,
+                            Matrix* c_mat) const {
+  const size_t H = hidden_dim_;
+  const size_t B = x.cols();
+  RL4_CHECK_EQ(x.rows(), input_dim_);
+  RL4_CHECK_EQ(h_mat->rows(), H);
+  RL4_CHECK_EQ(h_mat->cols(), B);
+  RL4_CHECK_EQ(c_mat->rows(), H);
+  RL4_CHECK_EQ(c_mat->cols(), B);
+  // Same accumulation order as the scalar ComputeGates: Wx x, then + b,
+  // then + Wh h_prev, then the activations. Thread-local scratch: fully
+  // overwritten every call (MatMul resizes), so steady-state waves do no
+  // allocation.
+  static thread_local Matrix gates;  // 4H x B
+  MatMul(wx_.value, x, &gates);
+  AddBiasPerRow(&gates, b_.value.Row(0));
+  MatMulAccum(wh_.value, *h_mat, &gates);
+  float* g = gates.data();
+  const size_t hb = H * B;
+  for (size_t i = 0; i < hb; ++i) g[i] = Sigmoid(g[i]);                // i
+  for (size_t i = hb; i < 2 * hb; ++i) g[i] = Sigmoid(g[i]);           // f
+  for (size_t i = 2 * hb; i < 3 * hb; ++i) g[i] = Tanh(g[i]);     // g
+  for (size_t i = 3 * hb; i < 4 * hb; ++i) g[i] = Sigmoid(g[i]);       // o
+  const float* ig = g;
+  const float* fg = g + hb;
+  const float* gg = g + 2 * hb;
+  const float* og = g + 3 * hb;
+  float* c = c_mat->data();
+  float* h = h_mat->data();
+  for (size_t i = 0; i < hb; ++i) {
+    c[i] = fg[i] * c[i] + ig[i] * gg[i];
+    h[i] = og[i] * Tanh(c[i]);
   }
 }
 
@@ -75,7 +110,7 @@ std::vector<LstmStepCache> Lstm::Forward(
     const float* og = cache.gates.data() + 3 * H;
     for (size_t i = 0; i < H; ++i) {
       cache.c[i] = fg[i] * c_prev[i] + ig[i] * gg[i];
-      cache.tanh_c[i] = std::tanh(cache.c[i]);
+      cache.tanh_c[i] = Tanh(cache.c[i]);
       cache.h[i] = og[i] * cache.tanh_c[i];
     }
     h_prev = cache.h;

@@ -25,6 +25,22 @@ struct LstmState {
   }
 };
 
+/// Recurrent state of a batch of B streaming LSTMs: feature-major (H x B)
+/// matrices whose column b is sample b's state, so the gate pre-activations
+/// of the whole batch are two GEMMs.
+struct LstmBatchState {
+  Matrix h;  // H x B
+  Matrix c;  // H x B
+
+  LstmBatchState() = default;
+  LstmBatchState(size_t hidden, size_t batch)
+      : h(hidden, batch), c(hidden, batch) {}
+  void Reset() {
+    h.SetZero();
+    c.SetZero();
+  }
+};
+
 /// Per-step cache retained by sequence-mode forward for BPTT.
 struct LstmStepCache {
   Vec x;        // input at this step
@@ -47,6 +63,20 @@ class Lstm {
   /// Streaming step: consumes x (length input_dim), updates `state` in place.
   /// No caches are kept; use for inference only.
   void StepForward(const float* x, LstmState* state) const;
+
+  /// Batched streaming step over B independent streams: x is (input_dim x B)
+  /// with sample b in column b, and `state` carries (H x B) hidden/cell
+  /// matrices updated in place. The four gate matmuls of all B streams run
+  /// as one (4H x I) * (I x B) GEMM (plus the recurrent (4H x H) * (H x B)),
+  /// and column b's result matches StepForward on sample b's state (<= 1e-6
+  /// relative; see Gemm's equivalence contract). Inference only.
+  void StepForwardBatch(const Matrix& x, LstmBatchState* state) const {
+    StepForwardBatch(x, &state->h, &state->c);
+  }
+
+  /// As above on raw (H x B) hidden/cell matrices (the RecurrentNet adapter
+  /// and StackedRnn own their state storage directly).
+  void StepForwardBatch(const Matrix& x, Matrix* h, Matrix* c) const;
 
   /// Sequence forward from the zero state. Returns per-step caches (the
   /// hidden output of step t is caches[t].h).

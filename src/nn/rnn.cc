@@ -6,6 +6,43 @@
 
 namespace rl4oasd::nn {
 
+void RnnBatchState::Gather(std::span<const RnnState* const> states,
+                           size_t state_size) {
+  const size_t batch = states.size();
+  if (h.rows() != state_size || h.cols() != batch) {
+    h.Resize(state_size, batch);
+    c.Resize(state_size, batch);
+  }
+  for (size_t b = 0; b < batch; ++b) {
+    RL4_CHECK_EQ(states[b]->h.size(), state_size);
+    float* hcol = h.data() + b;
+    float* ccol = c.data() + b;
+    const float* sh = states[b]->h.data();
+    const float* sc = states[b]->c.data();
+    for (size_t r = 0; r < state_size; ++r) {
+      hcol[r * batch] = sh[r];
+      ccol[r * batch] = sc[r];
+    }
+  }
+}
+
+void RnnBatchState::Scatter(std::span<RnnState* const> states) const {
+  const size_t batch = states.size();
+  RL4_CHECK_EQ(batch, h.cols());
+  const size_t state_size = h.rows();
+  for (size_t b = 0; b < batch; ++b) {
+    RL4_CHECK_EQ(states[b]->h.size(), state_size);
+    const float* hcol = h.data() + b;
+    const float* ccol = c.data() + b;
+    float* sh = states[b]->h.data();
+    float* sc = states[b]->c.data();
+    for (size_t r = 0; r < state_size; ++r) {
+      sh[r] = hcol[r * batch];
+      sc[r] = ccol[r * batch];
+    }
+  }
+}
+
 namespace {
 
 class LstmNet : public RecurrentNet {
@@ -37,6 +74,10 @@ class LstmNet : public RecurrentNet {
     lstm_.StepForward(x, &s);
     state->h = std::move(s.h);
     state->c = std::move(s.c);
+  }
+
+  void StepForwardBatch(const Matrix& x, RnnBatchState* state) const override {
+    lstm_.StepForwardBatch(x, &state->h, &state->c);
   }
 
   std::unique_ptr<SeqCache> Forward(
@@ -83,6 +124,10 @@ class GruNet : public RecurrentNet {
     s.h = std::move(state->h);
     gru_.StepForward(x, &s);
     state->h = std::move(s.h);
+  }
+
+  void StepForwardBatch(const Matrix& x, RnnBatchState* state) const override {
+    gru_.StepForwardBatch(x, &state->h);
   }
 
   std::unique_ptr<SeqCache> Forward(

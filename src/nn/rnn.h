@@ -5,6 +5,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -33,6 +34,25 @@ struct RnnState {
   }
 };
 
+/// Streaming state of B independent streams stacked feature-major: column b
+/// of the (state_size x B) matrices is stream b's RnnState vectors. Built by
+/// gathering per-stream states, advanced by StepForwardBatch, scattered back.
+struct RnnBatchState {
+  Matrix h;
+  Matrix c;  // unused by GRU
+
+  RnnBatchState() = default;
+  RnnBatchState(size_t state_size, size_t batch)
+      : h(state_size, batch), c(state_size, batch) {}
+
+  size_t batch() const { return h.cols(); }
+
+  /// Copies states[b] (each of length state_size) into column b.
+  void Gather(std::span<const RnnState* const> states, size_t state_size);
+  /// Copies column b back into states[b].
+  void Scatter(std::span<RnnState* const> states) const;
+};
+
 /// Abstract single-layer recurrent network.
 class RecurrentNet {
  public:
@@ -55,6 +75,13 @@ class RecurrentNet {
 
   /// Streaming step: consumes x (length input_dim), updates `state`.
   virtual void StepForward(const float* x, RnnState* state) const = 0;
+
+  /// Batched streaming step over B independent streams: x is
+  /// (input_dim x B) column-per-sample and `state` carries
+  /// (state_size x B) matrices. Column b's result matches StepForward on
+  /// stream b (<= 1e-6 relative; see Gemm's equivalence contract).
+  virtual void StepForwardBatch(const Matrix& x,
+                                RnnBatchState* state) const = 0;
 
   /// Sequence forward from the zero state, retaining caches for Backward.
   virtual std::unique_ptr<SeqCache> Forward(

@@ -30,6 +30,11 @@ class StackedRnn : public RecurrentNet {
 
   void StepForward(const float* x, RnnState* state) const override;
 
+  /// Batched streaming step: state matrices are (layers * hidden) x B with
+  /// layer l's slice in rows [l*H, (l+1)*H) — the same packing as the
+  /// scalar state vectors, so the top layer's output is the last H rows.
+  void StepForwardBatch(const Matrix& x, RnnBatchState* state) const override;
+
   std::unique_ptr<SeqCache> Forward(
       const std::vector<const float*>& inputs) const override;
 

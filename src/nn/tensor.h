@@ -1,12 +1,15 @@
-// Dense row-major float matrix plus the handful of vector helpers the
-// networks need. Deliberately minimal: the networks in this repo (LSTM,
-// embedding, linear, softmax) only require matrix-vector products and
-// elementwise ops.
+// Dense row-major float matrix plus the vector and matrix kernels the
+// networks need: matrix-vector products and elementwise ops for the
+// streaming (single-sample) paths, and a blocked GEMM for the batched
+// inference path, where B stacked samples are laid out column-wise so the
+// recurrent gate matmuls become one (4H x I) * (I x B) product.
 #pragma once
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "common/logging.h"
@@ -43,11 +46,22 @@ class Matrix {
 
   void SetZero() { std::fill(data_.begin(), data_.end(), 0.0f); }
 
-  /// Resizes (content becomes undefined apart from `fill`).
+  /// Resizes and fills (previous content is discarded).
   void Resize(size_t rows, size_t cols, float fill = 0.0f) {
     rows_ = rows;
     cols_ = cols;
     data_.assign(rows * cols, fill);
+  }
+
+  /// Ensures the shape without initializing: a no-op when the shape already
+  /// matches (content preserved), otherwise a resize leaving the content
+  /// undefined. For scratch buffers that are fully overwritten — the
+  /// batched-inference hot path reuses its gate/output matrices every wave.
+  void EnsureShape(size_t rows, size_t cols) {
+    if (rows_ == rows && cols_ == cols) return;
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
   }
 
  private:
@@ -58,6 +72,36 @@ class Matrix {
 
 /// y = M x  (M: m x n, x: n, y: m). `y` is overwritten.
 void MatVec(const Matrix& m, const float* x, float* y);
+
+/// Blocked row-major GEMM on raw pointers: C (m x n) = A (m x k) * B (k x n),
+/// or C += A * B when `accumulate`. `lda`/`ldb`/`ldc` are leading dimensions
+/// (row strides), so callers can multiply row sub-blocks of larger matrices.
+///
+/// Equivalence contract: for every output element the products are added in
+/// ascending-k order as ONE unbroken chain, exactly like the scalar MatVec
+/// dot loop, so the batched inference path reproduces the streaming path's
+/// floating-point results (tests enforce <= 1e-6 relative; on one toolchain
+/// the results are typically bit-identical). The kernel tiles the
+/// contiguous `n` (batch) dimension into register accumulators and
+/// auto-vectorizes over it; k deliberately runs unblocked — splitting k
+/// into partial sums would reassociate the chains and break the contract.
+void Gemm(const float* a, size_t m, size_t k, size_t lda, const float* b,
+          size_t n, size_t ldb, float* c, size_t ldc, bool accumulate);
+
+/// C = A * B. C is resized to (A.rows x B.cols).
+void MatMul(const Matrix& a, const Matrix& b, Matrix* c);
+
+/// C += A * B. C must already be (A.rows x B.cols).
+void MatMulAccum(const Matrix& a, const Matrix& b, Matrix* c);
+
+/// Adds bias[r] to every element of row r (broadcast over the batch
+/// dimension of a feature-major batch matrix).
+void AddBiasPerRow(Matrix* c, const float* bias);
+
+/// Column-wise numerically stable softmax over an (n_classes x batch)
+/// logits matrix, in place: each column b is softmaxed independently, with
+/// the same operation order as SoftmaxInPlace on that column.
+void SoftmaxColumnsInPlace(Matrix* logits);
 
 /// y += M^T g  (accumulates input gradient: M: m x n, g: m, y: n).
 void MatTransVecAccum(const Matrix& m, const float* g, float* y);
@@ -81,6 +125,59 @@ void SoftmaxInPlace(float* logits, size_t n);
 /// Probabilities are clamped away from zero for stability.
 float CrossEntropy(const float* probs, size_t n, size_t target);
 
-inline float Sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+/// Fast exp(x) for the network activations: branchless (no libm call, no
+/// data-dependent branch), so activation loops over gate blocks
+/// auto-vectorize in both the streaming and the batched path. ~2e-7
+/// relative accuracy via Cody-Waite argument reduction, a degree-6
+/// exp polynomial, and exponent assembly in the float bit pattern; NaN
+/// propagates like std::exp. The streaming and batched paths share this
+/// exact function, so activations never contribute a batch-vs-streaming
+/// difference.
+inline float FastExp(float x) {
+  // NaN fails both clamp comparisons and would reach the float->int cast
+  // below (UB); route it through as 0 and select the original back at the
+  // end, so NaN propagates like std::exp — still branchless (compare +
+  // blend), so the surrounding loop stays vectorizable.
+  const bool not_nan = x == x;
+  float xc = not_nan ? x : 0.0f;
+  // Clamp to the comfortably-finite range (exp(±87) is near float min/max
+  // normal).
+  xc = xc < -87.0f ? -87.0f : xc;
+  xc = xc > 87.0f ? 87.0f : xc;
+  const float t = xc * 1.44269504088896341f;  // x / ln 2
+  // Round-to-nearest integer without a libm call: adding 1.5 * 2^23 pushes
+  // the fraction bits out (valid since |t| < 2^22).
+  const float r = (t + 12582912.0f) - 12582912.0f;
+  // Cody-Waite two-constant reduction: f = x - r ln2 stays accurate at
+  // large |x|. The hi constant has only 12 significant bits, so r * hi is
+  // exact for the integer |r| <= 126 reached here and the subtraction
+  // cancels without rounding; a single rounded ln2 constant would lose
+  // ~|x| * 1e-7 relative.
+  const float f = (xc - r * 0.693359375f) - r * (-2.12194440e-4f);
+  // e^f, Taylor to degree 6 on [-ln2/2, ln2/2] (remainder < 2e-7).
+  float p = 1.0f / 720.0f;
+  p = p * f + 1.0f / 120.0f;
+  p = p * f + 1.0f / 24.0f;
+  p = p * f + 1.0f / 6.0f;
+  p = p * f + 0.5f;
+  p = p * f + 1.0f;
+  p = p * f + 1.0f;
+  // Scale by 2^r: add the integer exponent directly into the bit pattern
+  // (p is in [0.70, 1.42] and r in [-126, 126], so the result stays normal).
+  const auto bits =
+      std::bit_cast<int32_t>(p) + (static_cast<int32_t>(r) << 23);
+  return not_nan ? std::bit_cast<float>(bits) : x;
+}
+
+inline float Sigmoid(float x) { return 1.0f / (1.0f + FastExp(-x)); }
+
+/// tanh via FastExp (same vectorization and shared-path properties). The
+/// absolute error stays ~1e-7 everywhere; near zero the *relative* error
+/// grows as usual for the exp formulation, which is harmless to the
+/// networks (they respond to absolute activation differences).
+inline float Tanh(float x) {
+  const float e = FastExp(2.0f * x);
+  return (e - 1.0f) / (e + 1.0f);
+}
 
 }  // namespace rl4oasd::nn

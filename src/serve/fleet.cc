@@ -1,6 +1,7 @@
 #include "serve/fleet.h"
 
 #include <algorithm>
+#include <functional>
 #include <limits>
 #include <utility>
 
@@ -118,8 +119,8 @@ size_t FleetMonitor::FeedBatch(std::span<const FleetPoint> points) {
   if (points.empty()) return 0;
   const size_t num_shards = shards_.size();
   // Counting-sort point indices by shard — stable, so a vehicle's points
-  // keep their relative order. Flat arrays: a handful of allocations per
-  // batch regardless of shard count (vs one bucket vector per shard).
+  // keep their relative order — then resolve every point's trip with one
+  // shard-lock acquisition per shard.
   std::vector<size_t> offsets(num_shards + 1, 0);
   for (const FleetPoint& p : points) ++offsets[ShardIndexOf(p.vehicle_id) + 1];
   for (size_t s = 0; s < num_shards; ++s) offsets[s + 1] += offsets[s];
@@ -129,57 +130,138 @@ size_t FleetMonitor::FeedBatch(std::span<const FleetPoint> points) {
     order[cursor[ShardIndexOf(points[i].vehicle_id)]++] = i;
   }
   std::vector<std::shared_ptr<Trip>> resolved(points.size());
-  size_t fed = 0;
   for (size_t s = 0; s < num_shards; ++s) {
     const size_t begin = offsets[s];
     const size_t end = offsets[s + 1];
     if (begin == end) continue;
     Shard& shard = shards_[s];
-    {
-      std::lock_guard<std::mutex> lock(shard.mu);
-      for (size_t k = begin; k < end; ++k) {
-        const auto it = shard.trips.find(points[order[k]].vehicle_id);
-        if (it != shard.trips.end()) resolved[k] = it->second;
-      }
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (size_t k = begin; k < end; ++k) {
+      const auto it = shard.trips.find(points[order[k]].vehicle_id);
+      if (it != shard.trips.end()) resolved[k] = it->second;
     }
-    size_t shard_fed = 0;
-    for (size_t k = begin; k < end;) {
-      Trip* trip = resolved[k].get();
-      if (trip == nullptr) {
-        ++k;
-        continue;
+  }
+
+  // Group each trip's points into a per-trip queue by sorting (trip
+  // address, arrival index) pairs: one O(n log n) pass, no per-trip
+  // allocations, and the resulting group order doubles as the global
+  // lock-acquisition order. One resolve pass per batch means every point
+  // of a vehicle maps to the same Trip pointer; restarts mid-batch surface
+  // as `finished` below. `resolved` keeps every grouped Trip alive for the
+  // whole call.
+  std::vector<std::pair<Trip*, size_t>> items;  // (trip, index into points)
+  items.reserve(points.size());
+  for (size_t k = 0; k < points.size(); ++k) {
+    if (resolved[k] != nullptr) {
+      items.emplace_back(resolved[k].get(), order[k]);
+    }
+  }
+  // std::less, not raw `<`: deadlock freedom needs every concurrent caller
+  // to agree on one total order over unrelated Trip pointers, which only
+  // std::less guarantees.
+  std::sort(items.begin(), items.end(),
+            [](const std::pair<Trip*, size_t>& a,
+               const std::pair<Trip*, size_t>& b) {
+              if (a.first != b.first) {
+                return std::less<Trip*>{}(a.first, b.first);
+              }
+              return a.second < b.second;
+            });
+  struct TripGroup {
+    size_t next;   // current queue position in `items`
+    size_t end;    // one past the queue's last position
+    Shard* shard;
+    bool fallback = false;  // trip ended mid-batch; rest goes through Feed
+  };
+  std::vector<TripGroup> groups;
+  for (size_t begin = 0; begin < items.size();) {
+    size_t end = begin + 1;
+    while (end < items.size() && items[end].first == items[begin].first) {
+      ++end;
+    }
+    groups.push_back(TripGroup{
+        begin, end, &ShardOf(points[items[begin].second].vehicle_id)});
+    begin = end;
+  }
+
+  // Wave loop: each round takes the next point of every still-active trip
+  // and fuses up to `micro_batch` of those model steps into one batched
+  // detector forward. All of a chunk's trip locks are held across the fused
+  // step; groups are visited in Trip-address order, so concurrent FeedBatch
+  // callers (and the single-lock paths) cannot deadlock.
+  const size_t wave_cap = std::max<size_t>(size_t{1}, config_.micro_batch);
+  std::vector<int64_t> shard_fed(num_shards, 0);
+  size_t fed = 0;
+  // `active` holds the still-live group indices and is compacted once per
+  // round (not rebuilt), so a skewed batch — one deep per-trip queue among
+  // many short ones — costs O(total points), not O(rounds * groups).
+  std::vector<size_t> active;
+  active.reserve(groups.size());
+  for (size_t g = 0; g < groups.size(); ++g) active.push_back(g);
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(std::min(wave_cap, groups.size()));
+  std::vector<size_t> live;
+  std::vector<core::OnlineDetector::Session*> sessions;
+  std::vector<traj::EdgeId> edges;
+  while (!active.empty()) {
+    for (size_t chunk = 0; chunk < active.size(); chunk += wave_cap) {
+      const size_t chunk_end = std::min(active.size(), chunk + wave_cap);
+      locks.clear();
+      live.clear();
+      sessions.clear();
+      edges.clear();
+      for (size_t i = chunk; i < chunk_end; ++i) {
+        TripGroup& g = groups[active[i]];
+        Trip* trip = items[g.next].first;
+        locks.emplace_back(trip->mu);
+        if (trip->finished) {
+          // Ended under us (EndTrip or eviction, possibly followed by a
+          // same-vehicle restart): release the lock and route this trip's
+          // remaining points through Feed, which re-resolves.
+          g.fallback = true;
+          locks.pop_back();
+          continue;
+        }
+        live.push_back(active[i]);
+        sessions.push_back(&trip->session);
+        edges.push_back(points[items[g.next].second].edge);
       }
-      // Feed the maximal run of consecutive points of this trip under one
-      // lock acquisition.
-      bool stale = false;
-      {
-        std::lock_guard<std::mutex> lock(trip->mu);
-        for (; k < end && resolved[k].get() == trip; ++k) {
-          if (trip->finished) {
-            stale = true;
-            break;
-          }
-          const FleetPoint& p = points[order[k]];
-          (void)trip->session.Feed(p.edge);
+      if (!sessions.empty()) {
+        model_->detector().FeedBatch(sessions, edges);
+        for (const size_t gi : live) {
+          TripGroup& g = groups[gi];
+          Trip* trip = items[g.next].first;
+          const FleetPoint& p = points[items[g.next].second];
           trip->last_update.store(p.timestamp, kRelaxed);
-          EmitNewRuns(p.vehicle_id, trip, &shard, p.timestamp);
-          ++shard_fed;
+          EmitNewRuns(p.vehicle_id, trip, g.shard, p.timestamp);
+          ++shard_fed[ShardIndexOf(p.vehicle_id)];
+          ++g.next;
         }
       }
-      if (stale) {
-        // The resolved trip ended under us (EndTrip or eviction, possibly
-        // followed by a same-vehicle restart): route the rest of this run
-        // through Feed, which re-resolves from the live map. Feed counts
-        // the points it accepts itself.
-        for (; k < end && resolved[k].get() == trip; ++k) {
-          const FleetPoint& p = points[order[k]];
-          if (Feed(p.vehicle_id, p.edge, p.timestamp).ok()) ++fed;
-        }
-      }
+      locks.clear();
     }
-    shard.counters.points_processed.fetch_add(
-        static_cast<int64_t>(shard_fed), kRelaxed);
-    fed += shard_fed;
+    active.erase(std::remove_if(active.begin(), active.end(),
+                                [&](size_t g) {
+                                  return groups[g].fallback ||
+                                         groups[g].next >= groups[g].end;
+                                }),
+                 active.end());
+  }
+
+  for (size_t s = 0; s < num_shards; ++s) {
+    if (shard_fed[s] != 0) {
+      shards_[s].counters.points_processed.fetch_add(shard_fed[s], kRelaxed);
+      fed += static_cast<size_t>(shard_fed[s]);
+    }
+  }
+  // Deferred fallback: trips that ended mid-batch. Feed counts the points
+  // it accepts itself.
+  for (const TripGroup& g : groups) {
+    if (!g.fallback) continue;
+    for (size_t k = g.next; k < g.end; ++k) {
+      const FleetPoint& p = points[items[k].second];
+      if (Feed(p.vehicle_id, p.edge, p.timestamp).ok()) ++fed;
+    }
   }
   return fed;
 }

@@ -59,9 +59,12 @@ struct Alert {
 };
 
 /// Alert delivery interface. Callbacks are invoked under the reporting
-/// trip's lock — never under a shard lock, so other vehicles' ingest
-/// proceeds concurrently — but implementations must not call back into the
-/// monitor and should hand off to a queue if processing is slow.
+/// trip's lock — never under a shard lock — and during a FeedBatch wave the
+/// other wave trips' locks (up to FleetConfig::micro_batch of them) are
+/// also held, so a slow sink stalls the whole wave, not just one trip:
+/// implementations must not call back into the monitor and should hand off
+/// to a queue if processing is slow. (Delivery stays under the trip lock
+/// because it is what guarantees the in-order-per-trip contract below.)
 ///
 /// Delivery ordering: within one trip, callbacks arrive in order. Across
 /// trips of the *same vehicle* there is one caveat — a trip is removed from
@@ -156,6 +159,12 @@ struct FleetConfig {
   /// map mutation; model work runs under per-trip locks, so this bounds
   /// lookup contention, not detection parallelism.
   size_t num_shards = 16;
+  /// Maximum number of trips whose model steps FeedBatch fuses into one
+  /// batched forward (the micro-batch width). 1 disables fusion (every
+  /// point takes the scalar streaming path). Larger widths amortize the
+  /// RSRNet/ASDNet matmuls across trips but hold that many trip locks for
+  /// the duration of one fused step.
+  size_t micro_batch = 128;
 };
 
 /// Service counters (monotonic since construction).
@@ -187,11 +196,24 @@ class FleetMonitor {
   /// sink when an anomalous run becomes final.
   Result<int> Feed(int64_t vehicle_id, traj::EdgeId edge, double timestamp);
 
-  /// Batched ingest: feeds every point whose vehicle has an active trip,
-  /// grouping points by shard (one shard-lock acquisition per shard) and
-  /// coalescing consecutive same-vehicle points under one trip-lock
-  /// acquisition. Relative order of a vehicle's points is preserved; points
-  /// without an active trip are skipped. Returns the number of points fed.
+  /// Batched ingest with micro-batching: resolves every point's trip with
+  /// one shard-lock acquisition per shard, then advances the trips in
+  /// *waves* — one point per trip per wave, with the model steps of up to
+  /// `micro_batch` trips fused into one batched forward
+  /// (OnlineDetector::FeedBatch), so the recurrent gate matmuls of the
+  /// whole wave run as GEMMs instead of per-trip matvecs. Per-trip results
+  /// (labels, alerts, run boundaries, counters) are identical to feeding
+  /// each point through Feed; a vehicle's points keep their relative order
+  /// (successive points of one vehicle land in successive waves). Points
+  /// without an active trip are skipped; points whose trip ends mid-batch
+  /// fall back to Feed, which re-resolves (delivering to the vehicle's next
+  /// trip if one already started). Returns the number of points fed.
+  ///
+  /// A wave locks all its trips for the duration of the fused step, in a
+  /// globally consistent order (Trip address), so concurrent FeedBatch
+  /// calls cannot deadlock; sink callbacks during a wave therefore run
+  /// with other trips' locks also held and must not call back into the
+  /// monitor (already the AlertSink contract).
   size_t FeedBatch(std::span<const FleetPoint> points);
 
   /// Completes a trip, returning the final post-processed labels. Runs not

@@ -383,6 +383,237 @@ TEST_F(FleetTest, FeedBatchMatchesPerPointFeed) {
             static_cast<int64_t>(points.size()));
 }
 
+TEST_F(FleetTest, FeedBatchMicroBatchingMatchesPerPointFeed) {
+  // Wide waves: many concurrent trips interleaved round-robin, so FeedBatch
+  // fuses real multi-trip model steps. Labels, per-vehicle alert sequences
+  // (exactly-once, same run boundaries), and counters must all match the
+  // per-point path.
+  std::vector<const traj::MapMatchedTrajectory*> picks;
+  for (const auto& lt : dataset_->trajs()) {
+    if (lt.traj.edges.size() >= 2) picks.push_back(&lt.traj);
+    if (picks.size() == 24) break;
+  }
+  ASSERT_GE(picks.size(), 8u);
+
+  CollectingSink per_point_sink;
+  FleetMonitor per_point(model_, {}, &per_point_sink);
+  std::vector<std::vector<uint8_t>> expected(picks.size());
+  for (size_t i = 0; i < picks.size(); ++i) {
+    expected[i] = RunTrip(&per_point, static_cast<int64_t>(i), *picks[i]);
+  }
+
+  // Interleave one point per trip per round into one big point stream.
+  std::vector<FleetPoint> points;
+  size_t longest = 0;
+  for (const auto* t : picks) longest = std::max(longest, t->edges.size());
+  for (size_t i = 0; i < longest; ++i) {
+    for (size_t v = 0; v < picks.size(); ++v) {
+      if (i < picks[v]->edges.size()) {
+        points.push_back({static_cast<int64_t>(v), picks[v]->edges[i],
+                          picks[v]->start_time + 2.0 * static_cast<double>(i)});
+      }
+    }
+  }
+
+  for (const size_t micro_batch : {size_t{1}, size_t{4}, size_t{128}}) {
+    CollectingSink batch_sink;
+    FleetConfig cfg;
+    cfg.micro_batch = micro_batch;
+    FleetMonitor batched(model_, cfg, &batch_sink);
+    for (size_t v = 0; v < picks.size(); ++v) {
+      ASSERT_TRUE(batched
+                      .StartTrip(static_cast<int64_t>(v), picks[v]->sd(),
+                                 picks[v]->start_time)
+                      .ok());
+    }
+    // Uneven chunks exercise both wide waves and ragged final batches.
+    size_t offset = 0;
+    size_t fed = 0;
+    for (size_t chunk = 173; offset < points.size(); chunk = chunk * 2 + 7) {
+      const size_t n = std::min(chunk, points.size() - offset);
+      fed += batched.FeedBatch(
+          std::span<const FleetPoint>(points.data() + offset, n));
+      offset += n;
+    }
+    EXPECT_EQ(fed, points.size()) << "micro_batch " << micro_batch;
+    for (size_t v = 0; v < picks.size(); ++v) {
+      auto labels = batched.EndTrip(static_cast<int64_t>(v));
+      ASSERT_TRUE(labels.ok());
+      EXPECT_EQ(*labels, expected[v])
+          << "vehicle " << v << " micro_batch " << micro_batch;
+    }
+    // Per-vehicle alert sequences must match exactly (cross-vehicle order
+    // may differ between ingest strategies).
+    auto split_by_vehicle = [&](std::vector<Alert> alerts) {
+      std::vector<std::vector<traj::Subtrajectory>> by_vehicle(picks.size());
+      for (const Alert& a : alerts) {
+        by_vehicle[static_cast<size_t>(a.vehicle_id)].push_back(a.range);
+      }
+      return by_vehicle;
+    };
+    const auto batch_alerts = split_by_vehicle(batch_sink.TakeAlerts());
+    const auto point_alerts = split_by_vehicle(per_point_sink.TakeAlerts());
+    for (size_t v = 0; v < picks.size(); ++v) {
+      EXPECT_EQ(batch_alerts[v], point_alerts[v])
+          << "vehicle " << v << " micro_batch " << micro_batch;
+    }
+    // Re-collect the per-point alerts for the next micro_batch round.
+    for (size_t v = 0; v < picks.size(); ++v) {
+      for (const auto& r : point_alerts[v]) {
+        per_point_sink.OnAlert(Alert{static_cast<int64_t>(v),
+                                     picks[v]->sd(), picks[v]->start_time, r,
+                                     0.0, 0});
+      }
+    }
+    EXPECT_EQ(batched.Stats().points_processed,
+              static_cast<int64_t>(points.size()));
+  }
+}
+
+TEST_F(FleetTest, FeedBatchSameVehicleRunStaysOrdered) {
+  // All points of one vehicle in a single batch: micro-batching degenerates
+  // to one-point waves for that trip, and the result must equal Feed.
+  const traj::MapMatchedTrajectory* pick = nullptr;
+  for (const auto& lt : dataset_->trajs()) {
+    if (lt.HasAnomaly() && lt.traj.edges.size() >= 4) {
+      pick = &lt.traj;
+      break;
+    }
+  }
+  ASSERT_NE(pick, nullptr);
+  CollectingSink per_point_sink;
+  FleetMonitor per_point(model_, {}, &per_point_sink);
+  const auto expected = RunTrip(&per_point, 7, *pick);
+
+  CollectingSink batch_sink;
+  FleetMonitor batched(model_, {}, &batch_sink);
+  ASSERT_TRUE(batched.StartTrip(7, pick->sd(), pick->start_time).ok());
+  std::vector<FleetPoint> points;
+  for (size_t i = 0; i < pick->edges.size(); ++i) {
+    points.push_back({7, pick->edges[i], pick->start_time + 2.0 * i});
+  }
+  EXPECT_EQ(batched.FeedBatch(points), points.size());
+  auto labels = batched.EndTrip(7);
+  ASSERT_TRUE(labels.ok());
+  EXPECT_EQ(*labels, expected);
+  EXPECT_EQ(batch_sink.NumAlerts(), per_point_sink.NumAlerts());
+}
+
+TEST_F(FleetTest, FeedBatchConservationUnderConcurrentEviction) {
+  // FeedBatch counterpart of the stress test above: batched ingest from
+  // many threads with an aggressive evictor yanking trips between waves
+  // (runs under the CI ThreadSanitizer job). A batch point whose trip is
+  // evicted mid-batch takes the Feed fallback, which either reaches the
+  // vehicle's live trip or is dropped — either way the counters must
+  // conserve and every alert/lifecycle event reaches the sink exactly once.
+  CollectingSink sink;
+  FleetConfig cfg;
+  cfg.trip_timeout_s = 50.0;
+  cfg.num_shards = 4;
+  cfg.micro_batch = 8;
+  FleetMonitor monitor(model_, cfg, &sink);
+
+  constexpr int kThreads = 8;
+  constexpr int kTripsPerThread = 8;
+  std::atomic<int> started{0};
+  std::atomic<bool> stop_evictor{false};
+  std::thread evictor([&] {
+    while (!stop_evictor.load()) {
+      monitor.EvictStale(1e12);
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int th = 0; th < kThreads; ++th) {
+    threads.emplace_back([&, th] {
+      std::vector<FleetPoint> batch;
+      for (int k = 0; k < kTripsPerThread; ++k) {
+        const auto& lt =
+            (*dataset_)[(static_cast<size_t>(th) * 17 +
+                         static_cast<size_t>(k) * 5) %
+                        dataset_->size()];
+        const auto& t = lt.traj;
+        if (t.edges.size() < 2) continue;
+        const int64_t vid = th * 1000 + k;
+        if (!monitor.StartTrip(vid, t.sd(), t.start_time).ok()) continue;
+        started.fetch_add(1);
+        batch.clear();
+        for (traj::EdgeId e : t.edges) {
+          batch.push_back({vid, e, t.start_time});
+          if (batch.size() == 16) {
+            (void)monitor.FeedBatch(batch);
+            batch.clear();
+          }
+        }
+        if (!batch.empty()) (void)monitor.FeedBatch(batch);
+        (void)monitor.EndTrip(vid);  // NotFound when the evictor won
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  stop_evictor.store(true);
+  evictor.join();
+  monitor.EvictStale(1e12);
+
+  EXPECT_EQ(monitor.ActiveTrips(), 0u);
+  const FleetStats stats = monitor.Stats();
+  EXPECT_EQ(stats.trips_started, started.load());
+  EXPECT_EQ(stats.trips_started, stats.trips_finished + stats.trips_evicted);
+  EXPECT_EQ(stats.alerts_emitted, static_cast<int64_t>(sink.NumAlerts()));
+  EXPECT_EQ(stats.trips_finished, static_cast<int64_t>(sink.NumFinished()));
+  EXPECT_EQ(stats.trips_evicted, static_cast<int64_t>(sink.NumEvicted()));
+}
+
+TEST_F(FleetTest, ConcurrentFeedBatchCallersShareWaves) {
+  // Several threads pushing interleaved multi-vehicle batches at once:
+  // wave locking must not deadlock (consistent Trip-address order), and
+  // every label sequence must still match the serial detector.
+  std::vector<const traj::LabeledTrajectory*> picks;
+  for (const auto& lt : dataset_->trajs()) {
+    if (lt.traj.edges.size() >= 2) picks.push_back(&lt);
+    if (picks.size() == 12) break;
+  }
+  FleetMonitor monitor(model_, {}, nullptr);
+  for (size_t v = 0; v < picks.size(); ++v) {
+    ASSERT_TRUE(monitor
+                    .StartTrip(static_cast<int64_t>(v), picks[v]->traj.sd(),
+                               picks[v]->traj.start_time)
+                    .ok());
+  }
+  // Thread t feeds the points of vehicles with v % kThreads == t, in round-
+  // robin batches — concurrent FeedBatch calls with disjoint vehicles.
+  constexpr size_t kThreads = 4;
+  std::vector<std::thread> threads;
+  for (size_t th = 0; th < kThreads; ++th) {
+    threads.emplace_back([&, th] {
+      std::vector<FleetPoint> batch;
+      size_t longest = 0;
+      for (size_t v = th; v < picks.size(); v += kThreads) {
+        longest = std::max(longest, picks[v]->traj.edges.size());
+      }
+      for (size_t i = 0; i < longest; ++i) {
+        batch.clear();
+        for (size_t v = th; v < picks.size(); v += kThreads) {
+          const auto& edges = picks[v]->traj.edges;
+          if (i < edges.size()) {
+            batch.push_back({static_cast<int64_t>(v), edges[i],
+                             picks[v]->traj.start_time});
+          }
+        }
+        if (!batch.empty()) (void)monitor.FeedBatch(batch);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (size_t v = 0; v < picks.size(); ++v) {
+    auto labels = monitor.EndTrip(static_cast<int64_t>(v));
+    ASSERT_TRUE(labels.ok());
+    EXPECT_EQ(*labels, model_->Detect(picks[v]->traj)) << "vehicle " << v;
+  }
+}
+
 TEST_F(FleetTest, ConcurrentIngestFromManyThreads) {
   CollectingSink sink;
   FleetMonitor monitor(model_, {}, &sink);

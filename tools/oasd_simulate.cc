@@ -31,8 +31,8 @@ int Main(int argc, char** argv) {
   flags.AddInt("repeat", 1, "replay the dataset this many times");
   flags.AddInt("max-active", 100000, "active-trip cap (evicts stalest)");
   flags.AddInt("batch", 0,
-               "ingest via FeedBatch in chunks of this many points "
-               "(0 = per-point Feed)");
+               "concurrent trips per ingest thread, fed one point each per "
+               "FeedBatch wave so the model steps fuse (0 = per-point Feed)");
   flags.AddBool("print-alerts", false, "print each alert as it fires");
   tools::ParseFlagsOrExit(&flags, argc, argv);
 
@@ -98,37 +98,72 @@ int Main(int argc, char** argv) {
   workers.reserve(threads);
   for (int th = 0; th < threads; ++th) {
     workers.emplace_back([&, th] {
-      std::vector<serve::FleetPoint> batch;
-      batch.reserve(batch_size);
+      // This worker's assignments, in replay order.
+      std::vector<std::pair<int64_t, const traj::MapMatchedTrajectory*>> todo;
       for (int rep = 0; rep < repeat; ++rep) {
         for (size_t i = static_cast<size_t>(th); i < input.size();
              i += static_cast<size_t>(threads)) {
-          const auto& t = input[i].traj;
-          if (t.edges.size() < 2) continue;
-          const int64_t vid =
+          if (input[i].traj.edges.size() < 2) continue;
+          todo.emplace_back(
               static_cast<int64_t>(rep) * static_cast<int64_t>(input.size()) +
-              static_cast<int64_t>(i);
-          if (!monitor.StartTrip(vid, t.sd(), t.start_time).ok()) continue;
-          double ts = t.start_time;
-          for (traj::EdgeId e : t.edges) {
-            if (batch_size > 0) {
-              batch.push_back({vid, e, ts});
-              if (batch.size() == batch_size) {
-                (void)monitor.FeedBatch(batch);
-                batch.clear();
-              }
-            } else {
-              (void)monitor.Feed(vid, e, ts);
-            }
+                  static_cast<int64_t>(i),
+              &input[i].traj);
+        }
+      }
+      if (batch_size == 0) {
+        for (const auto& [vid, t] : todo) {
+          if (!monitor.StartTrip(vid, t->sd(), t->start_time).ok()) continue;
+          double ts = t->start_time;
+          for (traj::EdgeId e : t->edges) {
+            (void)monitor.Feed(vid, e, ts);
             ts += 2.0;  // paper's sampling rate
           }
-          if (!batch.empty()) {
-            (void)monitor.FeedBatch(batch);
-            batch.clear();
-          }
           (void)monitor.EndTrip(vid);
-          points.fetch_add(static_cast<int64_t>(t.edges.size()));
+          points.fetch_add(static_cast<int64_t>(t->edges.size()));
         }
+        return;
+      }
+      // Batched ingest: a rolling window of `batch_size` concurrent trips,
+      // one point per live trip per wave, so FeedBatch fuses the whole
+      // wave's model steps (a batch of one vehicle's points would fall
+      // back to scalar one-point waves).
+      struct Live {
+        const traj::MapMatchedTrajectory* t;
+        int64_t vid;
+        size_t pos = 0;
+        double ts = 0.0;
+      };
+      std::vector<Live> live;
+      size_t next = 0;
+      auto refill = [&] {
+        while (live.size() < batch_size && next < todo.size()) {
+          const auto& [vid, t] = todo[next++];
+          if (monitor.StartTrip(vid, t->sd(), t->start_time).ok()) {
+            live.push_back({t, vid, 0, t->start_time});
+          }
+        }
+      };
+      std::vector<serve::FleetPoint> wave;
+      wave.reserve(batch_size);
+      refill();
+      while (!live.empty()) {
+        wave.clear();
+        for (const Live& l : live) {
+          wave.push_back({l.vid, l.t->edges[l.pos], l.ts});
+        }
+        (void)monitor.FeedBatch(wave);
+        for (Live& l : live) {
+          ++l.pos;
+          l.ts += 2.0;
+        }
+        for (size_t k = live.size(); k-- > 0;) {
+          if (live[k].pos == live[k].t->edges.size()) {
+            (void)monitor.EndTrip(live[k].vid);
+            points.fetch_add(static_cast<int64_t>(live[k].t->edges.size()));
+            live.erase(live.begin() + static_cast<ptrdiff_t>(k));
+          }
+        }
+        refill();
       }
     });
   }
