@@ -3,60 +3,149 @@
 // model reaches. Expected shape (paper): all stages scale linearly with data
 // size; F1 saturates. (Sizes are scaled down ~4x from the paper's 4k-12k to
 // keep the bench suite fast; the linear trend is the claim under test.)
+//
+// Flags:
+//   --tiny              smoke-run sizes (seconds, registered with ctest)
+//   --json <path>       additionally emit machine-readable results (one
+//                       object per data size, including the per-phase Fit
+//                       breakdown) — CI uploads this as a perf artifact
+//   --trainer-threads N data-parallel pretrain workers (default 1; the
+//                       headline single-thread speedup claim uses 1)
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
+#include "common/flags.h"
 #include "common/stopwatch.h"
 #include "mapmatch/hmm_matcher.h"
 #include "traj/gps_sampler.h"
 
 using namespace rl4oasd;
 
-int main() {
+namespace {
+
+struct Row {
+  size_t size = 0;
+  double mapmatch_s = 0.0;
+  double noisy_s = 0.0;
+  double train_s = 0.0;
+  double f1 = 0.0;
+  size_t matched = 0;
+  size_t noisy_ones = 0;
+  core::Rl4Oasd::FitTimings fit;
+};
+
+void WriteJson(const std::string& path, const std::vector<Row>& rows,
+               int trainer_threads) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"table5_training_time\",\n");
+  std::fprintf(f, "  \"trainer_threads\": %d,\n", trainer_threads);
+  std::fprintf(f, "  \"rows\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"data_size\": %zu, \"mapmatch_s\": %.4f, \"noisy_label_s\": "
+        "%.4f, \"train_s\": %.4f, \"f1\": %.4f, \"matched\": %zu, "
+        "\"noisy_ones\": %zu,\n"
+        "     \"fit\": {\"preprocess_s\": %.4f, \"embed_s\": %.4f, "
+        "\"pretrain_rsr_s\": %.4f, \"pretrain_asd_s\": %.4f, \"joint_s\": "
+        "%.4f, \"total_s\": %.4f}}%s\n",
+        r.size, r.mapmatch_s, r.noisy_s, r.train_s, r.f1, r.matched,
+        r.noisy_ones, r.fit.preprocess_s, r.fit.embed_s, r.fit.pretrain_rsr_s,
+        r.fit.pretrain_asd_s, r.fit.joint_s, r.fit.total_s,
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagSet flags("bench_table5_training_time",
+                "Table V: preprocessing and training time");
+  flags.AddBool("tiny", false, "smoke-run sizes for ctest");
+  flags.AddString("json", "", "write machine-readable results to this path");
+  flags.AddInt("trainer-threads", 1, "data-parallel pretrain workers");
+  if (auto st = flags.Parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.message().c_str());
+    return 1;
+  }
+  if (flags.help_requested()) return 0;
+  const bool tiny = flags.GetBool("tiny");
+  const int trainer_threads =
+      static_cast<int>(flags.GetInt("trainer-threads"));
+
   printf("=== Table V: preprocessing and training time ===\n\n");
-  auto city = bench::MakeChengduLike(/*num_pairs=*/48, /*seed=*/12);
+  auto city = bench::MakeChengduLike(/*num_pairs=*/tiny ? 12 : 48,
+                                     /*seed=*/12);
   mapmatch::HmmMapMatcher matcher(&city.net);
   traj::GpsSampler sampler(&city.net, {});
 
+  std::vector<size_t> sizes =
+      tiny ? std::vector<size_t>{200, 400}
+           : std::vector<size_t>{1000, 1500, 2000, 2500, 3000};
+  std::vector<Row> rows;
   printf("%-10s %14s %14s %14s %10s\n", "Data size", "MapMatch (s)",
          "NoisyLabel (s)", "Training (s)", "F1-score");
-  for (size_t size : {1000u, 1500u, 2000u, 2500u, 3000u}) {
+  for (size_t size : sizes) {
     if (size > city.train.size()) break;
+    Row row;
+    row.size = size;
     traj::Dataset subset;
     for (size_t i = 0; i < size; ++i) subset.Add(city.train[i]);
 
     // Map matching: raw GPS -> edge sequences (the paper times the FMM C++
     // map matcher over the training data).
     Stopwatch mm;
-    size_t matched = 0;
     for (size_t i = 0; i < size; ++i) {
       const auto raw = sampler.Sample(subset[i].traj);
       if (raw.points.size() < 3) continue;
-      matched += matcher.Match(raw).ok();
+      row.matched += matcher.Match(raw).ok();
     }
-    const double mm_s = mm.ElapsedSeconds();
+    row.mapmatch_s = mm.ElapsedSeconds();
 
     // Noisy labeling: grouping + transition fractions + labels.
     Stopwatch nl;
     core::Preprocessor pre(bench::TunedConfig().preprocess);
     pre.Fit(subset);
-    size_t ones = 0;
     for (const auto& lt : subset.trajs()) {
-      for (uint8_t l : pre.NoisyLabels(lt.traj)) ones += l;
+      for (uint8_t l : pre.NoisyLabels(lt.traj)) row.noisy_ones += l;
     }
-    const double nl_s = nl.ElapsedSeconds();
+    row.noisy_s = nl.ElapsedSeconds();
 
-    // Model training.
+    // Model training (end-to-end Fit: the headline number of this bench).
+    auto cfg = bench::TunedConfig();
+    cfg.trainer_threads = trainer_threads;
     Stopwatch tr;
-    core::Rl4Oasd model(&city.net, bench::TunedConfig());
+    core::Rl4Oasd model(&city.net, cfg);
     model.Fit(subset);
-    const double tr_s = tr.ElapsedSeconds();
+    row.train_s = tr.ElapsedSeconds();
+    row.fit = model.fit_timings();
 
     const auto scores = bench::Evaluate(
         city.test,
         [&](const traj::MapMatchedTrajectory& t) { return model.Detect(t); });
+    row.f1 = scores.overall.f1;
     printf("%-10zu %14.2f %14.2f %14.2f %10.3f   (matched %zu, noisy 1s %zu)\n",
-           size, mm_s, nl_s, tr_s, scores.overall.f1, matched, ones);
+           row.size, row.mapmatch_s, row.noisy_s, row.train_s, row.f1,
+           row.matched, row.noisy_ones);
+    printf("%-10s %s embed %.2fs, pretrain %.2fs (rsr %.2fs + asd %.2fs), "
+           "joint %.2fs\n",
+           "", "  fit:", row.fit.embed_s,
+           row.fit.pretrain_rsr_s + row.fit.pretrain_asd_s,
+           row.fit.pretrain_rsr_s, row.fit.pretrain_asd_s, row.fit.joint_s);
+    rows.push_back(row);
+  }
+  if (!flags.GetString("json").empty()) {
+    WriteJson(flags.GetString("json"), rows, trainer_threads);
   }
   return 0;
 }

@@ -1,5 +1,6 @@
 #include "common/rng.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <numeric>
@@ -93,6 +94,44 @@ size_t Rng::Categorical(const std::vector<double>& weights) {
     r -= w;
   }
   return weights.size() - 1;
+}
+
+CategoricalSampler::CategoricalSampler(const std::vector<double>& weights) {
+  const size_t n = weights.size();
+  weights_.resize(n);
+  prefix_.resize(n + 1);
+  prefix_[0] = 0.0;
+  // The clamped ascending sum is the same chain Categorical computes for
+  // `total`, so total_ matches it bit-for-bit.
+  for (size_t i = 0; i < n; ++i) {
+    weights_[i] = weights[i] > 0.0 ? weights[i] : 0.0;
+    prefix_[i + 1] = prefix_[i] + weights_[i];
+  }
+  total_ = n == 0 ? 0.0 : prefix_[n];
+  // Both the subtractive scan and the prefix chain stay within
+  // n * ulp(total) / 2 of the real prefix sums; 4x that covers both sides
+  // with margin. Draws inside the band replay the exact scan.
+  guard_ = 4.0 * static_cast<double>(n) * (total_ * 0x1.0p-52);
+}
+
+size_t CategoricalSampler::Sample(Rng* rng) const {
+  assert(!weights_.empty());
+  const size_t n = weights_.size();
+  if (total_ <= 0.0) return rng->UniformInt(n);
+  const double r = rng->Uniform() * total_;
+  const auto it = std::upper_bound(prefix_.begin() + 1, prefix_.end(), r);
+  const size_t idx = static_cast<size_t>(it - prefix_.begin()) - 1;
+  if (idx < n && r - prefix_[idx] > guard_ && prefix_[idx + 1] - r > guard_) {
+    return idx;
+  }
+  // Near a prefix boundary (or rounded past the last one): the binary
+  // search is not certifiably equal to the scan, so run the scan itself.
+  double rem = r;
+  for (size_t i = 0; i < n; ++i) {
+    if (rem < weights_[i]) return i;
+    rem -= weights_[i];
+  }
+  return n - 1;
 }
 
 std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {

@@ -45,7 +45,9 @@ class Rng {
 
   /// Samples an index in [0, weights.size()) proportional to weights.
   /// Non-positive weights are treated as zero; if all are zero, samples
-  /// uniformly.
+  /// uniformly. O(weights.size()) per draw — for repeated draws from a
+  /// fixed weight vector use CategoricalSampler, which replays this exact
+  /// draw sequence in O(log n).
   size_t Categorical(const std::vector<double>& weights);
 
   /// Fisher-Yates shuffle.
@@ -66,6 +68,35 @@ class Rng {
   uint64_t s_[4];
   bool has_spare_gaussian_ = false;
   double spare_gaussian_ = 0.0;
+};
+
+/// Repeated categorical sampling from a FIXED weight vector, bit-identical
+/// to calling rng.Categorical(weights) (same indices, same RNG consumption)
+/// but O(log n) per draw instead of O(n).
+///
+/// Why the results match exactly: Categorical's subtractive scan
+/// (r -= w_i until r < w_i) is a monotone step function of the drawn
+/// uniform, and its floating-point value stays within a provable error band
+/// of the real prefix sums. When the draw lands farther than `guard_` from
+/// the two bracketing precomputed prefix sums, the binary-search index and
+/// the scan's index are necessarily equal; in the astronomically rare
+/// near-boundary case (probability ~n^2 * 2^-50 per draw) the sampler
+/// replays the original scan verbatim. Negative-sampling loops (skip-gram)
+/// are the intended user.
+class CategoricalSampler {
+ public:
+  explicit CategoricalSampler(const std::vector<double>& weights);
+
+  /// Draws one index; consumes the RNG exactly like Rng::Categorical.
+  size_t Sample(Rng* rng) const;
+
+  double total() const { return total_; }
+
+ private:
+  std::vector<double> weights_;  // clamped copy (w <= 0 -> 0), scan fallback
+  std::vector<double> prefix_;   // prefix_[i] = clamped sum of weights_[0..i)
+  double total_ = 0.0;           // == Categorical's own clamped sum
+  double guard_ = 0.0;           // boundary band where the scan is replayed
 };
 
 }  // namespace rl4oasd

@@ -1,0 +1,75 @@
+#include "core/feature_cache.h"
+
+namespace rl4oasd::core {
+
+namespace {
+
+/// FNV-1a over the edge ids: the part of the fingerprint that cannot
+/// collide by coincidence of metadata (dataset generators reuse ids and
+/// slot-aligned start times across datasets).
+uint64_t EdgeHash(const std::vector<traj::EdgeId>& edges) {
+  uint64_t h = 14695981039346656037ull;
+  for (traj::EdgeId e : edges) {
+    h = (h ^ static_cast<uint64_t>(static_cast<uint32_t>(e))) *
+        1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+FeatureCache::Entry& FeatureCache::LookupEntry(
+    const traj::MapMatchedTrajectory& t) {
+  const uint64_t gen = pre_->stats_generation();
+  auto it = entries_.find(&t);
+  if (it == entries_.end()) {
+    if (entries_.size() >= kMaxEntries) {
+      // Drop only entries from older statistics generations: they can
+      // never be read again, while current-generation entries may have
+      // references pinned by a pretrain phase in flight (the training loop
+      // relies on same-generation references staying valid). Growth within
+      // one generation is bounded by the datasets actually trained on; the
+      // cap reclaims memory at every drift/refit boundary.
+      std::erase_if(entries_,
+                    [gen](const auto& kv) { return kv.second.gen != gen; });
+    }
+    it = entries_.try_emplace(&t).first;
+  }
+  Entry& e = it->second;
+  const uint64_t edge_hash = EdgeHash(t.edges);
+  const bool fresh = e.gen == gen && e.id == t.id &&
+                     e.num_edges == t.edges.size() &&
+                     e.start_time == t.start_time &&
+                     e.edge_hash == edge_hash;
+  if (!fresh) {
+    e = Entry{};
+    e.gen = gen;
+    e.id = t.id;
+    e.num_edges = t.edges.size();
+    e.start_time = t.start_time;
+    e.edge_hash = edge_hash;
+  }
+  return e;
+}
+
+const std::vector<uint8_t>& FeatureCache::NoisyLabels(
+    const traj::MapMatchedTrajectory& t) {
+  Entry& e = LookupEntry(t);
+  if (!e.has_noisy) {
+    e.noisy = pre_->NoisyLabels(t);
+    e.has_noisy = true;
+  }
+  return e.noisy;
+}
+
+const std::vector<uint8_t>& FeatureCache::NormalRouteFeatures(
+    const traj::MapMatchedTrajectory& t) {
+  Entry& e = LookupEntry(t);
+  if (!e.has_nrf) {
+    e.nrf = pre_->NormalRouteFeatures(t);
+    e.has_nrf = true;
+  }
+  return e.nrf;
+}
+
+}  // namespace rl4oasd::core

@@ -1,0 +1,75 @@
+// Per-trajectory memoization of the preprocessor-derived training features.
+// NoisyLabels and NormalRouteFeatures are pure functions of (trajectory,
+// historical statistics), yet the training pipeline recomputes them many
+// times per trajectory: the Fit warm-start stratification scans the whole
+// trainset, every pretrain epoch recomputes both features for every sampled
+// trajectory, and every joint-training episode needs the NRF (plus the
+// noisy labels whenever the weak-supervision anchor fires). The cache keys
+// on the trajectory object and revalidates against
+// Preprocessor::stats_generation(), so the concept-drift path
+// (Preprocessor::Update during FineTune) invalidates it for free.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/preprocess.h"
+#include "traj/types.h"
+
+namespace rl4oasd::core {
+
+/// Memoizes NoisyLabels / NormalRouteFeatures per trajectory. Returned
+/// references stay valid until the entry is invalidated (generation bump or
+/// fingerprint mismatch) or Clear() is called; the map is node-based, so
+/// inserting other trajectories never moves them. Not thread-safe — each
+/// training worker reads features on the main thread before sharding.
+class FeatureCache {
+ public:
+  explicit FeatureCache(const Preprocessor* pre) : pre_(pre) {}
+
+  /// Cached Preprocessor::NoisyLabels(t).
+  const std::vector<uint8_t>& NoisyLabels(const traj::MapMatchedTrajectory& t);
+
+  /// Cached Preprocessor::NormalRouteFeatures(t).
+  const std::vector<uint8_t>& NormalRouteFeatures(
+      const traj::MapMatchedTrajectory& t);
+
+  /// Drops every entry (e.g. when a caller knows the keyed dataset is gone).
+  void Clear() { entries_.clear(); }
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  /// Growth bound: inserting past this many entries prunes every entry
+  /// from an older statistics generation, so perpetual FineTune services
+  /// cannot accumulate dead generations without bound. Current-generation
+  /// entries are never evicted — the training loop pins references to them
+  /// for the duration of a pretrain phase.
+  static constexpr size_t kMaxEntries = 1 << 17;
+
+  struct Entry {
+    uint64_t gen = 0;
+    // Identity fingerprint: entries are keyed by address, and a caller may
+    // legitimately free one dataset and train on another whose
+    // trajectories land on the same addresses. A stale-generation entry is
+    // always recomputed; the fingerprint — including a hash of the edge
+    // sequence itself — guards the same-generation case.
+    int64_t id = -1;
+    size_t num_edges = 0;
+    double start_time = 0.0;
+    uint64_t edge_hash = 0;
+    bool has_noisy = false;
+    bool has_nrf = false;
+    std::vector<uint8_t> noisy;
+    std::vector<uint8_t> nrf;
+  };
+
+  /// Finds (or creates) the entry for `t`, resetting it when stale.
+  Entry& LookupEntry(const traj::MapMatchedTrajectory& t);
+
+  const Preprocessor* pre_;
+  std::unordered_map<const traj::MapMatchedTrajectory*, Entry> entries_;
+};
+
+}  // namespace rl4oasd::core

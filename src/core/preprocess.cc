@@ -65,6 +65,7 @@ bool Preprocessor::EdgeOnNormalRouteAt(const traj::SdPair& sd,
 }
 
 void Preprocessor::Fit(const traj::Dataset& historical) {
+  ++stats_generation_;
   groups_.clear();
   all_slots_.clear();
   for (const auto& lt : historical.trajs()) {
@@ -74,6 +75,7 @@ void Preprocessor::Fit(const traj::Dataset& historical) {
 
 void Preprocessor::Update(const traj::MapMatchedTrajectory& t) {
   if (t.edges.size() < 2) return;
+  ++stats_generation_;
   const GroupKey key{t.sd(),
                      traj::TimeSlotOf(t.start_time, config_.time_slot_hours)};
   IngestInto(&groups_[key], t);
@@ -192,6 +194,7 @@ std::vector<GroupSnapshot> Preprocessor::ExportState() const {
 }
 
 void Preprocessor::ImportState(const std::vector<GroupSnapshot>& snapshots) {
+  ++stats_generation_;
   groups_.clear();
   all_slots_.clear();
   for (const GroupSnapshot& s : snapshots) {

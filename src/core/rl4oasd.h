@@ -10,6 +10,7 @@
 #include "common/rng.h"
 #include "core/asdnet.h"
 #include "core/detector.h"
+#include "core/feature_cache.h"
 #include "core/preprocess.h"
 #include "core/rsrnet.h"
 #include "embed/skipgram.h"
@@ -30,6 +31,19 @@ struct Rl4OasdConfig {
   int pretrain_epochs = 3;
   int joint_samples = 10000;
   int epochs_per_traj = 5;
+
+  // Data-parallel warm start: the pretrain phases shard across this many
+  // worker threads. Workers backprop through the shared model into
+  // worker-local gradient sinks; the main thread applies the per-sample
+  // Adam steps in the deterministic sample order. 1 (the default) is the
+  // sequential path, bit-identical to historical behaviour. With N > 1,
+  // PretrainAsd stays bit-identical (RSRNet is frozen there, so parallel
+  // episode building is exact) while PretrainRsr becomes minibatch-stale:
+  // each gradient in a wave of N is computed against weights up to N-1
+  // steps old — deterministic, but numerically a different (equally valid)
+  // optimization path, covered by tolerance-based equivalence tests. The
+  // joint REINFORCE phase is inherently sequential and never shards.
+  int trainer_threads = 1;
 
   // Self-critical REINFORCE baseline: the advantage of a sampled rollout is
   // its reward minus the reward of the greedy rollout on the same
@@ -120,6 +134,18 @@ class Rl4Oasd {
   };
   const JointStats& joint_stats() const { return joint_stats_; }
 
+  /// Wall-clock breakdown of the last Fit() call (training-time
+  /// observability for oasd_train --time and the Table V bench).
+  struct FitTimings {
+    double preprocess_s = 0.0;    // statistics fit + warm-start features
+    double embed_s = 0.0;         // Toast-substitute skip-gram training
+    double pretrain_rsr_s = 0.0;  // RSRNet warm start
+    double pretrain_asd_s = 0.0;  // ASDNet imitation warm start
+    double joint_s = 0.0;         // joint REINFORCE refinement
+    double total_s = 0.0;
+  };
+  const FitTimings& fit_timings() const { return fit_timings_; }
+
  private:
   /// One joint-training step on a single trajectory: sample refined labels
   /// with the current policy, compute rewards, REINFORCE-update ASDNet, and
@@ -143,11 +169,17 @@ class Rl4Oasd {
   Rl4OasdConfig config_;
   Rng rng_;
   Preprocessor preprocessor_;
+  /// Memoized NoisyLabels / NormalRouteFeatures over preprocessor_ —
+  /// shared by the stratification scan, both pretrain phases, and every
+  /// joint episode; invalidated by generation whenever the preprocessor
+  /// statistics move (Fit / FineTune drift updates).
+  FeatureCache features_{&preprocessor_};
   std::unique_ptr<RsrNet> rsr_;
   std::unique_ptr<AsdNet> asd_;
   std::unique_ptr<OnlineDetector> detector_;
   double last_mean_reward_ = 0.0;
   JointStats joint_stats_;
+  FitTimings fit_timings_;
 };
 
 }  // namespace rl4oasd::core

@@ -75,29 +75,83 @@ RsrForward RsrNet::Forward(const std::vector<traj::EdgeId>& edges,
   return ForwardImpl(edges, nrf, nullptr);
 }
 
+const RsrForward& RsrNet::ForwardCached(const std::vector<traj::EdgeId>& edges,
+                                        const std::vector<uint8_t>& nrf,
+                                        RsrTrainCache* cache) const {
+  cache->fwd = ForwardImpl(edges, nrf, &cache->rnn_cache);
+  return cache->fwd;
+}
+
 double RsrNet::Loss(const std::vector<traj::EdgeId>& edges,
                     const std::vector<uint8_t>& nrf,
                     const std::vector<uint8_t>& labels) const {
   RL4_CHECK_EQ(edges.size(), labels.size());
   if (edges.empty()) return 0.0;
-  const RsrForward fwd = Forward(edges, nrf);
+  return Loss(Forward(edges, nrf), labels);
+}
+
+double RsrNet::Loss(const RsrForward& fwd,
+                    const std::vector<uint8_t>& labels) const {
+  RL4_CHECK_EQ(fwd.probs.size(), labels.size());
+  if (labels.empty()) return 0.0;
   double loss = 0.0;
-  for (size_t i = 0; i < edges.size(); ++i) {
+  for (size_t i = 0; i < labels.size(); ++i) {
     loss += nn::CrossEntropy(fwd.probs[i].data(), 2, labels[i] ? 1 : 0);
   }
-  return loss / static_cast<double>(edges.size());
+  return loss / static_cast<double>(labels.size());
 }
 
 double RsrNet::TrainStep(const std::vector<traj::EdgeId>& edges,
                          const std::vector<uint8_t>& nrf,
                          const std::vector<uint8_t>& labels) {
-  RL4_CHECK_EQ(edges.size(), labels.size());
-  const size_t n = edges.size();
-  if (n == 0) return 0.0;
-  std::unique_ptr<nn::RecurrentNet::SeqCache> caches;
-  const RsrForward fwd = ForwardImpl(edges, nrf, &caches);
+  RsrTrainCache cache;
+  ForwardCached(edges, nrf, &cache);
+  return TrainStepCached(edges, nrf, labels, &cache);
+}
 
+double RsrNet::TrainStepCached(const std::vector<traj::EdgeId>& edges,
+                               const std::vector<uint8_t>& nrf,
+                               const std::vector<uint8_t>& labels,
+                               RsrTrainCache* cache) {
+  RL4_CHECK_EQ(edges.size(), labels.size());
+  if (edges.empty()) return 0.0;
+  RL4_CHECK(cache->valid());
+  auto caches = std::move(cache->rnn_cache);
   registry_.ZeroGrad();
+  const double loss =
+      ComputeGradients(edges, nrf, labels, cache->fwd, *caches, nullptr);
+  registry_.ClipGradNorm(config_.grad_clip);
+  optimizer_->Step();
+  return loss;
+}
+
+double RsrNet::AccumulateGradients(const std::vector<traj::EdgeId>& edges,
+                                   const std::vector<uint8_t>& nrf,
+                                   const std::vector<uint8_t>& labels,
+                                   nn::GradientSink* sink) {
+  RL4_CHECK_EQ(edges.size(), labels.size());
+  if (edges.empty()) return 0.0;
+  RsrTrainCache cache;
+  ForwardCached(edges, nrf, &cache);
+  return ComputeGradients(edges, nrf, labels, cache.fwd, *cache.rnn_cache,
+                          sink);
+}
+
+void RsrNet::ApplyWorkerGradients(nn::GradientSink* sink) {
+  sink->AddToParams();
+  registry_.ClipGradNorm(config_.grad_clip);
+  optimizer_->Step();
+  registry_.ZeroGrad();
+  sink->Reset();
+}
+
+double RsrNet::ComputeGradients(const std::vector<traj::EdgeId>& edges,
+                                const std::vector<uint8_t>& nrf,
+                                const std::vector<uint8_t>& labels,
+                                const RsrForward& fwd,
+                                const nn::RecurrentNet::SeqCache& caches,
+                                nn::GradientSink* sink) {
+  const size_t n = edges.size();
   const size_t H = config_.hidden_dim;
   const size_t N = config_.nrf_dim;
   const float inv_n = 1.0f / static_cast<float>(n);
@@ -110,32 +164,45 @@ double RsrNet::TrainStep(const std::vector<traj::EdgeId>& edges,
                   : std::min(50.0f, static_cast<float>(n - ones) /
                                         static_cast<float>(ones));
   }
+  // Timestep-packed head backward: one GEMM over all positions instead of
+  // n rank-1 updates (bit-identical; see Linear::BackwardSeq). All scratch
+  // is thread-local, so concurrent workers (each with its own sink) don't
+  // interfere.
+  static thread_local nn::Matrix z_seq;       // n x (H + N)
+  static thread_local nn::Matrix d_logits;    // n x 2
+  static thread_local nn::Matrix d_z_seq;     // n x (H + N)
+  static thread_local nn::Matrix d_h_seq;     // n x H
+  static thread_local nn::Matrix d_x_seq;     // n x embed_dim
+  static thread_local std::vector<size_t> ids;
+  z_seq.EnsureShape(n, H + N);
+  d_logits.EnsureShape(n, 2);
   double loss = 0.0;
-  std::vector<nn::Vec> d_h(n, nn::Vec(H, 0.0f));
-  nn::Vec d_z(H + N);
+  const float s = config_.label_smoothing;
   for (size_t i = 0; i < n; ++i) {
     const size_t target = labels[i] ? 1 : 0;
     loss += nn::CrossEntropy(fwd.probs[i].data(), 2, target);
     // d logits = w * (p - smoothed onehot) / n, with anomalous positions
     // upweighted.
     const float w = inv_n * (target == 1 ? positive_weight : 1.0f);
-    const float s = config_.label_smoothing;
     float soft[2] = {target == 0 ? 1.0f - s : s, target == 1 ? 1.0f - s : s};
-    float d_logits[2] = {(fwd.probs[i][0] - soft[0]) * w,
-                         (fwd.probs[i][1] - soft[1]) * w};
-    std::fill(d_z.begin(), d_z.end(), 0.0f);
-    head_.Backward(fwd.z[i].data(), d_logits, d_z.data());
-    // Split z gradient into the LSTM hidden part and the NRF embedding part.
-    std::copy(d_z.begin(), d_z.begin() + H, d_h[i].begin());
-    nrf_embed_.AccumulateGrad(nrf[i] ? 1 : 0, d_z.data() + H);
+    float* dl = d_logits.Row(i);
+    dl[0] = (fwd.probs[i][0] - soft[0]) * w;
+    dl[1] = (fwd.probs[i][1] - soft[1]) * w;
+    std::copy(fwd.z[i].begin(), fwd.z[i].end(), z_seq.Row(i));
   }
-  std::vector<nn::Vec> d_x;
-  rnn_->Backward(*caches, d_h, &d_x);
+  head_.BackwardSeq(z_seq, d_logits, &d_z_seq, sink);
+  // Split the z gradient into the recurrent hidden part and the NRF
+  // embedding part.
+  d_h_seq.EnsureShape(n, H);
   for (size_t i = 0; i < n; ++i) {
-    tcf_embed_.AccumulateGrad(static_cast<size_t>(edges[i]), d_x[i].data());
+    const float* dz = d_z_seq.Row(i);
+    std::copy(dz, dz + H, d_h_seq.Row(i));
+    nrf_embed_.AccumulateGrad(nrf[i] ? 1 : 0, dz + H, sink);
   }
-  registry_.ClipGradNorm(config_.grad_clip);
-  optimizer_->Step();
+  rnn_->BackwardSeq(caches, d_h_seq, &d_x_seq, sink);
+  ids.resize(n);
+  for (size_t i = 0; i < n; ++i) ids[i] = static_cast<size_t>(edges[i]);
+  tcf_embed_.AccumulateGradSeq(ids, d_x_seq, sink);
   return loss / static_cast<double>(n);
 }
 

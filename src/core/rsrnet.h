@@ -63,6 +63,20 @@ struct RsrStream {
   explicit RsrStream(size_t hidden = 0) : state(hidden) {}
 };
 
+/// A forward pass retained for training: the consumer-visible outputs plus
+/// the recurrent BPTT caches. Produced by RsrNet::ForwardCached, consumed
+/// (at most once) by RsrNet::TrainStepCached — the joint-training loop
+/// computes one forward per episode and reuses it for the rollout, both
+/// reward losses, and the weight update.
+struct RsrTrainCache {
+  RsrForward fwd;
+  std::unique_ptr<nn::RecurrentNet::SeqCache> rnn_cache;
+
+  /// True until TrainStepCached consumes the BPTT caches (the weights
+  /// change on the update, so the forward cannot be reused afterwards).
+  bool valid() const { return rnn_cache != nullptr; }
+};
+
 class RsrNet {
  public:
   explicit RsrNet(RsrNetConfig config);
@@ -78,15 +92,55 @@ class RsrNet {
   RsrForward Forward(const std::vector<traj::EdgeId>& edges,
                      const std::vector<uint8_t>& nrf) const;
 
+  /// Full-sequence forward retaining the BPTT caches in `cache` so a later
+  /// TrainStepCached (and any number of Loss evaluations) can reuse it.
+  /// Returns a reference to cache->fwd. Identical outputs to Forward().
+  const RsrForward& ForwardCached(const std::vector<traj::EdgeId>& edges,
+                                  const std::vector<uint8_t>& nrf,
+                                  RsrTrainCache* cache) const;
+
   /// Mean cross-entropy of the sequence against `labels` (Equation 1).
   double Loss(const std::vector<traj::EdgeId>& edges,
               const std::vector<uint8_t>& nrf,
               const std::vector<uint8_t>& labels) const;
 
+  /// Same loss from an already-computed forward pass (no re-forward; the
+  /// probabilities fully determine it).
+  double Loss(const RsrForward& fwd, const std::vector<uint8_t>& labels) const;
+
   /// One Adam step of cross-entropy training; returns the pre-update loss.
   double TrainStep(const std::vector<traj::EdgeId>& edges,
                    const std::vector<uint8_t>& nrf,
                    const std::vector<uint8_t>& labels);
+
+  /// As TrainStep, but reuses the forward pass in `cache` (from
+  /// ForwardCached on the same edges/nrf with the current weights) instead
+  /// of re-running it. Consumes the cache: `cache->valid()` is false
+  /// afterwards, because the Adam step invalidates the stored activations.
+  double TrainStepCached(const std::vector<traj::EdgeId>& edges,
+                         const std::vector<uint8_t>& nrf,
+                         const std::vector<uint8_t>& labels,
+                         RsrTrainCache* cache);
+
+  /// Forward + backward for one sequence with every parameter gradient
+  /// routed into `sink` instead of the model; returns the mean loss and
+  /// does NOT update weights. Safe to call concurrently from multiple
+  /// worker threads as long as each passes its own sink: the weights are
+  /// only read and all scratch is thread-local. Pair with
+  /// ApplyWorkerGradients on the owning thread.
+  double AccumulateGradients(const std::vector<traj::EdgeId>& edges,
+                             const std::vector<uint8_t>& nrf,
+                             const std::vector<uint8_t>& labels,
+                             nn::GradientSink* sink);
+
+  /// Applies one worker's accumulated gradients exactly as TrainStep's
+  /// update phase would (fold into the registry, clip, Adam step).
+  /// Requires the registry gradients to be all-zero on entry — call
+  /// registry()->ZeroGrad() once before the first apply — and restores
+  /// that invariant before returning; the sink is Reset() for reuse. With
+  /// a single worker, AccumulateGradients + ApplyWorkerGradients is
+  /// bit-identical to TrainStep.
+  void ApplyWorkerGradients(nn::GradientSink* sink);
 
   /// Streaming step: consumes one segment and its NRF bit, returns z_i and
   /// fills `probs`. O(hidden * (hidden + embed)) per call.
@@ -115,6 +169,20 @@ class RsrNet {
   RsrForward ForwardImpl(
       const std::vector<traj::EdgeId>& edges, const std::vector<uint8_t>& nrf,
       std::unique_ptr<nn::RecurrentNet::SeqCache>* caches) const;
+
+  /// Cross-entropy loss plus all parameter gradients via the sequence-level
+  /// (GEMM-backed) backward passes. With `sink` null, gradients accumulate
+  /// into the registry parameters (the single-thread training path, bit-
+  /// identical to the historical per-step backward from zeroed gradients).
+  /// With a sink, every gradient lands in the worker-local buffers instead,
+  /// which makes concurrent calls safe: weights are only read, and all
+  /// scratch is thread-local.
+  double ComputeGradients(const std::vector<traj::EdgeId>& edges,
+                          const std::vector<uint8_t>& nrf,
+                          const std::vector<uint8_t>& labels,
+                          const RsrForward& fwd,
+                          const nn::RecurrentNet::SeqCache& caches,
+                          nn::GradientSink* sink);
 
   RsrNetConfig config_;
   Rng rng_;

@@ -8,6 +8,7 @@
 // speed class (traffic context), trained jointly.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "common/rng.h"
@@ -64,6 +65,9 @@ class SkipGramTrainer {
   nn::Matrix out_;   // NumEdges x dim
   nn::Matrix aux_w_; // 3 x dim road-class head
   std::vector<double> unigram_;  // negative-sampling distribution (pow 0.75)
+  /// O(log n) negative sampler over unigram_, rebuilt by Train after
+  /// BuildCorpus; bit-identical to rng_.Categorical(unigram_).
+  std::unique_ptr<CategoricalSampler> neg_sampler_;
 };
 
 }  // namespace rl4oasd::embed

@@ -37,6 +37,10 @@ class AdamOptimizer {
   int64_t t_ = 0;
   std::vector<Matrix> m_;  // first moments, parallel to registry params
   std::vector<Matrix> v_;  // second moments
+  /// Per-parameter bitmap of rows with (potentially) nonzero moments, for
+  /// row-sparse parameters: only these plus newly-touched rows need the
+  /// per-step decay walk (exact skip; see Step()).
+  std::vector<std::vector<uint64_t>> active_rows_;
 };
 
 /// Vanilla SGD, used for cheap online fine-tuning (concept drift).

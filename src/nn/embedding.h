@@ -33,11 +33,44 @@ class Embedding {
   /// GEMM path as the (I x B) input block.
   void LookupBatch(std::span<const size_t> ids, Matrix* out) const;
 
-  /// Adds `grad` (length dim()) into the gradient row for `id`.
-  void AccumulateGrad(size_t id, const float* grad) {
+  /// Adds `grad` (length dim()) into the gradient row for `id`; `sink`
+  /// (optional) redirects it into worker-local buffers with row tracking.
+  void AccumulateGrad(size_t id, const float* grad,
+                      GradientSink* sink = nullptr) {
     RL4_CHECK_LT(id, vocab());
-    float* row = param_.grad.Row(id);
+    float* row;
+    if (sink != nullptr) {
+      row = sink->Find(&param_)->Row(id);
+      sink->TouchRow(&param_, id);
+    } else {
+      row = param_.grad.Row(id);
+      param_.TouchGradRow(id);
+    }
     for (size_t i = 0; i < dim(); ++i) row[i] += grad[i];
+  }
+
+  /// Sequence accumulation: adds row t of `grads` (ids.size() x dim) into
+  /// the gradient row for ids[t], in ascending t — the exact per-step
+  /// AccumulateGrad order (the scatter is inherently sparse; there is no
+  /// GEMM to route through, only one pass). The sink path resolves the
+  /// sink slot once for the whole sequence.
+  void AccumulateGradSeq(std::span<const size_t> ids, const Matrix& grads,
+                         GradientSink* sink = nullptr) {
+    RL4_CHECK_EQ(grads.rows(), ids.size());
+    RL4_CHECK_EQ(grads.cols(), dim());
+    if (sink != nullptr) {
+      sink->AccumulateRows(&param_, ids, grads);
+      return;
+    }
+    const size_t d = dim();
+    for (size_t t = 0; t < ids.size(); ++t) {
+      const size_t id = ids[t];
+      RL4_CHECK_LT(id, vocab());
+      float* row = param_.grad.Row(id);
+      param_.TouchGradRow(id);
+      const float* src = grads.Row(t);
+      for (size_t i = 0; i < d; ++i) row[i] += src[i];
+    }
   }
 
   /// Overwrites the row for `id` with an externally pre-trained vector

@@ -65,15 +65,28 @@ class Gru {
   /// As above on a raw (H x B) hidden matrix.
   void StepForwardBatch(const Matrix& x, Matrix* h) const;
 
-  /// Sequence forward from the zero state.
+  /// Sequence forward from the zero state. The input projection of all
+  /// timesteps runs as one (3H x I) * (I x T) GEMM; bit-identical to
+  /// stepping ComputeGates.
   std::vector<GruStepCache> Forward(
       const std::vector<const float*>& inputs) const;
 
-  /// BPTT: `d_h` is the gradient flowing into each step's hidden output.
-  /// Parameter gradients accumulate; `d_x` (optional) receives per-step
-  /// input gradients.
+  /// Per-step reference BPTT: `d_h` is the gradient flowing into each
+  /// step's hidden output. Parameter gradients accumulate; `d_x`
+  /// (optional) receives per-step input gradients. Production training
+  /// uses BackwardSeq; this stays as the audited reference it is tested
+  /// against.
   void Backward(const std::vector<GruStepCache>& caches,
                 const std::vector<Vec>& d_h, std::vector<Vec>* d_x);
+
+  /// GEMM-backed BPTT over (T x H) `d_h` rows; `d_x` (optional) resized to
+  /// (T x input_dim). Weight gradients run as GEMMs over reversed-time-
+  /// packed matrices (z/r rows pair with h_prev, n rows with q), input
+  /// gradients as one forward-order GEMM. Bit-identical to Backward from
+  /// zeroed gradient buffers; `sink` redirects parameter gradients for the
+  /// concurrent worker path (weights are only read).
+  void BackwardSeq(const std::vector<GruStepCache>& caches, const Matrix& d_h,
+                   Matrix* d_x, GradientSink* sink = nullptr);
 
   void RegisterParams(ParameterRegistry* registry) {
     registry->Register(&wx_);
@@ -85,6 +98,10 @@ class Gru {
   /// Computes post-activation gates [z, r, n] and q for one step.
   void ComputeGates(const float* x, const float* h_prev, float* gates,
                     float* q) const;
+
+  /// The recurrent tail of ComputeGates: `gates` already holds Wx x and
+  /// gets + b + recurrent terms and the activations.
+  void FinishGates(const float* h_prev, float* gates, float* q) const;
 
   size_t input_dim_;
   size_t hidden_dim_;

@@ -29,4 +29,45 @@ void Linear::Backward(const float* x, const float* d_out, float* d_x) {
   }
 }
 
+void Linear::BackwardSeq(const Matrix& x_seq, const Matrix& d_out_seq,
+                         Matrix* d_x_seq, GradientSink* sink) {
+  const size_t T = x_seq.rows();
+  const size_t in = in_dim();
+  const size_t out = out_dim();
+  RL4_CHECK_EQ(x_seq.cols(), in);
+  RL4_CHECK_EQ(d_out_seq.rows(), T);
+  RL4_CHECK_EQ(d_out_seq.cols(), out);
+  Matrix* w_g = sink != nullptr ? sink->Find(&w_) : &w_.grad;
+  Matrix* b_g = sink != nullptr ? sink->Find(&b_) : &b_.grad;
+  if (sink != nullptr) {
+    sink->TouchAll(&w_);
+    sink->TouchAll(&b_);
+  }
+  if (T == 0) {
+    if (d_x_seq != nullptr) d_x_seq->EnsureShape(0, in);
+    return;
+  }
+  // dW += d_out^T * x as one GEMM; the ascending-k chain is the ascending-
+  // position order of the per-step OuterAccum calls.
+  static thread_local Matrix d_out_fm;  // out x T
+  d_out_fm.EnsureShape(out, T);
+  for (size_t t = 0; t < T; ++t) {
+    const float* row = d_out_seq.Row(t);
+    float* col = d_out_fm.data() + t;
+    for (size_t r = 0; r < out; ++r) col[r * T] = row[r];
+  }
+  Gemm(d_out_fm.data(), out, T, T, x_seq.data(), in, in, w_g->data(), in,
+       /*accumulate=*/true);
+  float* db = b_g->Row(0);
+  for (size_t r = 0; r < out; ++r) {
+    const float* row = d_out_fm.Row(r);
+    for (size_t t = 0; t < T; ++t) db[r] += row[t];
+  }
+  if (d_x_seq != nullptr) {
+    d_x_seq->EnsureShape(T, in);
+    Gemm(d_out_seq.data(), T, out, out, w_.value.data(), in, in,
+         d_x_seq->data(), in, /*accumulate=*/false);
+  }
+}
+
 }  // namespace rl4oasd::nn

@@ -28,6 +28,15 @@ class Linear {
   /// `d_x` is non-null) d_x += W^T d_out.
   void Backward(const float* x, const float* d_out, float* d_x);
 
+  /// Sequence backward over T positions: `x_seq` is (T x in_dim) and
+  /// `d_out_seq` (T x out_dim), row per position. The per-position outer
+  /// products run as one GEMM (ascending positions — bit-identical to
+  /// calling Backward per row on zeroed gradients); `d_x_seq` (optional)
+  /// is resized to (T x in_dim). `sink` redirects the parameter gradients
+  /// (worker-local accumulation; weights are only read).
+  void BackwardSeq(const Matrix& x_seq, const Matrix& d_out_seq,
+                   Matrix* d_x_seq, GradientSink* sink = nullptr);
+
   Parameter* weight() { return &w_; }
   Parameter* bias() { return &b_; }
 

@@ -22,8 +22,12 @@ Lstm::Lstm(std::string name, size_t input_dim, size_t hidden_dim,
 
 void Lstm::ComputeGates(const float* x, const float* h_prev,
                         float* gates) const {
-  const size_t h4 = 4 * hidden_dim_;
   MatVec(wx_.value, x, gates);
+  FinishGates(h_prev, gates);
+}
+
+void Lstm::FinishGates(const float* h_prev, float* gates) const {
+  const size_t h4 = 4 * hidden_dim_;
   // gates = (Wx x + b) + Wh h_prev, with the recurrent dot product summed
   // on its own before the single add — the same association the batched
   // GEMM path uses (fresh product chain, added to C once), so the two
@@ -92,14 +96,31 @@ void Lstm::StepForwardBatch(const Matrix& x, Matrix* h_mat,
 std::vector<LstmStepCache> Lstm::Forward(
     const std::vector<const float*>& inputs) const {
   const size_t H = hidden_dim_;
-  std::vector<LstmStepCache> caches(inputs.size());
+  const size_t T = inputs.size();
+  std::vector<LstmStepCache> caches(T);
+  if (T == 0) return caches;
+  // Input projection for all timesteps in one GEMM: pack the inputs
+  // feature-major (I x T) and compute Wx * X as (4H x T). Each element is
+  // the same ascending-k dot chain MatVec runs per step, so the gates are
+  // bit-identical to stepping ComputeGates.
+  static thread_local Matrix xf;  // I x T
+  static thread_local Matrix wxx;  // 4H x T
+  xf.EnsureShape(input_dim_, T);
+  for (size_t t = 0; t < T; ++t) {
+    const float* x = inputs[t];
+    float* col = xf.data() + t;
+    for (size_t r = 0; r < input_dim_; ++r) col[r * T] = x[r];
+  }
+  MatMul(wx_.value, xf, &wxx);
   Vec h_prev(H, 0.0f);
   Vec c_prev(H, 0.0f);
-  for (size_t t = 0; t < inputs.size(); ++t) {
+  for (size_t t = 0; t < T; ++t) {
     LstmStepCache& cache = caches[t];
     cache.x.assign(inputs[t], inputs[t] + input_dim_);
     cache.gates.resize(4 * H);
-    ComputeGates(inputs[t], h_prev.data(), cache.gates.data());
+    const float* wcol = wxx.data() + t;
+    for (size_t r = 0; r < 4 * H; ++r) cache.gates[r] = wcol[r * T];
+    FinishGates(h_prev.data(), cache.gates.data());
     cache.c_prev = c_prev;
     cache.c.resize(H);
     cache.tanh_c.resize(H);
@@ -169,6 +190,108 @@ void Lstm::Backward(const std::vector<LstmStepCache>& caches,
     if (t > 0) {
       MatTransVecAccum(wh_.value, d_gates.data(), dh_next.data());
     }
+  }
+}
+
+void Lstm::BackwardSeq(const std::vector<LstmStepCache>& caches,
+                       const Matrix& d_h, Matrix* d_x, GradientSink* sink) {
+  const size_t H = hidden_dim_;
+  const size_t I = input_dim_;
+  const size_t T = caches.size();
+  RL4_CHECK_EQ(d_h.rows(), T);
+  if (T == 0) {
+    if (d_x != nullptr) d_x->EnsureShape(0, I);
+    return;
+  }
+  RL4_CHECK_EQ(d_h.cols(), H);
+  Matrix* wx_g = sink != nullptr ? sink->Find(&wx_) : &wx_.grad;
+  Matrix* wh_g = sink != nullptr ? sink->Find(&wh_) : &wh_.grad;
+  Matrix* b_g = sink != nullptr ? sink->Find(&b_) : &b_.grad;
+  if (sink != nullptr) {
+    sink->TouchAll(&wx_);
+    sink->TouchAll(&wh_);
+    sink->TouchAll(&b_);
+  }
+
+  // Timestep-packed gradient matrices. dg holds the pre-activation gate
+  // gradients twice: column j = T-1-t of the (4H x T) layout drives the
+  // weight-gradient GEMMs — ascending k there replays the per-step
+  // backward's descending-t accumulation order, so (from zeroed gradient
+  // buffers) every weight-gradient element is the exact same product
+  // chain — and row t of the (T x 4H) layout drives the input-gradient
+  // GEMM, whose ascending-k chain is MatTransVecAccum's ascending-row
+  // order. Thread-local scratch: fully rewritten, steady state allocates
+  // nothing.
+  static thread_local Matrix dg;       // 4H x T, column j <-> t = T-1-j
+  static thread_local Matrix dg_t;     // T x 4H, row t
+  static thread_local Matrix x_rev;    // T x I, row j <-> x at t = T-1-j
+  static thread_local Matrix h_prev_rev;  // (T-1) x H, row j <-> h_{T-2-j}
+  dg.EnsureShape(4 * H, T);
+  dg_t.EnsureShape(T, 4 * H);
+  x_rev.EnsureShape(T, I);
+  if (T > 1) h_prev_rev.EnsureShape(T - 1, H);
+
+  // The gate-gradient recursion is inherently sequential (dh/dc of step t
+  // feed step t-1) and runs exactly the per-step code; only the parameter
+  // and input gradients are deferred to the GEMMs below.
+  Vec dc_next(H, 0.0f);
+  Vec dh_next(H, 0.0f);
+  for (size_t t = T; t-- > 0;) {
+    const LstmStepCache& cache = caches[t];
+    const size_t j = T - 1 - t;
+    float* d_gates = dg_t.Row(t);
+    const float* ig = cache.gates.data();
+    const float* fg = cache.gates.data() + H;
+    const float* gg = cache.gates.data() + 2 * H;
+    const float* og = cache.gates.data() + 3 * H;
+    const float* dht = d_h.Row(t);
+    for (size_t i = 0; i < H; ++i) {
+      const float dh = dht[i] + dh_next[i];
+      const float dc = dh * og[i] * (1.0f - cache.tanh_c[i] * cache.tanh_c[i]) +
+                       dc_next[i];
+      const float di = dc * gg[i];
+      const float df = dc * cache.c_prev[i];
+      const float dgv = dc * ig[i];
+      const float dout = dh * cache.tanh_c[i];
+      d_gates[i] = di * ig[i] * (1.0f - ig[i]);
+      d_gates[H + i] = df * fg[i] * (1.0f - fg[i]);
+      d_gates[2 * H + i] = dgv * (1.0f - gg[i] * gg[i]);
+      d_gates[3 * H + i] = dout * og[i] * (1.0f - og[i]);
+      dc_next[i] = dc * fg[i];
+    }
+    // Scatter into the reversed-time layouts for the post-loop GEMMs.
+    {
+      float* col = dg.data() + j;
+      for (size_t r = 0; r < 4 * H; ++r) col[r * T] = d_gates[r];
+    }
+    std::copy(cache.x.begin(), cache.x.end(), x_rev.Row(j));
+    if (t > 0) {
+      const Vec& hp = caches[t - 1].h;
+      std::copy(hp.begin(), hp.end(), h_prev_rev.Row(j));
+    }
+    // Bias gradient: element-wise accumulation in the per-step order.
+    float* db = b_g->Row(0);
+    for (size_t i = 0; i < 4 * H; ++i) db[i] += d_gates[i];
+    // Recurrent hidden gradient for step t-1 (same per-step matvec).
+    std::fill(dh_next.begin(), dh_next.end(), 0.0f);
+    if (t > 0) {
+      MatTransVecAccum(wh_.value, d_gates, dh_next.data());
+    }
+  }
+
+  // dWx += DG * X^T and dWh += DG[:, :T-1] * Hprev^T as single GEMMs.
+  Gemm(dg.data(), 4 * H, T, T, x_rev.data(), I, I, wx_g->data(), I,
+       /*accumulate=*/true);
+  if (T > 1) {
+    Gemm(dg.data(), 4 * H, T - 1, T, h_prev_rev.data(), H, H, wh_g->data(),
+         H, /*accumulate=*/true);
+  }
+  // d_x = DG_t * Wx in one GEMM (rows are independent chains, so forward
+  // row order is fine).
+  if (d_x != nullptr) {
+    d_x->EnsureShape(T, I);
+    Gemm(dg_t.data(), T, 4 * H, 4 * H, wx_.value.data(), I, I, d_x->data(),
+         I, /*accumulate=*/false);
   }
 }
 

@@ -79,15 +79,32 @@ class Lstm {
   void StepForwardBatch(const Matrix& x, Matrix* h, Matrix* c) const;
 
   /// Sequence forward from the zero state. Returns per-step caches (the
-  /// hidden output of step t is caches[t].h).
+  /// hidden output of step t is caches[t].h). The input projection of all
+  /// timesteps runs as one (4H x I) * (I x T) GEMM; the recurrent part is
+  /// inherently sequential. Bit-identical to stepping ComputeGates.
   std::vector<LstmStepCache> Forward(
       const std::vector<const float*>& inputs) const;
 
-  /// BPTT. `d_h` holds the gradient flowing into each step's hidden output
-  /// (same length as caches). Parameter gradients are accumulated; if `d_x`
-  /// is non-null it receives per-step input gradients (resized internally).
+  /// Per-step reference BPTT. `d_h` holds the gradient flowing into each
+  /// step's hidden output (same length as caches). Parameter gradients are
+  /// accumulated; if `d_x` is non-null it receives per-step input gradients
+  /// (resized internally). Kept as the plainly-auditable reference that
+  /// BackwardSeq is tested against — production training uses BackwardSeq.
   void Backward(const std::vector<LstmStepCache>& caches,
                 const std::vector<Vec>& d_h, std::vector<Vec>* d_x);
+
+  /// GEMM-backed BPTT. `d_h` is (T x H) with row t the gradient into step
+  /// t's hidden output; `d_x` (optional) is resized to (T x input_dim).
+  /// The per-step gate-gradient recursion stays sequential, but the weight
+  /// gradients become two GEMMs over timestep-packed matrices (reversed-
+  /// time columns, so each product chain replays the per-step accumulation
+  /// order) and the input gradients one more. Starting from zeroed
+  /// gradient buffers this is bit-identical to Backward; `sink` (optional)
+  /// redirects every parameter gradient into worker-local buffers, which
+  /// makes concurrent calls on one Lstm safe (weights are only read).
+  void BackwardSeq(const std::vector<LstmStepCache>& caches,
+                   const Matrix& d_h, Matrix* d_x,
+                   GradientSink* sink = nullptr);
 
   void RegisterParams(ParameterRegistry* registry) {
     registry->Register(&wx_);
@@ -98,6 +115,11 @@ class Lstm {
  private:
   /// Computes post-activation gates for one step into `gates` (length 4H).
   void ComputeGates(const float* x, const float* h_prev, float* gates) const;
+
+  /// The recurrent tail of ComputeGates: `gates` already holds Wx x and
+  /// gets + b + Wh h_prev and the activations (shared by the streaming
+  /// step and the GEMM-projected sequence forward).
+  void FinishGates(const float* h_prev, float* gates) const;
 
   size_t input_dim_;
   size_t hidden_dim_;

@@ -90,6 +90,12 @@ class LstmNet : public RecurrentNet {
     lstm_.Backward(static_cast<const Cache&>(cache).steps(), d_h, d_x);
   }
 
+  void BackwardSeq(const SeqCache& cache, const Matrix& d_h, Matrix* d_x,
+                   GradientSink* sink) override {
+    lstm_.BackwardSeq(static_cast<const Cache&>(cache).steps(), d_h, d_x,
+                      sink);
+  }
+
   void RegisterParams(ParameterRegistry* registry) override {
     lstm_.RegisterParams(registry);
   }
@@ -138,6 +144,12 @@ class GruNet : public RecurrentNet {
   void Backward(const SeqCache& cache, const std::vector<Vec>& d_h,
                 std::vector<Vec>* d_x) override {
     gru_.Backward(static_cast<const Cache&>(cache).steps(), d_h, d_x);
+  }
+
+  void BackwardSeq(const SeqCache& cache, const Matrix& d_h, Matrix* d_x,
+                   GradientSink* sink) override {
+    gru_.BackwardSeq(static_cast<const Cache&>(cache).steps(), d_h, d_x,
+                     sink);
   }
 
   void RegisterParams(ParameterRegistry* registry) override {

@@ -87,9 +87,20 @@ class RecurrentNet {
   virtual std::unique_ptr<SeqCache> Forward(
       const std::vector<const float*>& inputs) const = 0;
 
-  /// BPTT over a cache previously returned by this object's Forward.
+  /// Per-step reference BPTT over a cache previously returned by this
+  /// object's Forward. Production training uses BackwardSeq; this stays as
+  /// the audited per-step reference the GEMM path is tested against.
   virtual void Backward(const SeqCache& cache, const std::vector<Vec>& d_h,
                         std::vector<Vec>* d_x) = 0;
+
+  /// GEMM-backed BPTT: `d_h` is (T x hidden) with row t the gradient into
+  /// step t's hidden output; `d_x` (optional) is resized to
+  /// (T x input_dim). Bit-identical to Backward when the gradient buffers
+  /// start zeroed. `sink` (optional) redirects every parameter gradient
+  /// into worker-local buffers, making concurrent calls safe (weights are
+  /// only read).
+  virtual void BackwardSeq(const SeqCache& cache, const Matrix& d_h,
+                           Matrix* d_x, GradientSink* sink = nullptr) = 0;
 
   virtual void RegisterParams(ParameterRegistry* registry) = 0;
 };

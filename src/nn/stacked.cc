@@ -125,6 +125,27 @@ void StackedRnn::Backward(const SeqCache& cache, const std::vector<Vec>& d_h,
   }
 }
 
+void StackedRnn::BackwardSeq(const SeqCache& cache, const Matrix& d_h,
+                             Matrix* d_x, GradientSink* sink) {
+  const auto& stacked = static_cast<const Cache&>(cache);
+  RL4_CHECK_EQ(stacked.layers().size(), cores_.size());
+  // Inter-layer gradients ping-pong between two scratch matrices (the
+  // cores never read their d_x output, so input/output must be distinct
+  // buffers, never the same one).
+  static thread_local Matrix grad_a;
+  static thread_local Matrix grad_b;
+  const Matrix* grad = &d_h;
+  Matrix* spare = &grad_a;
+  for (size_t l = cores_.size(); l-- > 0;) {
+    Matrix* out = (l == 0) ? d_x : spare;
+    cores_[l]->BackwardSeq(*stacked.layers()[l], *grad, out, sink);
+    if (l > 0) {
+      spare = (out == &grad_a) ? &grad_b : &grad_a;
+      grad = out;
+    }
+  }
+}
+
 void StackedRnn::RegisterParams(ParameterRegistry* registry) {
   for (const auto& core : cores_) {
     core->RegisterParams(registry);

@@ -41,6 +41,12 @@ class StackedRnn : public RecurrentNet {
   void Backward(const SeqCache& cache, const std::vector<Vec>& d_h,
                 std::vector<Vec>* d_x) override;
 
+  /// GEMM-backed BPTT top-down through the stack: layer l's input
+  /// gradients become layer l-1's hidden gradients, as (T x H) matrices
+  /// with no per-step vectors in between.
+  void BackwardSeq(const SeqCache& cache, const Matrix& d_h, Matrix* d_x,
+                   GradientSink* sink = nullptr) override;
+
   void RegisterParams(ParameterRegistry* registry) override;
 
  private:

@@ -1,6 +1,7 @@
 // Tests for Status/Result, Rng, string utilities, and CSV I/O.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -141,6 +142,47 @@ TEST(RngTest, CategoricalAllZeroFallsBackToUniform) {
   for (int i = 0; i < 1000; ++i) c0 += rng.Categorical(w) == 0;
   EXPECT_GT(c0, 300);
   EXPECT_LT(c0, 700);
+}
+
+TEST(RngTest, CategoricalSamplerReplaysCategoricalExactly) {
+  // The sampler's contract is draw-for-draw bit-identity with
+  // Rng::Categorical on a fixed weight vector: same indices AND same RNG
+  // consumption, across skewed, uniform, zero-padded, and tiny/huge weight
+  // shapes (the skip-gram unigram distribution is the production user).
+  Rng shape_rng(99);
+  for (int shape = 0; shape < 6; ++shape) {
+    std::vector<double> w;
+    const size_t n = shape == 0 ? 1 : 7 * (shape + 1) * (shape + 1);
+    for (size_t i = 0; i < n; ++i) {
+      double v = shape_rng.Uniform();
+      if (shape == 1 && i % 3 == 0) v = 0.0;      // interleaved zeros
+      if (shape == 2) v = std::pow(v, 8.0);       // heavily skewed
+      if (shape == 3) v *= 1e12;                  // large magnitudes
+      if (shape == 4) v *= 1e-12;                 // tiny magnitudes
+      if (shape == 5 && i % 2 == 0) v = -v;       // negatives clamp to zero
+      w.push_back(v);
+    }
+    CategoricalSampler sampler(w);
+    Rng a(1234 + shape);
+    Rng b(1234 + shape);
+    for (int i = 0; i < 20000; ++i) {
+      ASSERT_EQ(sampler.Sample(&a), b.Categorical(w))
+          << "shape " << shape << " draw " << i;
+    }
+    // Identical RNG consumption: the streams must still be in lockstep.
+    EXPECT_EQ(a.NextU64(), b.NextU64()) << "shape " << shape;
+  }
+}
+
+TEST(RngTest, CategoricalSamplerAllZeroFallsBackToUniform) {
+  std::vector<double> w = {0.0, -1.0, 0.0};
+  CategoricalSampler sampler(w);
+  Rng a(13);
+  Rng b(13);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(sampler.Sample(&a), b.Categorical(w));
+  }
+  EXPECT_EQ(a.NextU64(), b.NextU64());
 }
 
 TEST(RngTest, SampleWithoutReplacementIsDistinct) {

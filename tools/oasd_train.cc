@@ -43,6 +43,13 @@ int Main(int argc, char** argv) {
   flags.AddBool("rnel", true, "road-network-enhanced labeling");
   flags.AddBool("dl", true, "delayed labeling");
   flags.AddInt("seed", 5, "training seed");
+  flags.AddInt("trainer-threads", 1,
+               "data-parallel pretrain workers (1 = sequential,\n"
+               "               bit-identical to historical training; N > 1\n"
+               "               shards the warm start across N threads)");
+  flags.AddBool("time", false,
+                "print the per-phase training wall-clock breakdown\n"
+                "               (embed / pretrain / joint)");
   tools::ParseFlagsOrExit(&flags, argc, argv);
 
   const std::string data_dir = flags.GetString("data-dir");
@@ -70,6 +77,7 @@ int Main(int argc, char** argv) {
   cfg.joint_samples = static_cast<int>(flags.GetInt("joint-samples"));
   cfg.pretrain_samples = static_cast<int>(flags.GetInt("pretrain-samples"));
   cfg.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  cfg.trainer_threads = static_cast<int>(flags.GetInt("trainer-threads"));
 
   core::Rl4Oasd model(&net, cfg);
   Stopwatch sw;
@@ -81,6 +89,20 @@ int Main(int argc, char** argv) {
       "mean episode reward %.4f\n",
       train_s, static_cast<long long>(stats.episodes),
       static_cast<long long>(stats.applied), model.last_mean_reward());
+  if (flags.GetBool("time")) {
+    const auto& ft = model.fit_timings();
+    std::printf(
+        "phase breakdown (%d trainer thread%s):\n"
+        "  preprocess   %8.2fs\n"
+        "  embed        %8.2fs\n"
+        "  pretrain-rsr %8.2fs\n"
+        "  pretrain-asd %8.2fs\n"
+        "  joint        %8.2fs\n"
+        "  total        %8.2fs\n",
+        cfg.trainer_threads, cfg.trainer_threads == 1 ? "" : "s",
+        ft.preprocess_s, ft.embed_s, ft.pretrain_rsr_s, ft.pretrain_asd_s,
+        ft.joint_s, ft.total_s);
+  }
 
   const std::string model_path = flags.GetString("model");
   tools::ExitIfError(io::SaveModel(model, model_path));
