@@ -68,6 +68,7 @@ void BinaryWriter::WriteString(std::string_view s) {
 }
 
 void BinaryWriter::WriteBytes(const void* data, size_t n) {
+  if (n == 0) return;  // data may be null for empty writes
   buf_.append(static_cast<const char*>(data), n);
 }
 
@@ -143,6 +144,7 @@ Status BinaryReader::ReadBytes(void* out, size_t n) {
   if (remaining() < n) {
     return Status::OutOfRange("read past end of buffer");
   }
+  if (n == 0) return Status::OK();  // out may be null for empty reads
   std::memcpy(out, buf_.data() + pos_, n);
   pos_ += n;
   return Status::OK();

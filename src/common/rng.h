@@ -14,10 +14,26 @@ namespace rl4oasd {
 /// deterministic across platforms (unlike std::mt19937 distributions).
 class Rng {
  public:
+  /// Complete generator state: the xoshiro256** words plus the Box-Muller
+  /// spare. Exporting mid-stream and importing into any Rng resumes the
+  /// draw sequence exactly where it left off — the piece of per-session
+  /// state that makes stochastic detection snapshot/restorable.
+  struct State {
+    uint64_t s[4] = {0, 0, 0, 0};
+    bool has_spare_gaussian = false;
+    double spare_gaussian = 0.0;
+  };
+
   explicit Rng(uint64_t seed = 42) { Seed(seed); }
 
   /// Re-seeds the generator; identical seeds replay identical streams.
   void Seed(uint64_t seed);
+
+  /// Captures the full generator state (stream position included).
+  State ExportState() const;
+
+  /// Replaces the generator state with a previously exported one.
+  void ImportState(const State& state);
 
   /// Uniform 64-bit value.
   uint64_t NextU64();

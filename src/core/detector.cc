@@ -58,7 +58,10 @@ OnlineDetector::Session::Session(const OnlineDetector* owner, traj::SdPair sd,
     : owner_(owner),
       sd_(sd),
       start_time_(start_time),
-      stream_(owner->rsr_->config().hidden_dim),
+      // Full stream_state_size (not hidden_dim): stacked cores carry one
+      // slice per layer, and a never-fed session must already export
+      // correctly-sized hidden vectors for snapshot/restore.
+      stream_(owner->rsr_->stream_state_size()),
       tracker_(owner->config_.use_dl ? owner->config_.delay_d : 0),
       rng_(owner->config_.seed) {}
 
@@ -186,6 +189,176 @@ std::optional<traj::Subtrajectory> OnlineDetector::Session::OpenRun() const {
   if (owner_->config_.use_boundary_trim) run = TrimmedRun(*run);
   if (run->begin >= run->end) return std::nullopt;
   return run;
+}
+
+namespace {
+
+void WriteRuns(const std::vector<traj::Subtrajectory>& runs, BinaryWriter* w) {
+  w->WriteU32(static_cast<uint32_t>(runs.size()));
+  for (const auto& run : runs) {
+    w->WriteI32(run.begin);
+    w->WriteI32(run.end);
+  }
+}
+
+Status ReadRuns(BinaryReader* r, size_t num_labels,
+                std::vector<traj::Subtrajectory>* runs) {
+  uint32_t count;
+  RL4_RETURN_NOT_OK(r->ReadU32(&count));
+  if (r->remaining() < static_cast<size_t>(count) * 8) {
+    return Status::OutOfRange("run count exceeds remaining payload");
+  }
+  runs->clear();
+  runs->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    traj::Subtrajectory run;
+    RL4_RETURN_NOT_OK(r->ReadI32(&run.begin));
+    RL4_RETURN_NOT_OK(r->ReadI32(&run.end));
+    if (run.begin < 0 || run.begin >= run.end ||
+        run.end > static_cast<int>(num_labels)) {
+      return Status::InvalidArgument("anomalous run out of label bounds");
+    }
+    runs->push_back(run);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void OnlineDetector::Session::ExportState(BinaryWriter* w) const {
+  w->WriteI32(sd_.source);
+  w->WriteI32(sd_.dest);
+  w->WriteF64(start_time_);
+  w->WriteU8(finished_ ? 1 : 0);
+  w->WriteU32(static_cast<uint32_t>(labels_.size()));
+  w->WriteBytes(labels_.data(), labels_.size());
+  w->WriteI32Vector(edges_);
+  tracker_.ExportState(w);
+  WriteRuns(closed_runs_, w);
+  WriteRuns(newly_closed_, w);
+  w->WriteF32Vector(stream_.state.h);
+  w->WriteF32Vector(stream_.state.c);
+  const Rng::State rng = rng_.ExportState();
+  for (uint64_t word : rng.s) w->WriteU64(word);
+  w->WriteU8(rng.has_spare_gaussian ? 1 : 0);
+  w->WriteF64(rng.spare_gaussian);
+}
+
+Status OnlineDetector::Session::ImportState(BinaryReader* r) {
+  // Parse and validate everything into locals first: a corrupt record must
+  // leave the session untouched, and no field may be trusted before its
+  // bounds are checked (labels index edges, runs index labels, hidden
+  // vectors must match the model architecture).
+  traj::SdPair sd;
+  double start_time;
+  uint8_t finished;
+  RL4_RETURN_NOT_OK(r->ReadI32(&sd.source));
+  RL4_RETURN_NOT_OK(r->ReadI32(&sd.dest));
+  RL4_RETURN_NOT_OK(r->ReadF64(&start_time));
+  RL4_RETURN_NOT_OK(r->ReadU8(&finished));
+  if (finished > 1) {
+    return Status::InvalidArgument("session record corrupt (finished flag)");
+  }
+
+  uint32_t num_labels;
+  RL4_RETURN_NOT_OK(r->ReadU32(&num_labels));
+  if (r->remaining() < num_labels) {
+    return Status::OutOfRange("label count exceeds remaining payload");
+  }
+  std::vector<uint8_t> labels(num_labels);
+  RL4_RETURN_NOT_OK(r->ReadBytes(labels.data(), num_labels));
+  for (uint8_t l : labels) {
+    if (l > 1) return Status::InvalidArgument("label outside {0, 1}");
+  }
+  std::vector<traj::EdgeId> edges;
+  RL4_RETURN_NOT_OK(r->ReadI32Vector(&edges));
+  if (edges.size() != labels.size()) {
+    return Status::InvalidArgument("edge/label history lengths disagree");
+  }
+  const auto num_edges = static_cast<traj::EdgeId>(owner_->net_->NumEdges());
+  for (traj::EdgeId e : edges) {
+    if (e < 0 || e >= num_edges) {
+      return Status::InvalidArgument("edge id outside the road network");
+    }
+  }
+
+  RunTracker tracker(owner_->config_.use_dl ? owner_->config_.delay_d : 0);
+  RL4_RETURN_NOT_OK(tracker.ImportState(r));
+  if (tracker.position() != static_cast<int>(labels.size())) {
+    return Status::InvalidArgument(
+        "run tracker position disagrees with label count");
+  }
+  std::vector<traj::Subtrajectory> closed_runs, newly_closed;
+  RL4_RETURN_NOT_OK(ReadRuns(r, labels.size(), &closed_runs));
+  RL4_RETURN_NOT_OK(ReadRuns(r, labels.size(), &newly_closed));
+
+  RsrStream stream;
+  RL4_RETURN_NOT_OK(r->ReadF32Vector(&stream.state.h));
+  RL4_RETURN_NOT_OK(r->ReadF32Vector(&stream.state.c));
+  const size_t state_size = owner_->rsr_->stream_state_size();
+  if (stream.state.h.size() != state_size ||
+      stream.state.c.size() != state_size) {
+    return Status::FailedPrecondition(
+        "recurrent state size " + std::to_string(stream.state.h.size()) +
+        " does not match the serving model (" + std::to_string(state_size) +
+        "); was the snapshot taken with a different architecture?");
+  }
+
+  Rng::State rng;
+  for (uint64_t& word : rng.s) RL4_RETURN_NOT_OK(r->ReadU64(&word));
+  uint8_t has_spare;
+  RL4_RETURN_NOT_OK(r->ReadU8(&has_spare));
+  if (has_spare > 1) {
+    return Status::InvalidArgument("session record corrupt (rng spare flag)");
+  }
+  rng.has_spare_gaussian = has_spare != 0;
+  RL4_RETURN_NOT_OK(r->ReadF64(&rng.spare_gaussian));
+
+  sd_ = sd;
+  start_time_ = start_time;
+  finished_ = finished != 0;
+  labels_ = std::move(labels);
+  edges_ = std::move(edges);
+  prev_edge_ = edges_.empty() ? roadnet::kInvalidEdge : edges_.back();
+  prev_label_ = labels_.empty() ? 0 : labels_.back();
+  tracker_ = tracker;
+  closed_runs_ = std::move(closed_runs);
+  newly_closed_ = std::move(newly_closed);
+  stream_ = std::move(stream);
+  rng_.ImportState(rng);
+  return Status::OK();
+}
+
+OnlineDetector::Session OnlineDetector::ReprimeSession(
+    const Session& old) const {
+  Session s(this, old.sd_, old.start_time_);
+  // The bookkeeping is history, not model output: carrying it over verbatim
+  // (including the tracker's DL window and the RNG stream position) is what
+  // guarantees a run already alerted is never re-reported and a pending one
+  // is never dropped across the swap.
+  s.labels_ = old.labels_;
+  s.edges_ = old.edges_;
+  s.prev_edge_ = old.prev_edge_;
+  s.prev_label_ = old.prev_label_;
+  s.tracker_ = old.tracker_;
+  s.closed_runs_ = old.closed_runs_;
+  s.newly_closed_ = old.newly_closed_;
+  s.finished_ = old.finished_;
+  s.rng_ = old.rng_;
+  // Deterministic re-prime: replay the fed edges through this detector's
+  // RSRNet so the hidden state reflects the new weights over the same
+  // history (NRF bits recomputed against this detector's preprocessor; the
+  // first segment is normal by definition and carries NRF 0, as in Feed).
+  traj::EdgeId prev = roadnet::kInvalidEdge;
+  for (size_t i = 0; i < s.edges_.size(); ++i) {
+    const uint8_t nrf =
+        i == 0 ? 0
+               : preprocessor_->NormalRouteFeatureAt(s.sd_, s.start_time_,
+                                                     prev, s.edges_[i]);
+    rsr_->StepForward(s.edges_[i], nrf, &s.stream_, nullptr);
+    prev = s.edges_[i];
+  }
+  return s;
 }
 
 void OnlineDetector::FeedBatch(std::span<Session* const> sessions,

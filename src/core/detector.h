@@ -11,7 +11,9 @@
 #include <span>
 #include <vector>
 
+#include "common/binary.h"
 #include "common/rng.h"
+#include "common/status.h"
 #include "core/asdnet.h"
 #include "core/preprocess.h"
 #include "core/rsrnet.h"
@@ -81,6 +83,45 @@ class RunTracker {
     return pending_;
   }
 
+  /// Number of labels consumed so far.
+  int position() const { return pos_; }
+
+  /// Serializes the tracker position and pending run (the DL merge window)
+  /// so a streaming session can be snapshotted mid-trip. `delay_d` is
+  /// configuration, not state, and is not written.
+  void ExportState(BinaryWriter* w) const {
+    w->WriteI32(pos_);
+    w->WriteU8(has_pending_ ? 1 : 0);
+    w->WriteI32(pending_.begin);
+    w->WriteI32(pending_.end);
+  }
+
+  /// Restores a previously exported tracker state, validating internal
+  /// consistency (a corrupt snapshot must fail cleanly, never restore a
+  /// tracker whose pending run points outside the label stream).
+  Status ImportState(BinaryReader* r) {
+    int32_t pos;
+    uint8_t has_pending;
+    traj::Subtrajectory pending;
+    RL4_RETURN_NOT_OK(r->ReadI32(&pos));
+    RL4_RETURN_NOT_OK(r->ReadU8(&has_pending));
+    RL4_RETURN_NOT_OK(r->ReadI32(&pending.begin));
+    RL4_RETURN_NOT_OK(r->ReadI32(&pending.end));
+    if (pos < 0 || has_pending > 1) {
+      return Status::InvalidArgument("run tracker state corrupt");
+    }
+    if (has_pending &&
+        (pending.begin < 0 || pending.begin >= pending.end ||
+         pending.end > pos)) {
+      return Status::InvalidArgument(
+          "run tracker pending run out of bounds");
+    }
+    pos_ = pos;
+    has_pending_ = has_pending != 0;
+    pending_ = has_pending ? pending : traj::Subtrajectory{0, 0};
+    return Status::OK();
+  }
+
  private:
   int d_;
   int pos_ = 0;
@@ -135,10 +176,28 @@ class OnlineDetector {
 
     const std::vector<uint8_t>& labels() const { return labels_; }
 
+    traj::SdPair sd() const { return sd_; }
+    double start_time() const { return start_time_; }
+    bool finished() const { return finished_; }
+
     /// All runs finalized so far (post-DL, post-trim), in stream order.
     const std::vector<traj::Subtrajectory>& closed_runs() const {
       return closed_runs_;
     }
+
+    /// Serializes every piece of live per-trip state — SD pair, fed
+    /// edge/label history, LSTM hidden/cell vectors, RunTracker (the
+    /// Delayed-Labeling window), closed/undrained runs, and the RNG stream
+    /// position — so that importing into a fresh session of an identical
+    /// model resumes the remaining label/alert stream bit-identically.
+    void ExportState(BinaryWriter* w) const;
+
+    /// Restores a state exported by ExportState. The session must belong to
+    /// a detector with the same road network and recurrent state size as
+    /// the exporter (hidden vectors are restored verbatim). Every field of
+    /// a corrupt or mismatched record fails with a clean Status; on error
+    /// the session is left untouched.
+    Status ImportState(BinaryReader* r);
 
    private:
     friend class OnlineDetector;  // FeedBatch drives sessions directly
@@ -185,6 +244,17 @@ class OnlineDetector {
   Session StartSession(traj::SdPair sd, double start_time) const {
     return Session(this, sd, start_time);
   }
+
+  /// Rebuilds `old` (a session of any detector over the same road network)
+  /// as a session of *this* detector: the label/run/RNG bookkeeping carries
+  /// over verbatim — past decisions are history and must not be re-reported
+  /// — while the recurrent hidden state is re-primed deterministically by
+  /// replaying the fed edge sequence through this detector's RSRNet (NRF
+  /// bits recomputed against this detector's preprocessor). This is the
+  /// hot-model-swap primitive: future decisions use the new weights with a
+  /// hidden state derived from the same history, and no alert is lost or
+  /// duplicated because run identity is preserved.
+  Session ReprimeSession(const Session& old) const;
 
   const DetectorConfig& config() const { return config_; }
 

@@ -206,6 +206,8 @@ double RsrNet::ComputeGradients(const std::vector<traj::EdgeId>& edges,
   return loss / static_cast<double>(n);
 }
 
+size_t RsrNet::stream_state_size() const { return rnn_->state_size(); }
+
 nn::Vec RsrNet::StepForward(traj::EdgeId edge, uint8_t nrf_bit,
                             RsrStream* stream,
                             std::array<float, 2>* probs) const {

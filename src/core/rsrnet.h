@@ -84,6 +84,11 @@ class RsrNet {
   size_t z_dim() const { return config_.hidden_dim + config_.nrf_dim; }
   const RsrNetConfig& config() const { return config_; }
 
+  /// Length of the RsrStream state vectors the recurrent core carries
+  /// (num_layers * hidden for stacked cores). Snapshot restore validates
+  /// imported hidden states against this before accepting them.
+  size_t stream_state_size() const;
+
   /// Loads pre-trained TCF embeddings (rows must match num_edges; extra
   /// columns are truncated, missing columns are an error).
   void LoadTcfEmbeddings(const nn::Matrix& table);

@@ -1,0 +1,94 @@
+// The durable fleet snapshot format: every piece of live serving state of a
+// serve::FleetMonitor — per-trip detection sessions (LSTM hidden states,
+// label/edge history, Delayed-Labeling windows, undrained runs, RNG stream
+// positions), service counters, and an application metadata string — in one
+// CRC32-protected file. Layout (inside a BinaryWriter payload):
+//
+//   magic "RLFS" | u32 format version | u64 model-bundle fingerprint |
+//   user metadata string | 5 x i64 service counters |
+//   u64 trip count | per trip: i64 vehicle_id | f64 last_update |
+//                              length-prefixed session record
+//
+// The session record is written by core::OnlineDetector::Session::ExportState
+// and is opaque at this level; length-prefixing lets tooling (oasd_inspect)
+// describe a snapshot without reconstructing the fleet. The fingerprint is
+// io::ModelFingerprint of the serving model at snapshot time: restore
+// refuses a snapshot stamped by a different model, because replaying hidden
+// states against other weights would silently diverge instead of honoring
+// the restore-equivalence contract (see serve::FleetMonitor::Snapshot).
+//
+// Writing and restoring live in serve::FleetMonitor (Snapshot/Restore);
+// this header owns the format constants and the model-free inspector.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/binary.h"
+#include "common/status.h"
+
+namespace rl4oasd::io {
+
+inline constexpr char kFleetSnapshotMagic[4] = {'R', 'L', 'F', 'S'};
+inline constexpr uint32_t kFleetSnapshotVersion = 1;
+
+/// Per-trip header readable without the model or road network.
+struct FleetSnapshotTrip {
+  int64_t vehicle_id = 0;
+  double last_update = 0.0;
+  double start_time = 0.0;
+  uint64_t points_fed = 0;  // labels recorded when the snapshot was taken
+};
+
+/// Snapshot metadata readable without reconstructing the fleet — backs the
+/// oasd_inspect tool and CI triage.
+struct FleetSnapshotInfo {
+  uint32_t version = 0;
+  uint64_t model_fingerprint = 0;
+  std::string user_meta;
+  // Service counters at snapshot time (mirrors serve::FleetStats).
+  int64_t trips_started = 0;
+  int64_t trips_finished = 0;
+  int64_t points_processed = 0;
+  int64_t alerts_emitted = 0;
+  int64_t trips_evicted = 0;
+  std::vector<FleetSnapshotTrip> trips;
+  uint64_t total_points = 0;  // sum of points_fed over all live trips
+};
+
+/// The fixed header that precedes the trip array. One parser
+/// (ReadFleetSnapshotHeader) serves both serve::FleetMonitor::Restore and
+/// DescribeFleetSnapshot, so the layout lives in exactly one place.
+struct FleetSnapshotHeader {
+  uint64_t model_fingerprint = 0;
+  std::string user_meta;
+  int64_t trips_started = 0;
+  int64_t trips_finished = 0;
+  int64_t points_processed = 0;
+  int64_t alerts_emitted = 0;
+  int64_t trips_evicted = 0;
+};
+
+/// Reads magic, version, fingerprint, user metadata, and the service
+/// counters from `r`, leaving it positioned at the trip count. Bad magic
+/// and unknown versions return descriptive errors.
+Status ReadFleetSnapshotHeader(BinaryReader* r, FleetSnapshotHeader* header);
+
+/// Reads the trip count that follows the header, rejecting counts that
+/// cannot fit in the remaining payload (each record is at least a vehicle
+/// id, a timestamp, and an empty length-prefixed session blob) before any
+/// caller reserves memory for them.
+Status ReadFleetSnapshotTripCount(BinaryReader* r, uint64_t* num_trips);
+
+/// Parses a snapshot's structure (CRC-verified) without a model: the trip
+/// session records are skimmed for their headers, not reconstructed.
+Result<FleetSnapshotInfo> DescribeFleetSnapshot(const std::string& path);
+
+/// True when `path` starts with the fleet-snapshot magic — a cheap 4-byte
+/// peek (no CRC verification) that lets tooling dispatch between bundle
+/// kinds; the describe/restore path that follows does the full verified
+/// read.
+bool LooksLikeFleetSnapshot(const std::string& path);
+
+}  // namespace rl4oasd::io

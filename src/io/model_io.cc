@@ -206,19 +206,45 @@ Status ReadConfigKv(BinaryReader* r, core::Rl4OasdConfig* config) {
   return ConfigKvView(config).Read(r);
 }
 
-Status SaveModel(const core::Rl4Oasd& model, const std::string& path) {
-  BinaryWriter w;
-  w.WriteBytes(kMagic, 4);
-  w.WriteU32(kModelBundleVersion);
-  WriteConfigKv(model.config(), &w);
-  WriteSnapshots(model.preprocessor().ExportState(), &w);
+namespace {
+
+void WriteModelPayload(const core::Rl4Oasd& model, BinaryWriter* w) {
+  w->WriteBytes(kMagic, 4);
+  w->WriteU32(kModelBundleVersion);
+  WriteConfigKv(model.config(), w);
+  WriteSnapshots(model.preprocessor().ExportState(), w);
   // Registries are const-correct at the layer level but parameter access for
   // serialization is value-only.
   WriteRegistry(*const_cast<core::Rl4Oasd&>(model).mutable_rsrnet()->registry(),
-                &w);
+                w);
   WriteRegistry(*const_cast<core::Rl4Oasd&>(model).mutable_asdnet()->registry(),
-                &w);
+                w);
+}
+
+}  // namespace
+
+Status SaveModel(const core::Rl4Oasd& model, const std::string& path) {
+  BinaryWriter w;
+  WriteModelPayload(model, &w);
   return w.WriteToFile(path);
+}
+
+uint64_t ModelFingerprint(const core::Rl4Oasd& model) {
+  BinaryWriter w;
+  WriteModelPayload(model, &w);
+  const std::string& buf = w.buffer();
+  // FNV-1a 64 over the exact SaveModel bytes. A genuine 64-bit hash, not
+  // two seeded CRC32 passes: CRCs over the same polynomial are affine in
+  // the seed, so a seed pair collides whenever one half does and buys no
+  // extra resistance. Accidental collisions between fine-tuned bundles are
+  // what the stamp guards against (not adversaries), and 2^-64 per pair
+  // keeps them out of reach across any realistic model registry.
+  uint64_t h = 14695981039346656037ULL;
+  for (const char c : buf) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
 }
 
 Result<std::unique_ptr<core::Rl4Oasd>> LoadModel(

@@ -32,6 +32,14 @@ Status SaveModel(const core::Rl4Oasd& model, const std::string& path);
 Result<std::unique_ptr<core::Rl4Oasd>> LoadModel(
     const roadnet::RoadNetwork* net, const std::string& path);
 
+/// Order-sensitive fingerprint over everything that determines a model's
+/// detection behaviour: the config, the preprocessor's historical
+/// statistics, and both networks' weights (the exact bytes SaveModel would
+/// write). Fleet snapshots are stamped with it, so restoring live trip
+/// state against a different model fails loudly instead of silently
+/// replaying hidden states that no longer match the weights.
+uint64_t ModelFingerprint(const core::Rl4Oasd& model);
+
 /// Config <-> key-value-double conversion (exposed for tests and tooling).
 void WriteConfigKv(const core::Rl4OasdConfig& config, BinaryWriter* w);
 Status ReadConfigKv(BinaryReader* r, core::Rl4OasdConfig* config);

@@ -3,9 +3,13 @@
 #include <algorithm>
 #include <functional>
 #include <limits>
+#include <tuple>
+#include <unordered_set>
 #include <utility>
 
 #include "common/logging.h"
+#include "io/fleet_snapshot.h"
+#include "io/model_io.h"
 
 namespace rl4oasd::serve {
 
@@ -22,18 +26,74 @@ size_t RoundUpPow2(size_t n) {
 
 }  // namespace
 
-FleetMonitor::FleetMonitor(const core::Rl4Oasd* model, FleetConfig config,
-                           AlertSink* sink)
-    : model_(model),
-      config_(config),
+FleetMonitor::FleetMonitor(std::shared_ptr<const core::Rl4Oasd> model,
+                           FleetConfig config, AlertSink* sink)
+    : config_(config),
       sink_(sink),
       shards_(RoundUpPow2(std::max<size_t>(config.num_shards, 1))) {
   RL4_CHECK(model != nullptr);
   RL4_CHECK_GT(config_.max_active_trips, 0u);
   // The preprocessor's normal-route caches rebuild lazily under const; warm
   // them now so concurrent sessions only ever read. The model must not be
-  // retrained (Fit/FineTune) while this monitor is serving.
-  model_->preprocessor().WarmNormalRouteCaches();
+  // retrained (Fit/FineTune) while this monitor is serving it — fine-tuned
+  // refreshes come in through SwapModel as separate instances.
+  model->preprocessor().WarmNormalRouteCaches();
+  auto handle = std::make_shared<ModelHandle>();
+  handle->generation = 1;
+  handle->model = std::move(model);
+  model_handle_ = std::move(handle);
+  current_generation_.store(1, kRelaxed);
+}
+
+FleetMonitor::FleetMonitor(const core::Rl4Oasd* model, FleetConfig config,
+                           AlertSink* sink)
+    : FleetMonitor(std::shared_ptr<const core::Rl4Oasd>(
+                       model, [](const core::Rl4Oasd*) {}),
+                   config, sink) {}
+
+uint64_t FleetMonitor::ModelHandle::Fingerprint() const {
+  std::call_once(fingerprint_once_,
+                 [this] { fingerprint_ = io::ModelFingerprint(*model); });
+  return fingerprint_;
+}
+
+std::shared_ptr<const FleetMonitor::ModelHandle> FleetMonitor::CurrentHandle()
+    const {
+  std::lock_guard<std::mutex> lock(model_mu_);
+  return model_handle_;
+}
+
+std::shared_ptr<const core::Rl4Oasd> FleetMonitor::model() const {
+  return CurrentHandle()->model;
+}
+
+uint64_t FleetMonitor::ModelGeneration() const {
+  return CurrentHandle()->generation;
+}
+
+std::shared_ptr<const core::Rl4Oasd> FleetMonitor::SwapModel(
+    std::shared_ptr<const core::Rl4Oasd> model) {
+  RL4_CHECK(model != nullptr);
+  // Warm the lazy caches before publishing, so concurrent ingest never
+  // observes a half-initialized handle.
+  model->preprocessor().WarmNormalRouteCaches();
+  auto fresh = std::make_shared<ModelHandle>();
+  fresh->model = std::move(model);
+  std::shared_ptr<const ModelHandle> old;
+  {
+    std::lock_guard<std::mutex> lock(model_mu_);
+    fresh->generation = model_handle_->generation + 1;
+    current_generation_.store(fresh->generation, kRelaxed);
+    old = std::move(model_handle_);
+    model_handle_ = std::move(fresh);
+  }
+  return old->model;
+}
+
+void FleetMonitor::ReprimeLocked(
+    Trip* trip, const std::shared_ptr<const ModelHandle>& handle) {
+  trip->session = handle->model->detector().ReprimeSession(trip->session);
+  trip->handle = handle;
 }
 
 Status FleetMonitor::StartTrip(int64_t vehicle_id, traj::SdPair sd,
@@ -56,8 +116,10 @@ Status FleetMonitor::StartTrip(int64_t vehicle_id, traj::SdPair sd,
     EvictStalest();
   }
   // The session (LSTM state allocation) is built before any lock is taken.
-  auto trip = std::make_shared<Trip>(model_->StartSession(sd, start_time), sd,
-                                     start_time);
+  auto handle = CurrentHandle();
+  auto trip = std::make_shared<Trip>(
+      handle->model->StartSession(sd, start_time), sd, start_time,
+      std::move(handle));
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     const auto [it, inserted] = shard.trips.emplace(vehicle_id, trip);
@@ -107,6 +169,18 @@ Result<int> FleetMonitor::Feed(int64_t vehicle_id, traj::EdgeId edge,
     // resolve sees either nothing or the vehicle's next trip — retry
     // rather than dropping a point the vehicle's live trip should get.
     if (trip->finished) continue;
+    // Lazy hot-swap migration: a trip still primed against a retired model
+    // replays its history through the current one before this point. The
+    // relaxed generation hint keeps the steady-state path free of the
+    // model mutex and handle refcount; a trip already *newer* than the
+    // fetched handle (SwapModel raced us) just proceeds on its own
+    // session.
+    if (trip->handle->generation < current_generation_.load(kRelaxed)) {
+      const auto handle = CurrentHandle();
+      if (trip->handle->generation < handle->generation) {
+        ReprimeLocked(trip.get(), handle);
+      }
+    }
     const int label = trip->session.Feed(edge);
     trip->last_update.store(timestamp, kRelaxed);
     EmitNewRuns(vehicle_id, trip.get(), &shard, timestamp);
@@ -206,6 +280,9 @@ size_t FleetMonitor::FeedBatch(std::span<const FleetPoint> points) {
   while (!active.empty()) {
     for (size_t chunk = 0; chunk < active.size(); chunk += wave_cap) {
       const size_t chunk_end = std::min(active.size(), chunk + wave_cap);
+      // One model handle per wave chunk: every fused session is primed
+      // against it, so the batched detector call never mixes weights.
+      const auto handle = CurrentHandle();
       locks.clear();
       live.clear();
       sessions.clear();
@@ -222,12 +299,28 @@ size_t FleetMonitor::FeedBatch(std::span<const FleetPoint> points) {
           locks.pop_back();
           continue;
         }
+        if (trip->handle->generation < handle->generation) {
+          ReprimeLocked(trip, handle);
+        }
+        if (trip->handle != handle) {
+          // A racing SwapModel moved this trip past our handle between the
+          // fetch above and taking its lock: its session belongs to a newer
+          // detector, so it cannot fuse into this wave. Feed it scalar on
+          // its own (newer) model instead — same bookkeeping, no fusion.
+          const FleetPoint& p = points[items[g.next].second];
+          (void)trip->session.Feed(p.edge);
+          trip->last_update.store(p.timestamp, kRelaxed);
+          EmitNewRuns(p.vehicle_id, trip, g.shard, p.timestamp);
+          ++shard_fed[ShardIndexOf(p.vehicle_id)];
+          ++g.next;
+          continue;
+        }
         live.push_back(active[i]);
         sessions.push_back(&trip->session);
         edges.push_back(points[items[g.next].second].edge);
       }
       if (!sessions.empty()) {
-        model_->detector().FeedBatch(sessions, edges);
+        handle->model->detector().FeedBatch(sessions, edges);
         for (const size_t gi : live) {
           TripGroup& g = groups[gi];
           Trip* trip = items[g.next].first;
@@ -394,6 +487,177 @@ FleetStats FleetMonitor::Stats() const {
     stats.trips_evicted += shard.counters.trips_evicted.load(kRelaxed);
   }
   return stats;
+}
+
+Status FleetMonitor::Snapshot(BinaryWriter* w, std::string_view user_meta) {
+  const auto handle = CurrentHandle();
+  const FleetStats stats = Stats();
+
+  // Quiesce shard by shard: the trip list is copied under the shard lock
+  // (map mutations pause for microseconds), then every trip serializes
+  // under only its own lock — ingest for all other trips keeps flowing.
+  std::vector<std::tuple<int64_t, double, std::string>> records;
+  std::vector<std::pair<int64_t, std::shared_ptr<Trip>>> shard_trips;
+  for (Shard& shard : shards_) {
+    shard_trips.clear();
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard_trips.reserve(shard.trips.size());
+      for (const auto& [vehicle, trip] : shard.trips) {
+        shard_trips.emplace_back(vehicle, trip);
+      }
+    }
+    for (auto& [vehicle, trip] : shard_trips) {
+      std::lock_guard<std::mutex> lock(trip->mu);
+      if (trip->finished) continue;  // ended while we walked the shard
+      // Migrate stragglers first so every record is primed against the
+      // fingerprint stamped in the header.
+      if (trip->handle->generation < handle->generation) {
+        ReprimeLocked(trip.get(), handle);
+      }
+      if (trip->handle != handle) {
+        return Status::FailedPrecondition(
+            "model was hot-swapped while the snapshot was being taken; "
+            "retry the snapshot");
+      }
+      BinaryWriter session;
+      trip->session.ExportState(&session);
+      records.emplace_back(vehicle, trip->last_update.load(kRelaxed),
+                           session.buffer());
+    }
+  }
+
+  // Assemble into a local writer and publish all-or-nothing: an aborted
+  // snapshot (mid-swap above) must not leave a partial header in the
+  // caller's buffer, which would corrupt a retry into the same writer.
+  BinaryWriter out;
+  out.WriteBytes(io::kFleetSnapshotMagic, 4);
+  out.WriteU32(io::kFleetSnapshotVersion);
+  out.WriteU64(handle->Fingerprint());
+  out.WriteString(user_meta);
+  out.WriteI64(stats.trips_started);
+  out.WriteI64(stats.trips_finished);
+  out.WriteI64(stats.points_processed);
+  out.WriteI64(stats.alerts_emitted);
+  out.WriteI64(stats.trips_evicted);
+  out.WriteU64(records.size());
+  for (const auto& [vehicle, last_update, blob] : records) {
+    out.WriteI64(vehicle);
+    out.WriteF64(last_update);
+    out.WriteString(blob);
+  }
+  w->WriteBytes(out.buffer().data(), out.buffer().size());
+  return Status::OK();
+}
+
+Status FleetMonitor::Restore(BinaryReader* r, RestoreInfo* info) {
+  const auto handle = CurrentHandle();
+  io::FleetSnapshotHeader header;
+  RL4_RETURN_NOT_OK(io::ReadFleetSnapshotHeader(r, &header));
+  if (header.model_fingerprint != handle->Fingerprint()) {
+    return Status::FailedPrecondition(
+        "snapshot was taken with a different model bundle (fingerprint " +
+        std::to_string(header.model_fingerprint) + ", serving " +
+        std::to_string(handle->Fingerprint()) +
+        "); restoring live LSTM states against other weights would "
+        "silently diverge");
+  }
+  std::string user_meta = std::move(header.user_meta);
+  FleetStats stats;
+  stats.trips_started = header.trips_started;
+  stats.trips_finished = header.trips_finished;
+  stats.points_processed = header.points_processed;
+  stats.alerts_emitted = header.alerts_emitted;
+  stats.trips_evicted = header.trips_evicted;
+  // Counters are hostile input like everything else: a lying negative
+  // value would poison Stats() and the conservation identity forever.
+  if (stats.trips_started < 0 || stats.trips_finished < 0 ||
+      stats.points_processed < 0 || stats.alerts_emitted < 0 ||
+      stats.trips_evicted < 0) {
+    return Status::InvalidArgument(
+        "snapshot service counters are negative (corrupt or forged header)");
+  }
+
+  uint64_t num_trips;
+  RL4_RETURN_NOT_OK(io::ReadFleetSnapshotTripCount(r, &num_trips));
+
+  // Two-phase restore: parse and validate every trip first, publish only
+  // when the whole snapshot checked out — a corrupt record must not leave
+  // a half-restored fleet behind.
+  std::vector<std::shared_ptr<Trip>> parsed;
+  std::vector<RestoredTrip> restored;
+  std::unordered_set<int64_t> seen;
+  parsed.reserve(num_trips);
+  restored.reserve(num_trips);
+  for (uint64_t i = 0; i < num_trips; ++i) {
+    int64_t vehicle;
+    double last_update;
+    std::string blob;
+    RL4_RETURN_NOT_OK(r->ReadI64(&vehicle));
+    RL4_RETURN_NOT_OK(r->ReadF64(&last_update));
+    RL4_RETURN_NOT_OK(r->ReadString(&blob));
+    if (!seen.insert(vehicle).second) {
+      return Status::InvalidArgument(
+          "snapshot lists vehicle " + std::to_string(vehicle) + " twice");
+    }
+    BinaryReader session_reader(std::move(blob));
+    auto session = handle->model->StartSession({}, 0.0);
+    RL4_RETURN_NOT_OK(session.ImportState(&session_reader));
+    if (!session_reader.AtEnd()) {
+      return Status::IOError("trailing bytes in trip session record");
+    }
+    if (session.finished()) {
+      return Status::InvalidArgument(
+          "snapshot contains an already-finished trip");
+    }
+    const traj::SdPair sd = session.sd();
+    const double start_time = session.start_time();
+    const size_t points_fed = session.labels().size();
+    auto trip = std::make_shared<Trip>(std::move(session), sd, start_time,
+                                       handle);
+    trip->last_update.store(last_update, kRelaxed);
+    parsed.push_back(std::move(trip));
+    restored.push_back(RestoredTrip{vehicle, sd, start_time, points_fed});
+  }
+  if (!r->AtEnd()) {
+    return Status::IOError("trailing bytes after fleet snapshot payload");
+  }
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (!shard.trips.empty()) {
+      return Status::FailedPrecondition(
+          "restore requires an empty monitor (fresh-process restore)");
+    }
+  }
+
+  for (size_t i = 0; i < parsed.size(); ++i) {
+    Shard& shard = ShardOf(restored[i].vehicle_id);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.trips.emplace(restored[i].vehicle_id, std::move(parsed[i]));
+  }
+  active_trips_.fetch_add(static_cast<int64_t>(parsed.size()), kRelaxed);
+  // Resume the service counters where the snapshot left them (folded into
+  // shard 0; Stats() aggregates), so conservation spans the restart. The
+  // started count is re-derived from the conservation identity rather than
+  // trusted: a snapshot taken under live ingest reads its counters and
+  // walks its shards at slightly different instants, so the stored value
+  // can be offset by in-flight starts — deriving it keeps
+  // started == finished + evicted + active exact after every restore (and
+  // is identical to the stored value for a quiesced snapshot).
+  stats.trips_started = stats.trips_finished + stats.trips_evicted +
+                        static_cast<int64_t>(parsed.size());
+  ShardCounters& counters = shards_[0].counters;
+  counters.trips_started.fetch_add(stats.trips_started, kRelaxed);
+  counters.trips_finished.fetch_add(stats.trips_finished, kRelaxed);
+  counters.points_processed.fetch_add(stats.points_processed, kRelaxed);
+  counters.alerts_emitted.fetch_add(stats.alerts_emitted, kRelaxed);
+  counters.trips_evicted.fetch_add(stats.trips_evicted, kRelaxed);
+
+  if (info != nullptr) {
+    info->user_meta = std::move(user_meta);
+    info->trips = std::move(restored);
+  }
+  return Status::OK();
 }
 
 }  // namespace rl4oasd::serve

@@ -24,9 +24,12 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "common/binary.h"
 #include "common/status.h"
 #include "core/rl4oasd.h"
 #include "traj/types.h"
@@ -176,12 +179,22 @@ struct FleetStats {
   int64_t trips_evicted = 0;
 };
 
-/// Concurrent multi-trip online detector over one trained model.
+/// Concurrent multi-trip online detector over one trained model. The model
+/// can be hot-swapped while serving (SwapModel), and the whole live state —
+/// every in-flight trip's session plus the service counters — can be
+/// snapshotted to a durable file and restored in a fresh process
+/// (Snapshot/Restore) with a bit-identical remaining alert stream.
 class FleetMonitor {
  public:
-  /// `model` must outlive the monitor and be fully trained; `sink` may be
-  /// null (alerts are then only counted).
+  /// Non-owning: `model` must outlive the monitor (and every model a later
+  /// SwapModel retires must outlive the trips still pinned to it). `sink`
+  /// may be null (alerts are then only counted).
   FleetMonitor(const core::Rl4Oasd* model, FleetConfig config,
+               AlertSink* sink);
+
+  /// Owning variant: the monitor shares ownership of the model, which is
+  /// what SwapModel's retire-when-last-trip-releases semantics want.
+  FleetMonitor(std::shared_ptr<const core::Rl4Oasd> model, FleetConfig config,
                AlertSink* sink);
 
   FleetMonitor(const FleetMonitor&) = delete;
@@ -232,13 +245,109 @@ class FleetMonitor {
   size_t ActiveTrips() const;
   FleetStats Stats() const;
 
- private:
-  struct Trip {
-    Trip(core::OnlineDetector::Session s, traj::SdPair sd_in, double t0)
-        : session(std::move(s)), sd(sd_in), start_time(t0), last_update(t0) {}
+  /// Atomically hot-reloads a new model bundle under concurrent ingest and
+  /// returns the retired model. New trips start on the new model
+  /// immediately; each in-flight trip migrates lazily, under its own trip
+  /// lock, the next time a point reaches it: its hidden state is re-primed
+  /// deterministically by replaying the trip's edge history through the new
+  /// RSRNet, while the label/run/RNG bookkeeping carries over verbatim — so
+  /// no alert is lost or duplicated across the swap
+  /// (core::OnlineDetector::ReprimeSession). The old model is retired via
+  /// shared_ptr handoff: it is destroyed once the last trip still pinned to
+  /// it migrates or finishes (immediately, for the returned handle's last
+  /// owner). The new model must serve the same road network; in-flight
+  /// trips keep their original Delayed-Labeling window, so swaps assume an
+  /// unchanged detector config (the concept-drift refresh case).
+  ///
+  /// A std::unique_ptr<core::Rl4Oasd> converts implicitly — pass a freshly
+  /// fine-tuned model straight in.
+  std::shared_ptr<const core::Rl4Oasd> SwapModel(
+      std::shared_ptr<const core::Rl4Oasd> model);
 
-    std::mutex mu;  // guards session and finished
+  /// The model currently serving new points (shared ownership; the pointer
+  /// outlives a concurrent SwapModel).
+  std::shared_ptr<const core::Rl4Oasd> model() const;
+
+  /// Monotonic model generation: 1 for the construction model, +1 per
+  /// SwapModel. Exposed for tests and observability.
+  uint64_t ModelGeneration() const;
+
+  /// Serializes the full live state — header (format version, the current
+  /// model's io::ModelFingerprint, `user_meta`), service counters, and
+  /// every in-flight trip's session — into `w` (io::fleet_snapshot.h owns
+  /// the format; append to a file with BinaryWriter::WriteToFile, which
+  /// adds the CRC32 footer). Shard by shard, the trip map is copied under
+  /// the shard lock and each trip is then serialized under its own trip
+  /// lock, so ingest keeps flowing for every other trip while a snapshot is
+  /// taken; a trip pinned to an older model is migrated to the current one
+  /// first, so the whole snapshot is stamped by one fingerprint.
+  ///
+  /// The restore-equivalence contract: snapshot at any point of a quiesced
+  /// monitor (or any per-trip feed boundary), Restore into a fresh monitor
+  /// over a model with the same fingerprint, and the remaining
+  /// alert/trip-end/eviction stream is bit-identical to the uninterrupted
+  /// run. Under live ingest each trip record is internally consistent (it
+  /// serializes at a feed boundary), but the counters and different trips
+  /// may be offset by in-flight points.
+  Status Snapshot(BinaryWriter* w, std::string_view user_meta = {});
+
+  /// One restored trip, reported so replay drivers (oasd_simulate
+  /// --resume-from) can rebuild their cursors.
+  struct RestoredTrip {
+    int64_t vehicle_id = 0;
+    traj::SdPair sd;
+    double start_time = 0.0;
+    size_t points_fed = 0;
+  };
+  struct RestoreInfo {
+    std::string user_meta;
+    std::vector<RestoredTrip> trips;
+  };
+
+  /// Restores a snapshot written by Snapshot into this monitor, which must
+  /// be empty (fresh-process restore) and must serve a model whose
+  /// fingerprint equals the snapshot's stamp — a mismatch, a bad magic, an
+  /// unknown format version, or any corrupt/lying field returns a
+  /// descriptive error without crashing, and a failed restore leaves the
+  /// monitor empty. Service counters resume from their snapshot values so
+  /// conservation (started == finished + evicted + active) spans the
+  /// restart. Not thread-safe against concurrent ingest (call before
+  /// serving starts).
+  Status Restore(BinaryReader* r, RestoreInfo* info = nullptr);
+
+ private:
+  /// A model plus its swap bookkeeping. Trips pin the handle they were last
+  /// primed against; the monitor holds the current one. Logically immutable
+  /// after construction, so readers only need the pointer; the fingerprint
+  /// is computed lazily (it serializes the whole model, which monitors that
+  /// never snapshot should not pay for) and memoized thread-safely.
+  struct ModelHandle {
+    std::shared_ptr<const core::Rl4Oasd> model;
+    uint64_t generation = 0;
+
+    /// io::ModelFingerprint of `model`, computed on first use.
+    uint64_t Fingerprint() const;
+
+   private:
+    mutable std::once_flag fingerprint_once_;
+    mutable uint64_t fingerprint_ = 0;
+  };
+
+  struct Trip {
+    Trip(core::OnlineDetector::Session s, traj::SdPair sd_in, double t0,
+         std::shared_ptr<const ModelHandle> h)
+        : session(std::move(s)),
+          handle(std::move(h)),
+          sd(sd_in),
+          start_time(t0),
+          last_update(t0) {}
+
+    std::mutex mu;  // guards session, handle, and finished
     core::OnlineDetector::Session session;
+    /// The model the session is currently primed against. Lags the
+    /// monitor's current handle until the next point reaches this trip
+    /// (lazy migration); keeps the retired model alive until then.
+    std::shared_ptr<const ModelHandle> handle;
     const traj::SdPair sd;
     const double start_time;
     /// Atomic so eviction scans can read it without the trip lock.
@@ -288,11 +397,27 @@ class FleetMonitor {
   /// lock held by the caller).
   void EvictStalest();
 
-  const core::Rl4Oasd* model_;
+  /// The current model handle (shared_ptr copy under model_mu_, so a
+  /// concurrent SwapModel can never hand out a torn read).
+  std::shared_ptr<const ModelHandle> CurrentHandle() const;
+
+  /// Migrates a trip to `handle` by re-priming its session against that
+  /// model. Caller holds trip->mu.
+  void ReprimeLocked(Trip* trip,
+                     const std::shared_ptr<const ModelHandle>& handle);
+
   FleetConfig config_;
   AlertSink* sink_;
   std::vector<Shard> shards_;
   std::atomic<int64_t> active_trips_{0};
+  mutable std::mutex model_mu_;  // guards model_handle_ (the pointer only)
+  std::shared_ptr<const ModelHandle> model_handle_;
+  /// Mirror of model_handle_->generation, readable without model_mu_: the
+  /// per-point Feed path compares it against the trip's pinned generation
+  /// and only pays the mutex + shared_ptr copy when a swap actually
+  /// happened (a stale read just delays migration by one point, which is
+  /// indistinguishable from the point arriving before the swap).
+  std::atomic<uint64_t> current_generation_{0};
 };
 
 }  // namespace rl4oasd::serve

@@ -6,8 +6,10 @@
 // corruption must be detected; truncation tests additionally exercise the
 // bounds-checked readers by rewriting a valid CRC over the truncated
 // payload.
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -15,7 +17,9 @@
 #include "common/binary.h"
 #include "io/checkpoint.h"
 #include "io/dataset_io.h"
+#include "io/fleet_snapshot.h"
 #include "io/model_io.h"
+#include "serve/fleet.h"
 #include "test_util.h"
 
 namespace rl4oasd {
@@ -24,13 +28,11 @@ namespace {
 namespace fs = std::filesystem;
 
 std::string ReadFile(const std::string& path) {
-  std::ifstream f(path, std::ios::binary);
-  return std::string(std::istreambuf_iterator<char>(f), {});
+  return testing::ReadFileBytes(path);
 }
 
 void WriteFile(const std::string& path, const std::string& content) {
-  std::ofstream f(path, std::ios::binary);
-  f.write(content.data(), static_cast<std::streamsize>(content.size()));
+  testing::WriteFileBytes(path, content);
 }
 
 /// Truncates the payload to `keep` bytes and appends a *valid* CRC over the
@@ -45,6 +47,13 @@ void TruncateWithValidCrc(const std::string& path, size_t keep) {
     content.push_back(static_cast<char>((crc >> (8 * i)) & 0xFFu));
   }
   WriteFile(path, content);
+}
+
+/// Targeted field lies that the parser itself (not the CRC) must reject;
+/// the byte surgery lives in testing::PatchPayloadWithValidCrc.
+void PatchPayloadWithValidCrc(const std::string& path, size_t offset,
+                              const void* bytes, size_t count) {
+  ASSERT_TRUE(testing::PatchPayloadWithValidCrc(path, offset, bytes, count));
 }
 
 class IoFuzzTest : public ::testing::TestWithParam<uint64_t> {
@@ -234,8 +243,163 @@ TEST_P(IoFuzzTest, GarbageFilesNeverParse) {
     EXPECT_FALSE(io::LoadMatrix(path).ok());
     EXPECT_FALSE(io::LoadModel(&net, path).ok());
     EXPECT_FALSE(io::DescribeModel(path).ok());
+    EXPECT_FALSE(io::DescribeFleetSnapshot(path).ok());
   }
 }
+
+// ---------------------------------------------------------------------------
+// Fleet snapshot format (serve::FleetMonitor::Snapshot/Restore +
+// io::DescribeFleetSnapshot). The attack surface is larger than the other
+// formats because restore reconstructs live sessions: every count, edge id,
+// label, run bound, and hidden-state length in a trip record is hostile
+// input and must fail with a clean Status, never UB.
+
+/// A tiny live fleet over an *untrained* model (snapshot robustness does
+/// not depend on detection quality) with a snapshot written to disk.
+class FleetSnapshotFuzz : public IoFuzzTest {
+ protected:
+  void BuildSnapshot(const std::string& meta = "fuzz") {
+    net_ = std::make_unique<roadnet::RoadNetwork>(testing::SmallGrid());
+    core::Rl4OasdConfig cfg;
+    cfg.rsr.embed_dim = 16;
+    cfg.rsr.nrf_dim = 8;
+    cfg.rsr.hidden_dim = 16;
+    cfg.asd.label_dim = 8;
+    cfg.seed = GetParam();
+    model_ = std::make_unique<core::Rl4Oasd>(net_.get(), cfg);
+    monitor_ = std::make_unique<serve::FleetMonitor>(
+        model_.get(), serve::FleetConfig{}, nullptr);
+    const auto ds = testing::SmallDataset(*net_, 2, 0.1, GetParam());
+    int started = 0;
+    for (const auto& lt : ds.trajs()) {
+      const auto& t = lt.traj;
+      if (t.edges.size() < 4) continue;
+      const int64_t vid = started;
+      ASSERT_TRUE(monitor_->StartTrip(vid, t.sd(), t.start_time).ok());
+      for (size_t i = 0; i + 1 < t.edges.size(); ++i) {
+        ASSERT_TRUE(monitor_->Feed(vid, t.edges[i], t.start_time).ok());
+      }
+      if (++started == 4) break;
+    }
+    ASSERT_EQ(started, 4);
+    BinaryWriter w;
+    ASSERT_TRUE(monitor_->Snapshot(&w, meta).ok());
+    path_ = Path("fleet.snap");
+    ASSERT_TRUE(w.WriteToFile(path_).ok());
+  }
+
+  /// Restores `path_` into a fresh monitor over the same model.
+  Status TryRestore() {
+    serve::FleetMonitor fresh(model_.get(), serve::FleetConfig{}, nullptr);
+    auto r = BinaryReader::OpenFile(path_);
+    if (!r.ok()) return r.status();
+    return fresh.Restore(&*r);
+  }
+
+  std::unique_ptr<roadnet::RoadNetwork> net_;
+  std::unique_ptr<core::Rl4Oasd> model_;
+  std::unique_ptr<serve::FleetMonitor> monitor_;
+  std::string path_;
+};
+
+TEST_P(FleetSnapshotFuzz, PristineSnapshotRoundTrips) {
+  BuildSnapshot();
+  EXPECT_TRUE(io::DescribeFleetSnapshot(path_).ok());
+  EXPECT_TRUE(TryRestore().ok());
+}
+
+TEST_P(FleetSnapshotFuzz, SurvivesAnySingleByteCorruption) {
+  BuildSnapshot();
+  const std::string pristine = ReadFile(path_);
+  Rng rng(GetParam() ^ 0xBEEF);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::string damaged = pristine;
+    const size_t pos = rng.UniformInt(damaged.size());
+    damaged[pos] = static_cast<char>(damaged[pos] ^
+                                     (1u << rng.UniformInt(uint64_t{8})));
+    WriteFile(path_, damaged);
+    // The CRC covers every payload byte and itself: any flip is an error.
+    EXPECT_FALSE(io::DescribeFleetSnapshot(path_).ok()) << "byte " << pos;
+    EXPECT_FALSE(TryRestore().ok()) << "byte " << pos;
+  }
+}
+
+TEST_P(FleetSnapshotFuzz, RejectsEveryTruncationPoint) {
+  BuildSnapshot();
+  const std::string pristine = ReadFile(path_);
+  const size_t payload = pristine.size() - 4;
+  Rng rng(GetParam() ^ 0x51AB);
+  for (int trial = 0; trial < 40; ++trial) {
+    const size_t keep = rng.UniformInt(payload);  // strictly shorter
+    WriteFile(path_, pristine);
+    TruncateWithValidCrc(path_, keep);
+    EXPECT_FALSE(io::DescribeFleetSnapshot(path_).ok()) << "kept " << keep;
+    EXPECT_FALSE(TryRestore().ok()) << "kept " << keep;
+  }
+}
+
+TEST_P(FleetSnapshotFuzz, WrongMagicRejected) {
+  BuildSnapshot();
+  const char bad[4] = {'R', 'L', 'M', 'B'};  // a model bundle's magic
+  PatchPayloadWithValidCrc(path_, 0, bad, 4);
+  const auto desc = io::DescribeFleetSnapshot(path_);
+  ASSERT_FALSE(desc.ok());
+  EXPECT_NE(desc.status().ToString().find("magic"), std::string::npos);
+  EXPECT_FALSE(TryRestore().ok());
+  // And the cross-format confusion is caught on the other side too: a
+  // snapshot wearing a bundle magic is still not a model bundle.
+  EXPECT_FALSE(io::DescribeModel(path_).ok());
+}
+
+TEST_P(FleetSnapshotFuzz, FutureVersionRejectedWithDescriptiveError) {
+  BuildSnapshot();
+  const uint32_t future = io::kFleetSnapshotVersion + 1;
+  PatchPayloadWithValidCrc(path_, 4, &future, 4);  // little-endian host in CI
+  const auto desc = io::DescribeFleetSnapshot(path_);
+  ASSERT_FALSE(desc.ok());
+  EXPECT_NE(desc.status().ToString().find("version"), std::string::npos)
+      << desc.status().ToString();
+  const Status st = TryRestore();
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("version"), std::string::npos);
+}
+
+TEST_P(FleetSnapshotFuzz, FingerprintMismatchRejectedOnRestoreOnly) {
+  BuildSnapshot();
+  const std::string pristine = ReadFile(path_);
+  uint8_t flipped = static_cast<uint8_t>(pristine[8]) ^ 0xFF;
+  PatchPayloadWithValidCrc(path_, 8, &flipped, 1);
+  // Describe is model-free metadata and still parses; restore must refuse
+  // to marry live hidden states to a different model.
+  EXPECT_TRUE(io::DescribeFleetSnapshot(path_).ok());
+  const Status st = TryRestore();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(st.ToString().find("fingerprint"), std::string::npos);
+}
+
+TEST_P(FleetSnapshotFuzz, TripCountLieRejected) {
+  BuildSnapshot("fuzz");  // meta length pins the trip-count offset below
+  // Layout: magic(4) version(4) fingerprint(8) meta(4+4) stats(40) -> 64.
+  const uint64_t lie = ~uint64_t{0} / 2;
+  PatchPayloadWithValidCrc(path_, 64, &lie, 8);
+  EXPECT_FALSE(io::DescribeFleetSnapshot(path_).ok());
+  EXPECT_FALSE(TryRestore().ok());
+}
+
+TEST_P(FleetSnapshotFuzz, NegativeCounterRejectedOnRestore) {
+  BuildSnapshot("fuzz");
+  // trips_finished sits at payload offset 24 + 8 (second stats i64).
+  const int64_t lie = -5;
+  PatchPayloadWithValidCrc(path_, 32, &lie, 8);
+  const Status st = TryRestore();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument) << st.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FleetSnapshotFuzz,
+                         ::testing::Values(uint64_t{1}, uint64_t{37},
+                                           uint64_t{911}));
 
 INSTANTIATE_TEST_SUITE_P(Seeds, IoFuzzTest,
                          ::testing::Values(uint64_t{1}, uint64_t{37},

@@ -440,6 +440,104 @@ TEST_F(ModelBundleTest, CorruptBundleRejected) {
   EXPECT_FALSE(io::LoadModel(&net, path).ok());
 }
 
+// ---------------------------------------------------------------------------
+// Version skew (see tests/README.md, "Version-skew contracts"): a bundle
+// stamped by a future build must load to a descriptive error, never a
+// crash; a bundle missing config keys must restore compiled-in defaults.
+
+TEST_F(ModelBundleTest, FutureBundleVersionRejectedWithDescriptiveError) {
+  auto net = testing::SmallGrid();
+  core::Rl4Oasd model(&net, TinyConfig());  // untrained is enough
+  const std::string path = Path("model.rlmb");
+  ASSERT_TRUE(io::SaveModel(model, path).ok());
+
+  // Stamp the version field (payload offset 4, little-endian) with
+  // version+1 and refresh the CRC, so the *parser* rejects it.
+  const uint32_t future = io::kModelBundleVersion + 1;
+  unsigned char bytes[4];
+  for (int i = 0; i < 4; ++i) {
+    bytes[i] = static_cast<unsigned char>((future >> (8 * i)) & 0xFFu);
+  }
+  ASSERT_TRUE(testing::PatchPayloadWithValidCrc(path, 4, bytes, 4));
+
+  const auto loaded = io::LoadModel(&net, path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().ToString().find("version"), std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST_F(ModelBundleTest, AbsentConfigKeysRestoreDefaults) {
+  // Key-value level: a bundle written before a config field existed simply
+  // lacks its key — reading must keep the compiled-in default.
+  BinaryWriter w;
+  w.WriteU32(2);
+  w.WriteString("preprocess.alpha");
+  w.WriteF64(0.42);
+  w.WriteString("a.key.from.the.future");  // unknown keys are skipped
+  w.WriteF64(7.0);
+  BinaryReader r(w.buffer());
+  core::Rl4OasdConfig cfg;
+  const core::Rl4OasdConfig defaults;
+  ASSERT_TRUE(io::ReadConfigKv(&r, &cfg).ok());
+  EXPECT_EQ(cfg.preprocess.alpha, 0.42);
+  EXPECT_EQ(cfg.detector.delay_d, defaults.detector.delay_d);
+  EXPECT_EQ(cfg.rsr.hidden_dim, defaults.rsr.hidden_dim);
+  EXPECT_EQ(cfg.noisy_anchor_prob, defaults.noisy_anchor_prob);
+}
+
+TEST_F(ModelBundleTest, BundleWithAbsentConfigKeysStillLoads) {
+  // Whole-bundle level: strip non-architectural keys out of a real bundle's
+  // kv section and splice the rest back together — the bundle must load
+  // and the stripped fields must come back as defaults.
+  auto net = testing::SmallGrid();
+  core::Rl4OasdConfig cfg = TinyConfig();
+  cfg.detector.delay_d = 6;         // non-default, about to be stripped
+  cfg.joint_samples = 9999;         // likewise
+  core::Rl4Oasd model(&net, cfg);
+  const std::string path = Path("model.rlmb");
+  ASSERT_TRUE(io::SaveModel(model, path).ok());
+
+  auto reader = BinaryReader::OpenFile(path);
+  ASSERT_TRUE(reader.ok());
+  char magic[4];
+  uint32_t version, kv_count;
+  ASSERT_TRUE(reader->ReadBytes(magic, 4).ok());
+  ASSERT_TRUE(reader->ReadU32(&version).ok());
+  ASSERT_TRUE(reader->ReadU32(&kv_count).ok());
+  BinaryWriter kv;  // the filtered kv entries (count prepended later)
+  uint32_t kept = 0;
+  for (uint32_t i = 0; i < kv_count; ++i) {
+    std::string key;
+    double value;
+    ASSERT_TRUE(reader->ReadString(&key).ok());
+    ASSERT_TRUE(reader->ReadF64(&value).ok());
+    if (key == "detector.delay_d" || key == "train.joint_samples") continue;
+    kv.WriteString(key);
+    kv.WriteF64(value);
+    ++kept;
+  }
+  ASSERT_EQ(kept, kv_count - 2);
+  BinaryWriter spliced;
+  spliced.WriteBytes(magic, 4);
+  spliced.WriteU32(version);
+  spliced.WriteU32(kept);
+  spliced.WriteBytes(kv.buffer().data(), kv.buffer().size());
+  // Everything after the kv section is untouched payload.
+  std::string rest(reader->remaining(), '\0');
+  ASSERT_TRUE(reader->ReadBytes(rest.data(), rest.size()).ok());
+  spliced.WriteBytes(rest.data(), rest.size());
+  ASSERT_TRUE(spliced.WriteToFile(path).ok());
+
+  const auto loaded = io::LoadModel(&net, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const core::Rl4OasdConfig defaults;
+  EXPECT_EQ((*loaded)->config().detector.delay_d,
+            defaults.detector.delay_d);
+  EXPECT_EQ((*loaded)->config().joint_samples, defaults.joint_samples);
+  // The kept architecture keys still apply.
+  EXPECT_EQ((*loaded)->config().rsr.hidden_dim, 16u);
+}
+
 TEST_F(ModelBundleTest, PreprocessorStateSurvivesRoundTrip) {
   auto ex = testing::MakeFigure1Example();
   core::Rl4OasdConfig cfg = TinyConfig();

@@ -1,17 +1,52 @@
 // Shared fixtures for the test suite: a tiny grid city, a small generated
-// dataset, and the road network of the paper's Figure 1 worked example.
+// dataset, the road network of the paper's Figure 1 worked example, and
+// helpers for corrupting CRC32-protected files in place.
 #pragma once
 
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iterator>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "common/binary.h"
 #include "roadnet/grid_city.h"
 #include "roadnet/road_network.h"
 #include "traj/dataset.h"
 #include "traj/generator.h"
 
 namespace rl4oasd::testing {
+
+inline std::string ReadFileBytes(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(f), {});
+}
+
+inline void WriteFileBytes(const std::string& path,
+                           const std::string& content) {
+  std::ofstream f(path, std::ios::binary);
+  f.write(content.data(), static_cast<std::streamsize>(content.size()));
+}
+
+/// Overwrites `count` payload bytes at `offset` (coordinates into the
+/// CRC-stripped payload) and re-appends a *valid* CRC32 footer, so the
+/// parser itself — not the integrity check — must reject the lie. Returns
+/// false when the file is too small to hold the patch.
+inline bool PatchPayloadWithValidCrc(const std::string& path, size_t offset,
+                                     const void* bytes, size_t count) {
+  std::string content = ReadFileBytes(path);
+  if (content.size() < 4 + offset + count) return false;
+  content.resize(content.size() - 4);  // strip the stale CRC
+  std::memcpy(content.data() + offset, bytes, count);
+  const uint32_t crc = Crc32(content.data(), content.size());
+  for (int i = 0; i < 4; ++i) {
+    content.push_back(static_cast<char>((crc >> (8 * i)) & 0xFFu));
+  }
+  WriteFileBytes(path, content);
+  return true;
+}
 
 /// A small synthetic city for fast tests (~380 directed edges).
 inline roadnet::RoadNetwork SmallGrid(uint64_t seed = 7) {

@@ -1,29 +1,74 @@
 // oasd_inspect: prints the structure of a model bundle — format version,
 // every config key, preprocessor statistics, and tensor shapes — without
 // needing the road network it was trained on. Useful for auditing what a
-// deployed model was trained with.
+// deployed model was trained with. Fleet snapshot files (written by
+// serve::FleetMonitor::Snapshot / oasd_simulate --snapshot-every) are
+// detected by magic and described too: format version, the model
+// fingerprint the snapshot is pinned to, service counters, and the live
+// trips with their per-trip progress.
 //
 //   oasd_inspect data/model.rlmb
+//   oasd_inspect data/fleet.snap
 #include <cstdio>
 
 #include "common/flags.h"
+#include "io/fleet_snapshot.h"
 #include "io/model_io.h"
 #include "tools/tool_util.h"
 
 namespace rl4oasd {
 namespace {
 
+int InspectFleetSnapshot(const std::string& path, bool list_trips) {
+  const auto info = tools::ExitIfError(io::DescribeFleetSnapshot(path));
+  std::printf("fleet snapshot: %s\n", path.c_str());
+  std::printf("  format version:    %u\n", info.version);
+  std::printf("  model fingerprint: %016llx\n",
+              static_cast<unsigned long long>(info.model_fingerprint));
+  if (!info.user_meta.empty()) {
+    std::printf("  user metadata:     %s\n", info.user_meta.c_str());
+  }
+  std::printf("  live trips:        %zu (%llu points of history)\n",
+              info.trips.size(),
+              static_cast<unsigned long long>(info.total_points));
+  std::printf("  counters:          %lld started, %lld finished, "
+              "%lld evicted, %lld points, %lld alerts\n",
+              static_cast<long long>(info.trips_started),
+              static_cast<long long>(info.trips_finished),
+              static_cast<long long>(info.trips_evicted),
+              static_cast<long long>(info.points_processed),
+              static_cast<long long>(info.alerts_emitted));
+  if (list_trips) {
+    std::printf("\n  trips:\n");
+    for (const auto& t : info.trips) {
+      std::printf("    vehicle %-10lld %6llu points, started %.0fs, "
+                  "last update %.0fs\n",
+                  static_cast<long long>(t.vehicle_id),
+                  static_cast<unsigned long long>(t.points_fed),
+                  t.start_time, t.last_update);
+    }
+  }
+  return 0;
+}
+
 int Main(int argc, char** argv) {
-  FlagSet flags("oasd_inspect", "describe a model bundle's contents");
-  flags.AddBool("tensors", true, "list tensor shapes");
-  flags.AddBool("config", true, "list config key-values");
+  FlagSet flags("oasd_inspect",
+                "describe a model bundle's or fleet snapshot's contents");
+  flags.AddBool("tensors", true, "list tensor shapes (model bundles)");
+  flags.AddBool("config", true, "list config key-values (model bundles)");
+  flags.AddBool("trips", false, "list per-trip progress (fleet snapshots)");
   tools::ParseFlagsOrExit(&flags, argc, argv);
   if (flags.positional().size() != 1) {
-    std::fprintf(stderr, "usage: oasd_inspect [flags] <model.rlmb>\n\n%s",
+    std::fprintf(stderr,
+                 "usage: oasd_inspect [flags] <model.rlmb | fleet.snap>\n\n%s",
                  flags.Help().c_str());
     return 1;
   }
 
+  if (io::LooksLikeFleetSnapshot(flags.positional()[0])) {
+    return InspectFleetSnapshot(flags.positional()[0],
+                                flags.GetBool("trips"));
+  }
   const auto desc =
       tools::ExitIfError(io::DescribeModel(flags.positional()[0]));
   std::printf("model bundle: %s\n", flags.positional()[0].c_str());

@@ -4,12 +4,23 @@
 // deployment-shaped counterpart of oasd_detect (which streams one
 // trajectory at a time).
 //
+// Durable serving: --snapshot-every N writes a fleet snapshot (live LSTM
+// states, DL windows, RNG positions, counters, and the replay cursor) every
+// N points; --resume-from restores one and continues the replay exactly
+// where it stopped — the remaining alert stream is bit-identical to the
+// uninterrupted run (both require --threads 1, the deterministic replay).
+//
 //   oasd_simulate --data-dir data --model data/model.rlmb --threads 4
+//   oasd_simulate ... --threads 1 --snapshot-every 5000
+//   oasd_simulate ... --threads 1 --resume-from data/fleet.snap
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "common/binary.h"
 #include "common/flags.h"
 #include "common/stopwatch.h"
 #include "core/rl4oasd.h"
@@ -19,6 +30,30 @@
 
 namespace rl4oasd {
 namespace {
+
+/// Replay cursor persisted in the snapshot's user metadata, so a resumed
+/// process knows which dataset trips were already started.
+constexpr const char kCursorPrefix[] = "oasd_simulate cursor=";
+
+std::string EncodeCursor(size_t next) {
+  return kCursorPrefix + std::to_string(next);
+}
+
+/// Strict parse of EncodeCursor's output: the whole metadata string must be
+/// prefix + digits. Anything else (foreign metadata, a mangled number)
+/// rejects, so a resume never silently restarts from cursor 0 and re-feeds
+/// trips that already completed.
+bool DecodeCursor(const std::string& meta, size_t* next) {
+  const size_t prefix_len = sizeof(kCursorPrefix) - 1;
+  if (meta.rfind(kCursorPrefix, 0) != 0 || meta.size() == prefix_len) {
+    return false;
+  }
+  const char* digits = meta.c_str() + prefix_len;
+  if (*digits < '0' || *digits > '9') return false;
+  char* end = nullptr;
+  *next = static_cast<size_t>(std::strtoull(digits, &end, 10));
+  return end != nullptr && *end == '\0';
+}
 
 int Main(int argc, char** argv) {
   FlagSet flags("oasd_simulate",
@@ -34,6 +69,19 @@ int Main(int argc, char** argv) {
                "concurrent trips per ingest thread, fed one point each per "
                "FeedBatch wave so the model steps fuse (0 = per-point Feed)");
   flags.AddBool("print-alerts", false, "print each alert as it fires");
+  flags.AddInt("snapshot-every", 0,
+               "write a durable fleet snapshot every N points "
+               "(0 = never; requires --threads 1)");
+  flags.AddString("snapshot-path", "",
+                  "snapshot output path (default <data-dir>/fleet.snap)");
+  flags.AddString("resume-from", "",
+                  "restore a fleet snapshot and continue the replay from "
+                  "its cursor (requires --threads 1 and the same --model)");
+  flags.AddInt("max-points", 0,
+               "stop feeding after this many points, leaving in-flight "
+               "trips live (0 = replay everything; requires --threads 1; "
+               "pair with --snapshot-every to simulate a crash at a "
+               "snapshot boundary)");
   tools::ParseFlagsOrExit(&flags, argc, argv);
 
   const std::string data_dir = flags.GetString("data-dir");
@@ -84,10 +132,58 @@ int Main(int argc, char** argv) {
       static_cast<size_t>(flags.GetInt("max-active"));
   serve::FleetMonitor monitor(model.get(), fleet_cfg, &sink);
 
-  const int threads = std::max(1, static_cast<int>(flags.GetInt("threads")));
+  int threads = std::max(1, static_cast<int>(flags.GetInt("threads")));
   const int repeat = std::max(1, static_cast<int>(flags.GetInt("repeat")));
-  const size_t batch_size =
+  size_t batch_size =
       static_cast<size_t>(std::max<int64_t>(0, flags.GetInt("batch")));
+
+  const int64_t snapshot_every =
+      std::max<int64_t>(0, flags.GetInt("snapshot-every"));
+  const int64_t max_points = std::max<int64_t>(0, flags.GetInt("max-points"));
+  const std::string snapshot_path = flags.GetString("snapshot-path").empty()
+                                        ? data_dir + "/fleet.snap"
+                                        : flags.GetString("snapshot-path");
+  const std::string resume_path = flags.GetString("resume-from");
+  const bool durable_mode =
+      snapshot_every > 0 || max_points > 0 || !resume_path.empty();
+  if (durable_mode && threads != 1) {
+    std::fprintf(stderr,
+                 "error: --snapshot-every/--resume-from/--max-points require "
+                 "--threads 1 (the deterministic replay)\n");
+    return 1;
+  }
+  // Snapshot/resume rides the batched loop; --batch 0 degenerates to
+  // one-trip waves, which FeedBatch runs through the scalar path.
+  if (durable_mode && batch_size == 0) batch_size = 1;
+
+  // Resumed state, keyed back to dataset positions via the deterministic
+  // vid = rep * size + index assignment below.
+  struct ResumedTrip {
+    int64_t vid = 0;
+    size_t pos = 0;
+  };
+  std::vector<ResumedTrip> resumed;
+  size_t resume_cursor = 0;
+  bool has_resume = false;
+  if (!resume_path.empty()) {
+    auto reader = tools::ExitIfError(BinaryReader::OpenFile(resume_path));
+    serve::FleetMonitor::RestoreInfo rinfo;
+    tools::ExitIfError(monitor.Restore(&reader, &rinfo));
+    if (!DecodeCursor(rinfo.user_meta, &resume_cursor)) {
+      std::fprintf(stderr,
+                   "error: snapshot carries no oasd_simulate replay cursor "
+                   "(metadata: \"%s\")\n",
+                   rinfo.user_meta.c_str());
+      return 1;
+    }
+    for (const auto& t : rinfo.trips) {
+      resumed.push_back({t.vehicle_id, t.points_fed});
+    }
+    has_resume = true;
+    std::printf("resumed %zu live trips (cursor %zu) from %s\n",
+                resumed.size(), resume_cursor, resume_path.c_str());
+  }
+
   std::printf("replaying %zu trips x%d across %d threads%s...\n",
               input.size(), repeat, threads,
               batch_size > 0 ? " (batched ingest)" : "");
@@ -135,6 +231,35 @@ int Main(int argc, char** argv) {
       };
       std::vector<Live> live;
       size_t next = 0;
+      if (has_resume) {
+        // Rebuild the rolling window from the restored trips: each resumed
+        // vid maps back to its dataset trajectory (vid = rep * size + i)
+        // and continues from the exact point the snapshot recorded. The
+        // model is fingerprint-guarded by Restore, but the dataset is not
+        // stamped — validate every cursor against the actual trajectory so
+        // a resume against the wrong (or regenerated) dataset fails
+        // cleanly instead of indexing past an edge vector.
+        next = resume_cursor;
+        for (const ResumedTrip& rt : resumed) {
+          const auto& t =
+              input[static_cast<size_t>(rt.vid) % input.size()].traj;
+          if (rt.pos >= t.edges.size() || next > todo.size()) {
+            std::fprintf(stderr,
+                         "error: snapshot does not match the replay dataset "
+                         "(vehicle %lld has %zu points of history, "
+                         "trajectory has %zu edges; cursor %zu of %zu) — "
+                         "resume with the dataset the snapshot was taken "
+                         "from\n",
+                         static_cast<long long>(rt.vid), rt.pos,
+                         t.edges.size(), next, todo.size());
+            std::exit(1);
+          }
+          live.push_back({&t, rt.vid, rt.pos,
+                          t.start_time + 2.0 * static_cast<double>(rt.pos)});
+        }
+      }
+      int64_t fed_points = 0;
+      int64_t next_snap = snapshot_every;
       auto refill = [&] {
         while (live.size() < batch_size && next < todo.size()) {
           const auto& [vid, t] = todo[next++];
@@ -152,6 +277,11 @@ int Main(int argc, char** argv) {
           wave.push_back({l.vid, l.t->edges[l.pos], l.ts});
         }
         (void)monitor.FeedBatch(wave);
+        fed_points += static_cast<int64_t>(wave.size());
+        // Count points as fed, not at trip completion: a resumed run must
+        // not claim the pre-crash history and a --max-points run must
+        // count its live trips' points, or the points/s summary lies.
+        points.fetch_add(static_cast<int64_t>(wave.size()));
         for (Live& l : live) {
           ++l.pos;
           l.ts += 2.0;
@@ -159,11 +289,27 @@ int Main(int argc, char** argv) {
         for (size_t k = live.size(); k-- > 0;) {
           if (live[k].pos == live[k].t->edges.size()) {
             (void)monitor.EndTrip(live[k].vid);
-            points.fetch_add(static_cast<int64_t>(live[k].t->edges.size()));
             live.erase(live.begin() + static_cast<ptrdiff_t>(k));
           }
         }
         refill();
+        if (snapshot_every > 0 && fed_points >= next_snap) {
+          next_snap += snapshot_every;
+          // After refill, trips todo[0, next) are started or done, so the
+          // cursor is exactly `next`; a resume restores the live window and
+          // continues the replay from here.
+          BinaryWriter w;
+          tools::ExitIfError(monitor.Snapshot(&w, EncodeCursor(next)));
+          tools::ExitIfError(w.WriteToFile(snapshot_path));
+          std::printf("snapshot: %s (cursor %zu, %zu live trips)\n",
+                      snapshot_path.c_str(), next, monitor.ActiveTrips());
+        }
+        if (max_points > 0 && fed_points >= max_points) {
+          std::printf("stopping after %lld points (%zu trips still live)\n",
+                      static_cast<long long>(fed_points),
+                      monitor.ActiveTrips());
+          break;
+        }
       }
     });
   }
