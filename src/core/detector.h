@@ -176,6 +176,12 @@ class OnlineDetector {
 
     const std::vector<uint8_t>& labels() const { return labels_; }
 
+    /// The road segments fed so far, in order (parallel to labels() once the
+    /// session is finished). This is the label-harvesting surface for online
+    /// learning: a finished trip's (edges, final labels) pair is a fresh
+    /// training sample.
+    const std::vector<traj::EdgeId>& edges() const { return edges_; }
+
     traj::SdPair sd() const { return sd_; }
     double start_time() const { return start_time_; }
     bool finished() const { return finished_; }

@@ -223,6 +223,10 @@ void WriteModelPayload(const core::Rl4Oasd& model, BinaryWriter* w) {
 
 }  // namespace
 
+void WriteModelBundle(const core::Rl4Oasd& model, BinaryWriter* w) {
+  WriteModelPayload(model, w);
+}
+
 Status SaveModel(const core::Rl4Oasd& model, const std::string& path) {
   BinaryWriter w;
   WriteModelPayload(model, &w);
@@ -247,22 +251,21 @@ uint64_t ModelFingerprint(const core::Rl4Oasd& model) {
   return h;
 }
 
-Result<std::unique_ptr<core::Rl4Oasd>> LoadModel(
-    const roadnet::RoadNetwork* net, const std::string& path) {
-  RL4_ASSIGN_OR_RETURN(BinaryReader r, BinaryReader::OpenFile(path));
+Result<std::unique_ptr<core::Rl4Oasd>> ReadModelBundle(
+    const roadnet::RoadNetwork* net, BinaryReader* r) {
   char magic[4];
-  RL4_RETURN_NOT_OK(r.ReadBytes(magic, 4));
+  RL4_RETURN_NOT_OK(r->ReadBytes(magic, 4));
   if (std::string_view(magic, 4) != std::string_view(kMagic, 4)) {
-    return Status::IOError("not a model bundle (bad magic): " + path);
+    return Status::IOError("not a model bundle (bad magic)");
   }
   uint32_t version;
-  RL4_RETURN_NOT_OK(r.ReadU32(&version));
+  RL4_RETURN_NOT_OK(r->ReadU32(&version));
   if (version != kModelBundleVersion) {
     return Status::IOError("unsupported model bundle version " +
                            std::to_string(version));
   }
   core::Rl4OasdConfig config;
-  RL4_RETURN_NOT_OK(ReadConfigKv(&r, &config));
+  RL4_RETURN_NOT_OK(ReadConfigKv(r, &config));
   if (config.rsr.num_edges != 0 && config.rsr.num_edges != net->NumEdges()) {
     return Status::FailedPrecondition(
         "bundle was trained on a network with " +
@@ -272,15 +275,37 @@ Result<std::unique_ptr<core::Rl4Oasd>> LoadModel(
   auto model = std::make_unique<core::Rl4Oasd>(net, config);
 
   std::vector<core::GroupSnapshot> snaps;
-  RL4_RETURN_NOT_OK(ReadSnapshots(&r, &snaps));
+  RL4_RETURN_NOT_OK(ReadSnapshots(r, &snaps));
   model->mutable_preprocessor()->ImportState(snaps);
 
-  RL4_RETURN_NOT_OK(ReadRegistry(&r, model->mutable_rsrnet()->registry()));
-  RL4_RETURN_NOT_OK(ReadRegistry(&r, model->mutable_asdnet()->registry()));
-  if (!r.AtEnd()) {
-    return Status::IOError("trailing bytes after model bundle payload");
+  RL4_RETURN_NOT_OK(ReadRegistry(r, model->mutable_rsrnet()->registry()));
+  RL4_RETURN_NOT_OK(ReadRegistry(r, model->mutable_asdnet()->registry()));
+  return model;
+}
+
+Result<std::unique_ptr<core::Rl4Oasd>> LoadModel(
+    const roadnet::RoadNetwork* net, const std::string& path) {
+  RL4_ASSIGN_OR_RETURN(BinaryReader r, BinaryReader::OpenFile(path));
+  auto model = ReadModelBundle(net, &r);
+  if (model.ok() && !r.AtEnd()) {
+    return Status::IOError("trailing bytes after model bundle payload: " +
+                           path);
   }
   return model;
+}
+
+Result<std::unique_ptr<core::Rl4Oasd>> CloneModel(
+    const roadnet::RoadNetwork* net, const core::Rl4Oasd& model) {
+  BinaryWriter w;
+  WriteModelPayload(model, &w);
+  BinaryReader r(w.buffer());
+  auto clone = ReadModelBundle(net, &r);
+  // The writer and reader are this function's own; a mismatch here is a
+  // serialization bug, not hostile input, but fail cleanly all the same.
+  if (clone.ok() && !r.AtEnd()) {
+    return Status::Internal("trailing bytes after cloned model payload");
+  }
+  return clone;
 }
 
 

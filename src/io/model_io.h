@@ -32,6 +32,26 @@ Status SaveModel(const core::Rl4Oasd& model, const std::string& path);
 Result<std::unique_ptr<core::Rl4Oasd>> LoadModel(
     const roadnet::RoadNetwork* net, const std::string& path);
 
+/// Appends the model-bundle payload — the exact bytes SaveModel writes,
+/// minus the CRC32 file footer — to `w`.
+void WriteModelBundle(const core::Rl4Oasd& model, BinaryWriter* w);
+
+/// Reads a payload written by WriteModelBundle from `r` (the streaming
+/// counterpart of LoadModel; does not require the reader to be at end
+/// afterwards, so bundles can be embedded in larger records).
+Result<std::unique_ptr<core::Rl4Oasd>> ReadModelBundle(
+    const roadnet::RoadNetwork* net, BinaryReader* r);
+
+/// Deep-copies a model by round-tripping the bundle bytes through memory:
+/// the clone has identical config, historical statistics, and weights (its
+/// ModelFingerprint equals the original's), but is an independent instance —
+/// safe to FineTune while the original keeps serving. Like LoadModel, the
+/// clone's training RNG restarts from the configured seed (a clone behaves
+/// exactly like a process restart from a saved bundle). This is the
+/// background fine-tune primitive of the drift-adaptation loop.
+Result<std::unique_ptr<core::Rl4Oasd>> CloneModel(
+    const roadnet::RoadNetwork* net, const core::Rl4Oasd& model);
+
 /// Order-sensitive fingerprint over everything that determines a model's
 /// detection behaviour: the config, the preprocessor's historical
 /// statistics, and both networks' weights (the exact bytes SaveModel would

@@ -74,11 +74,23 @@ uint64_t FleetMonitor::ModelGeneration() const {
 std::shared_ptr<const core::Rl4Oasd> FleetMonitor::SwapModel(
     std::shared_ptr<const core::Rl4Oasd> model) {
   RL4_CHECK(model != nullptr);
-  // Warm the lazy caches before publishing, so concurrent ingest never
-  // observes a half-initialized handle.
-  model->preprocessor().WarmNormalRouteCaches();
   auto fresh = std::make_shared<ModelHandle>();
   fresh->model = std::move(model);
+  // Degenerate self-swap check: "fine-tuned refreshes come in through
+  // SwapModel as separate instances" is an enforced contract, not a comment.
+  // Identical bytes would re-prime every in-flight trip for nothing, so a
+  // fingerprint-equal handle is rejected as a no-op — the incoming model is
+  // handed straight back as if retired immediately. (Fingerprinting
+  // serializes both models once; swaps are rare and the current handle's
+  // fingerprint is memoized, so the snapshot path reuses it.)
+  if (fresh->Fingerprint() == CurrentHandle()->Fingerprint()) {
+    RL4_LOG(Warning) << "SwapModel called with a fingerprint-identical "
+                        "model; rejecting the self-swap as a no-op";
+    return fresh->model;
+  }
+  // Warm the lazy caches before publishing, so concurrent ingest never
+  // observes a half-initialized handle.
+  fresh->model->preprocessor().WarmNormalRouteCaches();
   std::shared_ptr<const ModelHandle> old;
   {
     std::lock_guard<std::mutex> lock(model_mu_);
@@ -383,7 +395,15 @@ Result<std::vector<uint8_t>> FleetMonitor::EndTrip(int64_t vehicle_id) {
     labels = trip->session.Finish();
     EmitNewRuns(vehicle_id, trip.get(), &shard,
                 trip->last_update.load(kRelaxed));
-    if (sink_ != nullptr) sink_->OnTripEnd(vehicle_id, labels);
+    if (sink_ != nullptr) {
+      sink_->OnTripEnd(vehicle_id, labels);
+      // The harvesting callback: a completed trip's (edges, final labels)
+      // pair is a ready-made training sample for online learning. Exactly
+      // once per trip — `finished` above makes this EndTrip the only one
+      // that reaches here.
+      sink_->OnTripFinalized(vehicle_id, trip->sd, trip->start_time,
+                             trip->session.edges(), labels);
+    }
   }
   shard.counters.trips_finished.fetch_add(1, kRelaxed);
   return labels;

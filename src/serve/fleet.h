@@ -96,6 +96,23 @@ class AlertSink {
     (void)trip_start_time;
     (void)labels_so_far;
   }
+  /// Called when a trip completes normally (EndTrip), immediately after
+  /// OnTripEnd under the same trip lock, with the trip's full edge sequence
+  /// alongside the final post-Delayed-Labeling labels. This is the label
+  /// harvesting surface for online learning (serve::DriftAdapter): each
+  /// finished trip is delivered exactly once, as a ready-made training
+  /// sample. Evicted trips are *not* finalized — their labels are partial —
+  /// so they fire OnTripEvicted only.
+  virtual void OnTripFinalized(int64_t vehicle_id, traj::SdPair sd,
+                               double start_time,
+                               const std::vector<traj::EdgeId>& edges,
+                               const std::vector<uint8_t>& final_labels) {
+    (void)vehicle_id;
+    (void)sd;
+    (void)start_time;
+    (void)edges;
+    (void)final_labels;
+  }
 };
 
 /// Thread-safe in-memory sink (tests, examples, tooling).
@@ -258,6 +275,13 @@ class FleetMonitor {
   /// owner). The new model must serve the same road network; in-flight
   /// trips keep their original Delayed-Labeling window, so swaps assume an
   /// unchanged detector config (the concept-drift refresh case).
+  ///
+  /// Fine-tuned refreshes come in as *separate instances with different
+  /// bytes* — that contract is enforced: a handle whose io::ModelFingerprint
+  /// equals the current one is rejected as a no-op (the incoming model is
+  /// returned unchanged, the generation does not advance, and no trip pays a
+  /// pointless re-prime). A degenerate self-swap logs a warning; it is a
+  /// caller bug, not a served state change.
   ///
   /// A std::unique_ptr<core::Rl4Oasd> converts implicitly — pass a freshly
   /// fine-tuned model straight in.

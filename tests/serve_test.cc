@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include "io/model_io.h"
 #include "serve/fleet.h"
 #include "test_util.h"
 
@@ -321,6 +322,40 @@ TEST_F(FleetTest, CapEvictionNotifiesSink) {
   EXPECT_EQ(evicted[0].first, 1);
   EXPECT_EQ(monitor.Stats().trips_evicted, 1);
   EXPECT_EQ(monitor.ActiveTrips(), 2u);
+}
+
+TEST_F(FleetTest, FingerprintIdenticalSwapRejectedAsNoOp) {
+  // SwapModel's contract: a fine-tuned refresh arrives as a separate
+  // instance with different bytes. A byte-identical handle (here: a clone)
+  // cannot change served behaviour, so the swap is rejected — the incoming
+  // model is returned unchanged, the generation does not advance, and no
+  // in-flight trip pays a re-prime.
+  CollectingSink sink;
+  FleetMonitor monitor(model_, {}, &sink);
+  const auto& t = (*dataset_)[0].traj;
+  ASSERT_TRUE(monitor.StartTrip(1, t.sd(), t.start_time).ok());
+  ASSERT_TRUE(monitor.Feed(1, t.edges[0], t.start_time).ok());
+
+  const uint64_t gen_before = monitor.ModelGeneration();
+  const auto live_before = monitor.model();
+  auto clone_result = io::CloneModel(net_, *model_);
+  ASSERT_TRUE(clone_result.ok()) << clone_result.status().ToString();
+  std::shared_ptr<const core::Rl4Oasd> clone = std::move(clone_result).value();
+
+  const auto returned = monitor.SwapModel(clone);
+  EXPECT_EQ(returned.get(), clone.get());
+  EXPECT_EQ(monitor.ModelGeneration(), gen_before);
+  EXPECT_EQ(monitor.model().get(), live_before.get());
+
+  // The mid-flight trip streams on as if the call never happened.
+  for (size_t i = 1; i < t.edges.size(); ++i) {
+    ASSERT_TRUE(
+        monitor.Feed(1, t.edges[i], t.start_time + 2.0 * static_cast<double>(i))
+            .ok());
+  }
+  auto labels = monitor.EndTrip(1);
+  ASSERT_TRUE(labels.ok());
+  EXPECT_EQ(*labels, model_->Detect(t));
 }
 
 TEST_F(FleetTest, FeedBatchMatchesPerPointFeed) {

@@ -16,6 +16,7 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -25,6 +26,7 @@
 #include "common/stopwatch.h"
 #include "core/rl4oasd.h"
 #include "io/model_io.h"
+#include "serve/drift.h"
 #include "serve/fleet.h"
 #include "tools/tool_util.h"
 
@@ -82,6 +84,16 @@ int Main(int argc, char** argv) {
                "trips live (0 = replay everything; requires --threads 1; "
                "pair with --snapshot-every to simulate a crash at a "
                "snapshot boundary)");
+  flags.AddBool("adapt", false,
+                "wrap the fleet in the self-updating drift adapter: a "
+                "background worker watches alert/NRF rates, fine-tunes on "
+                "harvested post-change trips, shadow-gates the candidate, "
+                "and hot-swaps it in on promotion");
+  flags.AddInt("adapt-window", 512,
+               "drift-detector window size in points (with --adapt)");
+  flags.AddInt("adapt-min-buffer", 256,
+               "harvested trips required before a retrain cycle starts "
+               "(with --adapt)");
   tools::ParseFlagsOrExit(&flags, argc, argv);
 
   const std::string data_dir = flags.GetString("data-dir");
@@ -130,7 +142,28 @@ int Main(int argc, char** argv) {
   serve::FleetConfig fleet_cfg;
   fleet_cfg.max_active_trips =
       static_cast<size_t>(flags.GetInt("max-active"));
-  serve::FleetMonitor monitor(model.get(), fleet_cfg, &sink);
+  const bool adapt = flags.GetBool("adapt");
+  std::shared_ptr<const core::Rl4Oasd> shared_model = std::move(model);
+  std::unique_ptr<serve::DriftAdapter> adapter;
+  std::unique_ptr<serve::FleetMonitor> plain_monitor;
+  if (adapt) {
+    serve::DriftConfig drift_cfg;
+    drift_cfg.window_points =
+        static_cast<size_t>(std::max<int64_t>(1, flags.GetInt("adapt-window")));
+    drift_cfg.min_buffer_trips = static_cast<size_t>(
+        std::max<int64_t>(1, flags.GetInt("adapt-min-buffer")));
+    drift_cfg.max_buffer_trips =
+        std::max<size_t>(drift_cfg.max_buffer_trips,
+                         2 * drift_cfg.min_buffer_trips);
+    drift_cfg.background = true;  // ingest threads never pay for a retrain
+    adapter = std::make_unique<serve::DriftAdapter>(
+        &net, shared_model, fleet_cfg, drift_cfg, &sink);
+  } else {
+    plain_monitor =
+        std::make_unique<serve::FleetMonitor>(shared_model, fleet_cfg, &sink);
+  }
+  serve::FleetMonitor& monitor =
+      adapt ? *adapter->monitor() : *plain_monitor;
 
   int threads = std::max(1, static_cast<int>(flags.GetInt("threads")));
   const int repeat = std::max(1, static_cast<int>(flags.GetInt("repeat")));
@@ -150,6 +183,14 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr,
                  "error: --snapshot-every/--resume-from/--max-points require "
                  "--threads 1 (the deterministic replay)\n");
+    return 1;
+  }
+  if (durable_mode && adapt) {
+    std::fprintf(stderr,
+                 "error: --adapt cannot be combined with snapshot/resume — "
+                 "a hot-swap changes the serving model, and Restore "
+                 "fingerprint-guards the snapshot against the model it was "
+                 "taken with\n");
     return 1;
   }
   // Snapshot/resume rides the batched loop; --batch 0 degenerates to
@@ -330,6 +371,36 @@ int Main(int argc, char** argv) {
   std::printf("  alerts:     %lld (%lld eviction notices)\n",
               static_cast<long long>(sink.count()),
               static_cast<long long>(sink.evicted()));
+  if (adapt) {
+    // Ingest is done; wait for the background worker to drain the harvest
+    // queue and resolve any in-flight retrain cycle so the summary is
+    // complete rather than a mid-cycle snapshot.
+    serve::DriftStatus ds = adapter->Status();
+    while (ds.pending_trips > 0 ||
+           ds.cycles_started >
+               ds.promotions + ds.rejections + ds.cycle_errors) {
+      std::this_thread::yield();
+      ds = adapter->Status();
+    }
+    std::printf("  drift:      %llu events, %llu cycles (%llu promoted, "
+                "%llu rejected, %llu errors)\n",
+                static_cast<unsigned long long>(ds.drift_events),
+                static_cast<unsigned long long>(ds.cycles_started),
+                static_cast<unsigned long long>(ds.promotions),
+                static_cast<unsigned long long>(ds.rejections),
+                static_cast<unsigned long long>(ds.cycle_errors));
+    std::printf("  harvest:    %llu trips (%llu buffered, %llu dropped)\n",
+                static_cast<unsigned long long>(ds.trips_harvested),
+                static_cast<unsigned long long>(ds.buffer_trips),
+                static_cast<unsigned long long>(ds.buffer_evictions));
+    std::printf("  serving:    model generation %llu",
+                static_cast<unsigned long long>(ds.model_generation));
+    if (ds.cycles_started > 0) {
+      std::printf(" (last gate: live %.3f vs candidate %.3f)",
+                  ds.last_live_score, ds.last_candidate_score);
+    }
+    std::printf("\n");
+  }
   return 0;
 }
 
