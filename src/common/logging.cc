@@ -1,6 +1,14 @@
 #include "common/logging.h"
 
+// The blessed process-wide log sink: everything funnels through here, so
+// this is the one file in src/ allowed to touch the global streams.
+// oasd-lint: allow-file(iostream)
+
+#include <iostream>
+
 #include <atomic>
+
+#include "common/mutex.h"
 
 namespace rl4oasd {
 
@@ -20,6 +28,18 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
+/// Serializes the final stream write: without it, two threads logging at
+/// once can interleave *within* a line (ostream operator<< is not atomic),
+/// which turns a service log into confetti exactly when it matters — under
+/// concurrent ingest. kLogging is the highest rank, so logging is legal
+/// while holding any other lock in the hierarchy. Leaked on purpose:
+/// LogMessage runs from static destructors, after locals would be gone.
+common::Mutex& LogMutex() {
+  static common::Mutex* mu = new common::Mutex(common::lockrank::kLogging);
+  return *mu;
+}
+
 }  // namespace
 
 LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
@@ -41,6 +61,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 LogMessage::~LogMessage() {
   stream_ << "\n";
   std::ostream& out = (level_ >= LogLevel::kWarning) ? std::cerr : std::clog;
+  common::MutexLock lock(&LogMutex());
   out << stream_.str();
 }
 
@@ -55,7 +76,10 @@ FatalMessage::FatalMessage(const char* file, int line, const char* expr) {
 
 FatalMessage::~FatalMessage() {
   stream_ << "\n";
-  std::cerr << stream_.str() << std::flush;
+  {
+    common::MutexLock lock(&LogMutex());
+    std::cerr << stream_.str() << std::flush;
+  }
   std::abort();
 }
 

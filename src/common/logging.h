@@ -3,7 +3,7 @@
 #pragma once
 
 #include <cstdlib>
-#include <iostream>
+#include <ostream>
 #include <sstream>
 #include <string>
 

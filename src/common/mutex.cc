@@ -1,0 +1,128 @@
+#include "common/mutex.h"
+
+#include <mutex>  // oasd-lint: allow(raw-mutex) — adopting the wrapped lock
+
+#ifndef NDEBUG
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <vector>
+#endif
+
+namespace rl4oasd::common {
+
+#ifndef NDEBUG
+
+namespace {
+
+struct HeldLock {
+  const Mutex* mu;
+  int rank;
+};
+
+/// The calling thread's currently-held locks, in acquisition order.
+/// Function-local so first use from any thread (including during static
+/// initialization) constructs it on demand.
+std::vector<HeldLock>& HeldStack() {
+  thread_local std::vector<HeldLock> stack;
+  return stack;
+}
+
+/// No logging.h here: logging serializes through a Mutex, and the checker
+/// must be able to report while that very lock is mid-diagnosis. Plain
+/// stderr + abort keeps the failure path dependency-free and re-entrant.
+[[noreturn]] void Die(const char* what, const Mutex* mu, int rank) {
+  std::fprintf(stderr,
+               "[FATAL common/mutex] lock rank order violation: %s "
+               "(mutex %p, rank %d)\n  held by this thread:\n",
+               what, static_cast<const void*>(mu), rank);
+  for (const HeldLock& held : HeldStack()) {
+    std::fprintf(stderr, "    mutex %p, rank %d\n",
+                 static_cast<const void*>(held.mu), held.rank);
+  }
+  std::fprintf(
+      stderr,
+      "  protocol: acquire in strictly increasing rank, or equal rank in "
+      "increasing address order (see common/mutex.h)\n");
+  std::abort();
+}
+
+void CheckAcquire(const Mutex* mu, int rank) {
+  for (const HeldLock& held : HeldStack()) {
+    if (held.mu == mu) {
+      Die("recursive acquisition of a held mutex", mu, rank);
+    }
+    const bool ordered =
+        held.rank < rank ||
+        (held.rank == rank && std::less<const Mutex*>{}(held.mu, mu));
+    if (!ordered) {
+      Die("acquisition would invert the lock hierarchy", mu, rank);
+    }
+  }
+}
+
+void RecordAcquire(const Mutex* mu, int rank) {
+  HeldStack().push_back(HeldLock{mu, rank});
+}
+
+void RecordRelease(const Mutex* mu, int rank) {
+  auto& stack = HeldStack();
+  // Scan from the back: releases are usually LIFO, but UniqueLock sets may
+  // release in any order.
+  for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+    if (it->mu == mu) {
+      stack.erase(std::next(it).base());
+      return;
+    }
+  }
+  Die("release of a mutex this thread does not hold", mu, rank);
+}
+
+}  // namespace
+
+void Mutex::Lock() {
+  CheckAcquire(this, rank_);
+  mu_.lock();
+  RecordAcquire(this, rank_);
+}
+
+void Mutex::Unlock() {
+  RecordRelease(this, rank_);
+  mu_.unlock();
+}
+
+bool Mutex::TryLock() {
+  if (!mu_.try_lock()) return false;
+  RecordAcquire(this, rank_);
+  return true;
+}
+
+namespace debug {
+size_t HeldLockCount() { return HeldStack().size(); }
+}  // namespace debug
+
+#else  // NDEBUG
+
+void Mutex::Lock() { mu_.lock(); }
+void Mutex::Unlock() { mu_.unlock(); }
+bool Mutex::TryLock() { return mu_.try_lock(); }
+
+namespace debug {
+size_t HeldLockCount() { return 0; }
+}  // namespace debug
+
+#endif  // NDEBUG
+
+void CondVar::Wait(Mutex* mu) {
+  // Adopt the already-held underlying mutex for the duration of the wait.
+  // The debug held-lock entry is intentionally left in place: this thread
+  // is blocked while the lock is out of its hands, and it owns the lock
+  // again before Wait returns, so no acquisition it could observe happens
+  // with an inconsistent stack — and the reacquisition needs no rank check
+  // (its order was validated when the caller first took the lock).
+  std::unique_lock<std::mutex> inner(mu->mu_, std::adopt_lock);
+  cv_.wait(inner);
+  inner.release();
+}
+
+}  // namespace rl4oasd::common

@@ -1,6 +1,14 @@
 // Wall-clock timing helpers for the efficiency experiments (Figures 3-4,
 // Table V).
+//
+// This is the ONE place in src/ allowed to read a clock: serving-side
+// control flow must be points-denominated (segment counts, never seconds of
+// wall time), so the `clock` rule in tools/oasd_lint bans std::chrono
+// everywhere else in src/ and timing flows through Stopwatch, which is only
+// ever used for *reporting* (FitTimings, benches), never for decisions.
 #pragma once
+
+// oasd-lint: allow-file(clock) — the blessed timing wrapper
 
 #include <chrono>
 #include <cstdint>

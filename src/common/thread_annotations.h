@@ -1,0 +1,78 @@
+// Clang Thread Safety Analysis capability macros.
+//
+// These wrap the [[clang::...]] capability attributes so the concurrency
+// contracts documented in serve/fleet.h and serve/drift.h ("mu guards
+// session, handle, and finished"; "sink callbacks run outside the shard
+// lock") are *compiler-checked* on Clang builds: a read of a guarded member
+// without its mutex, a call into a REQUIRES function with the lock not
+// held, or a double acquisition is a -Wthread-safety diagnostic, and the
+// clang CI job promotes those to errors. On GCC (and any compiler without
+// the attributes) every macro expands to nothing, so the annotations cost
+// zero everywhere else.
+//
+// Conventions (see docs/STATIC_ANALYSIS.md for the full policy):
+//   * Every mutex-guarded member is declared with RL4OASD_GUARDED_BY(mu).
+//   * Private helpers whose caller must hold a lock are declared with
+//     RL4OASD_REQUIRES(mu) instead of re-locking.
+//   * Functions that must NOT be entered with a lock held (they acquire it
+//     themselves, or they call out under contract) use RL4OASD_EXCLUDES.
+//   * RL4OASD_NO_THREAD_SAFETY_ANALYSIS is a last resort and always carries
+//     a written rationale on the line above it.
+//
+// The macros mirror the canonical mutex.h shipped with the Clang
+// documentation; only the spelling prefix is ours.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define RL4OASD_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef RL4OASD_THREAD_ANNOTATION
+#define RL4OASD_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// Declares a type to be a capability ("mutex" in diagnostics).
+#define RL4OASD_CAPABILITY(x) RL4OASD_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII type whose lifetime acquires/releases a capability.
+#define RL4OASD_SCOPED_CAPABILITY RL4OASD_THREAD_ANNOTATION(scoped_lockable)
+
+/// Member is readable/writable only with `x` held.
+#define RL4OASD_GUARDED_BY(x) RL4OASD_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by `x`.
+#define RL4OASD_PT_GUARDED_BY(x) RL4OASD_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Caller must hold the capabilities (exclusively) to call this function.
+#define RL4OASD_REQUIRES(...) \
+  RL4OASD_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capabilities when calling this function.
+#define RL4OASD_EXCLUDES(...) \
+  RL4OASD_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function acquires the capability and holds it on return.
+#define RL4OASD_ACQUIRE(...) \
+  RL4OASD_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability.
+#define RL4OASD_RELEASE(...) \
+  RL4OASD_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `ret`.
+#define RL4OASD_TRY_ACQUIRE(ret, ...) \
+  RL4OASD_THREAD_ANNOTATION(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Runtime assertion that the capability is held (debug bridge for code the
+/// static analysis cannot follow).
+#define RL4OASD_ASSERT_CAPABILITY(x) \
+  RL4OASD_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function returns a reference to the capability guarding its result.
+#define RL4OASD_RETURN_CAPABILITY(x) RL4OASD_THREAD_ANNOTATION(lock_returned(x))
+
+/// Opts a function out of the analysis. Always pair with a rationale
+/// comment; tools/oasd_lint's `tsa-optout` rule flags bare uses.
+#define RL4OASD_NO_THREAD_SAFETY_ANALYSIS \
+  RL4OASD_THREAD_ANNOTATION(no_thread_safety_analysis)

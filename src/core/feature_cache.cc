@@ -54,6 +54,7 @@ FeatureCache::Entry& FeatureCache::LookupEntry(
 
 const std::vector<uint8_t>& FeatureCache::NoisyLabels(
     const traj::MapMatchedTrajectory& t) {
+  common::MutexLock lock(&mu_);
   Entry& e = LookupEntry(t);
   if (!e.has_noisy) {
     e.noisy = pre_->NoisyLabels(t);
@@ -64,6 +65,7 @@ const std::vector<uint8_t>& FeatureCache::NoisyLabels(
 
 const std::vector<uint8_t>& FeatureCache::NormalRouteFeatures(
     const traj::MapMatchedTrajectory& t) {
+  common::MutexLock lock(&mu_);
   Entry& e = LookupEntry(t);
   if (!e.has_nrf) {
     e.nrf = pre_->NormalRouteFeatures(t);

@@ -14,6 +14,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "core/preprocess.h"
 #include "traj/types.h"
 
@@ -22,8 +24,11 @@ namespace rl4oasd::core {
 /// Memoizes NoisyLabels / NormalRouteFeatures per trajectory. Returned
 /// references stay valid until the entry is invalidated (generation bump or
 /// fingerprint mismatch) or Clear() is called; the map is node-based, so
-/// inserting other trajectories never moves them. Not thread-safe — each
-/// training worker reads features on the main thread before sharding.
+/// inserting other trajectories never moves them. Lookups are serialized by
+/// an internal mutex, so concurrent readers (e.g. trainer shards warming
+/// features in parallel) are safe; the reference-validity contract above is
+/// the caller's concurrency obligation — do not Clear() or advance the
+/// statistics generation while another thread still holds a reference.
 class FeatureCache {
  public:
   explicit FeatureCache(const Preprocessor* pre) : pre_(pre) {}
@@ -36,9 +41,15 @@ class FeatureCache {
       const traj::MapMatchedTrajectory& t);
 
   /// Drops every entry (e.g. when a caller knows the keyed dataset is gone).
-  void Clear() { entries_.clear(); }
+  void Clear() {
+    common::MutexLock lock(&mu_);
+    entries_.clear();
+  }
 
-  size_t size() const { return entries_.size(); }
+  size_t size() const {
+    common::MutexLock lock(&mu_);
+    return entries_.size();
+  }
 
  private:
   /// Growth bound: inserting past this many entries prunes every entry
@@ -66,10 +77,15 @@ class FeatureCache {
   };
 
   /// Finds (or creates) the entry for `t`, resetting it when stale.
-  Entry& LookupEntry(const traj::MapMatchedTrajectory& t);
+  Entry& LookupEntry(const traj::MapMatchedTrajectory& t)
+      RL4OASD_REQUIRES(mu_);
 
   const Preprocessor* pre_;
-  std::unordered_map<const traj::MapMatchedTrajectory*, Entry> entries_;
+  /// Leaf lock (kDefault): compute-under-lock only, never calls out to
+  /// anything that takes another lock.
+  mutable common::Mutex mu_;
+  std::unordered_map<const traj::MapMatchedTrajectory*, Entry> entries_
+      RL4OASD_GUARDED_BY(mu_);
 };
 
 }  // namespace rl4oasd::core

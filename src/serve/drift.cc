@@ -104,10 +104,10 @@ DriftAdapter::DriftAdapter(const roadnet::RoadNetwork* net,
 
 DriftAdapter::~DriftAdapter() {
   {
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    common::MutexLock lock(&pending_mu_);
     stop_ = true;
   }
-  pending_cv_.notify_all();
+  pending_cv_.NotifyAll();
   if (worker_.joinable()) worker_.join();
 }
 
@@ -143,10 +143,10 @@ void DriftAdapter::OnTripFinalized(int64_t vehicle_id, traj::SdPair sd,
   lt.traj.start_time = start_time;
   lt.labels = final_labels;
   {
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    common::MutexLock lock(&pending_mu_);
     pending_.push_back(std::move(lt));
   }
-  pending_cv_.notify_one();
+  pending_cv_.NotifyOne();
 }
 
 bool DriftAdapter::Poll() {
@@ -157,7 +157,7 @@ bool DriftAdapter::Poll() {
 bool DriftAdapter::DrainAndMaybeAdapt() {
   std::deque<traj::LabeledTrajectory> drained;
   {
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    common::MutexLock lock(&pending_mu_);
     drained.swap(pending_);
   }
   // NRF counts are computed at drain time against the *current* model's
@@ -167,7 +167,7 @@ bool DriftAdapter::DrainAndMaybeAdapt() {
   const std::shared_ptr<const core::Rl4Oasd> live = monitor_->model();
   bool run_cycle = false;
   {
-    std::lock_guard<std::mutex> lock(state_mu_);
+    common::MutexLock lock(&state_mu_);
     for (auto& lt : drained) {
       const size_t segments = lt.traj.edges.size();
       size_t anomalous = 0;
@@ -208,7 +208,7 @@ bool DriftAdapter::DrainAndMaybeAdapt() {
 void DriftAdapter::RunAdaptationCycle() {
   std::vector<traj::LabeledTrajectory> buffer_copy;
   {
-    std::lock_guard<std::mutex> lock(state_mu_);
+    common::MutexLock lock(&state_mu_);
     buffer_copy.assign(buffer_.begin(), buffer_.end());
   }
   const std::shared_ptr<const core::Rl4Oasd> live = monitor_->model();
@@ -223,7 +223,7 @@ void DriftAdapter::RunAdaptationCycle() {
                                   const rl4oasd::Status& why) {
     RL4_LOG(Warning) << "drift adaptation cycle aborted (" << what
                      << "): " << why.ToString();
-    std::lock_guard<std::mutex> lock(state_mu_);
+    common::MutexLock lock(&state_mu_);
     ++status_.cycle_errors;
     backoff_points_ = config_.reject_backoff_points;
     detector_.ClearFire();
@@ -337,7 +337,7 @@ void DriftAdapter::RunAdaptationCycle() {
 
 void DriftAdapter::RecordGateResult(bool promoted, double live_f1,
                                     double cand_f1, uint64_t divergent) {
-  std::lock_guard<std::mutex> lock(state_mu_);
+  common::MutexLock lock(&state_mu_);
   status_.last_live_score = live_f1;
   status_.last_candidate_score = cand_f1;
   status_.last_shadow_divergent_trips = divergent;
@@ -388,8 +388,8 @@ std::vector<std::vector<uint8_t>> DriftAdapter::ReplayShadow(
 void DriftAdapter::WorkerLoop() {
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(pending_mu_);
-      pending_cv_.wait(lock, [this] { return stop_ || !pending_.empty(); });
+      common::MutexLock lock(&pending_mu_);
+      while (!stop_ && pending_.empty()) pending_cv_.Wait(&pending_mu_);
       if (stop_ && pending_.empty()) return;
     }
     DrainAndMaybeAdapt();
@@ -399,7 +399,7 @@ void DriftAdapter::WorkerLoop() {
 DriftStatus DriftAdapter::Status() const {
   DriftStatus s;
   {
-    std::lock_guard<std::mutex> lock(state_mu_);
+    common::MutexLock lock(&state_mu_);
     s = status_;
     s.buffer_trips = buffer_.size();
     s.detector_armed = detector_.armed();
@@ -408,7 +408,7 @@ DriftStatus DriftAdapter::Status() const {
     s.detector = detector_.stats();
   }
   {
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    common::MutexLock lock(&pending_mu_);
     s.pending_trips = pending_.size();
   }
   s.model_generation = monitor_->ModelGeneration();

@@ -28,15 +28,15 @@
 // with no sleeps.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "core/rl4oasd.h"
 #include "roadnet/road_network.h"
 #include "serve/fleet.h"
@@ -270,20 +270,23 @@ class DriftAdapter final : public AlertSink {
   AlertSink* downstream_;
   std::unique_ptr<FleetMonitor> monitor_;
 
-  /// Finished trips enqueued by OnTripFinalized (under trip locks), drained
-  /// by Poll/worker. Guarded by pending_mu_; cv_ signals the worker.
-  mutable std::mutex pending_mu_;
-  std::condition_variable pending_cv_;
-  std::deque<traj::LabeledTrajectory> pending_;
-  bool stop_ = false;
+  /// Finished trips enqueued by OnTripFinalized (under trip locks — hence
+  /// rank kDriftPending > kFleetTrip), drained by Poll/worker. Guarded by
+  /// pending_mu_; pending_cv_ signals the worker.
+  mutable common::Mutex pending_mu_{common::lockrank::kDriftPending};
+  common::CondVar pending_cv_;
+  std::deque<traj::LabeledTrajectory> pending_ RL4OASD_GUARDED_BY(pending_mu_);
+  bool stop_ RL4OASD_GUARDED_BY(pending_mu_) = false;
 
-  /// Loop state: detector, buffer, counters. Guarded by state_mu_. Only
-  /// Poll/worker mutate it (single consumer); Status() reads it.
-  mutable std::mutex state_mu_;
-  DriftDetector detector_;
-  std::deque<traj::LabeledTrajectory> buffer_;
-  DriftStatus status_;
-  size_t backoff_points_ = 0;
+  /// Loop state: detector, buffer, counters. Guarded by state_mu_ (never
+  /// held together with any monitor lock — the loop drains under
+  /// pending_mu_, releases, then updates state). Only Poll/worker mutate it
+  /// (single consumer); Status() reads it.
+  mutable common::Mutex state_mu_{common::lockrank::kDriftState};
+  DriftDetector detector_ RL4OASD_GUARDED_BY(state_mu_);
+  std::deque<traj::LabeledTrajectory> buffer_ RL4OASD_GUARDED_BY(state_mu_);
+  DriftStatus status_ RL4OASD_GUARDED_BY(state_mu_);
+  size_t backoff_points_ RL4OASD_GUARDED_BY(state_mu_) = 0;
 
   std::thread worker_;  // joined by the destructor (background mode only)
 };

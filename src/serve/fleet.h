@@ -17,12 +17,21 @@
 // Service counters are per-shard relaxed atomics aggregated by Stats(), and
 // the active-trip count is a single approximate atomic, so the per-point
 // path takes no global lock at all.
+//
+// These contracts are machine-checked, not just documented: every guarded
+// member carries an RL4OASD_GUARDED_BY annotation verified by Clang's
+// -Wthread-safety (the clang CI job builds with it as -Werror), and in
+// debug builds the common::Mutex rank checker asserts the
+// shard -> trip -> model acquisition hierarchy — including FeedBatch's
+// address-ordered same-rank wave locking — at runtime. See
+// docs/STATIC_ANALYSIS.md and the lock-hierarchy table in
+// docs/ARCHITECTURE.md.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
+#include <mutex>  // oasd-lint: allow(raw-mutex) — std::once_flag only (fingerprint memoization)
 #include <span>
 #include <string>
 #include <string_view>
@@ -30,7 +39,9 @@
 #include <vector>
 
 #include "common/binary.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "core/rl4oasd.h"
 #include "traj/types.h"
 
@@ -115,50 +126,53 @@ class AlertSink {
   }
 };
 
-/// Thread-safe in-memory sink (tests, examples, tooling).
+/// Thread-safe in-memory sink (tests, examples, tooling). Callbacks arrive
+/// under trip locks (rank kFleetTrip), so mu_ sits at the default leaf rank.
 class CollectingSink : public AlertSink {
  public:
   void OnAlert(const Alert& alert) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     alerts_.push_back(alert);
   }
   void OnTripEnd(int64_t vehicle_id,
                  const std::vector<uint8_t>& final_labels) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     finished_.emplace_back(vehicle_id, final_labels);
   }
   void OnTripEvicted(int64_t vehicle_id, double /*trip_start_time*/,
                      const std::vector<uint8_t>& labels_so_far) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     evicted_.emplace_back(vehicle_id, labels_so_far);
   }
 
   std::vector<Alert> TakeAlerts() {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     return std::move(alerts_);
   }
   size_t NumAlerts() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     return alerts_.size();
   }
   size_t NumFinished() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     return finished_.size();
   }
   size_t NumEvicted() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     return evicted_.size();
   }
   std::vector<std::pair<int64_t, std::vector<uint8_t>>> TakeEvicted() {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     return std::move(evicted_);
   }
 
  private:
-  mutable std::mutex mu_;
-  std::vector<Alert> alerts_;
-  std::vector<std::pair<int64_t, std::vector<uint8_t>>> finished_;
-  std::vector<std::pair<int64_t, std::vector<uint8_t>>> evicted_;
+  mutable common::Mutex mu_;
+  std::vector<Alert> alerts_ RL4OASD_GUARDED_BY(mu_);
+  std::vector<std::pair<int64_t, std::vector<uint8_t>>> finished_
+      RL4OASD_GUARDED_BY(mu_);
+  std::vector<std::pair<int64_t, std::vector<uint8_t>>> evicted_
+      RL4OASD_GUARDED_BY(mu_);
 };
 
 /// One GPS-derived road segment of one vehicle, for batched ingest.
@@ -366,24 +380,35 @@ class FleetMonitor {
           start_time(t0),
           last_update(t0) {}
 
-    std::mutex mu;  // guards session, handle, and finished
-    core::OnlineDetector::Session session;
+    /// Guards session, handle, and finished. Rank kFleetTrip: multiple trip
+    /// locks are held together only by FeedBatch waves, in ascending
+    /// address order (what the debug checker's same-rank rule asserts).
+    common::Mutex mu{common::lockrank::kFleetTrip};
+    core::OnlineDetector::Session session RL4OASD_GUARDED_BY(mu);
     /// The model the session is currently primed against. Lags the
     /// monitor's current handle until the next point reaches this trip
     /// (lazy migration); keeps the retired model alive until then.
-    std::shared_ptr<const ModelHandle> handle;
+    std::shared_ptr<const ModelHandle> handle RL4OASD_GUARDED_BY(mu);
     const traj::SdPair sd;
     const double start_time;
     /// Atomic so eviction scans can read it without the trip lock.
+    /// Relaxed ordering is deliberate: readers (EvictStale/EvictStalest)
+    /// only rank staleness, so a stale value merely delays or spares one
+    /// eviction — it never corrupts state.
     std::atomic<double> last_update;
     /// Set (under mu) by whichever caller removed the trip from its shard
     /// map — EndTrip or an eviction. A Feed that resolved the trip pointer
     /// before removal observes it and re-resolves from the map instead of
     /// feeding a dead session (delivering the point to the vehicle's next
     /// trip if one already started, else reporting NotFound).
-    bool finished = false;
+    bool finished RL4OASD_GUARDED_BY(mu) = false;
   };
 
+  /// Monotonic service counters, bumped with relaxed ordering. Relaxed is
+  /// deliberate (audited): each counter is independent — nothing reads two
+  /// of them transactionally — and Stats() only needs per-counter totals,
+  /// which the quiesce/join edge preceding any exact assertion already
+  /// orders. Per-shard so concurrent ingest never contends on one line.
   struct ShardCounters {
     std::atomic<int64_t> trips_started{0};
     std::atomic<int64_t> trips_finished{0};
@@ -394,9 +419,11 @@ class FleetMonitor {
 
   struct alignas(64) Shard {
     /// Guards `trips` (the map itself, never the Trips behind the
-    /// pointers). Held only for insert/lookup/erase.
-    mutable std::mutex mu;
-    std::unordered_map<int64_t, std::shared_ptr<Trip>> trips;
+    /// pointers). Held only for insert/lookup/erase — rank kFleetShard, the
+    /// bottom of the hierarchy, so nothing else may be acquired under it.
+    mutable common::Mutex mu{common::lockrank::kFleetShard};
+    std::unordered_map<int64_t, std::shared_ptr<Trip>> trips
+        RL4OASD_GUARDED_BY(mu);
     ShardCounters counters;
   };
 
@@ -409,13 +436,15 @@ class FleetMonitor {
   std::shared_ptr<Trip> ResolveTrip(Shard& shard, int64_t vehicle_id);
 
   /// Drains the session's newly finalized runs and delivers them to the
-  /// sink. Caller holds trip->mu.
+  /// sink. Caller holds trip->mu (compiler-enforced).
   void EmitNewRuns(int64_t vehicle_id, Trip* trip, Shard* shard,
-                   double timestamp);
+                   double timestamp) RL4OASD_REQUIRES(trip->mu);
 
   /// Finishes a trip already removed from its shard map by eviction:
-  /// alerts the open tail, fires OnTripEvicted, updates counters.
-  void FinishEvicted(int64_t vehicle_id, Trip* trip, Shard* shard);
+  /// alerts the open tail, fires OnTripEvicted, updates counters. Acquires
+  /// trip->mu itself — callers must not hold it.
+  void FinishEvicted(int64_t vehicle_id, Trip* trip, Shard* shard)
+      RL4OASD_EXCLUDES(trip->mu);
 
   /// Evicts the least-recently-updated trip across all shards (requires no
   /// lock held by the caller).
@@ -426,16 +455,20 @@ class FleetMonitor {
   std::shared_ptr<const ModelHandle> CurrentHandle() const;
 
   /// Migrates a trip to `handle` by re-priming its session against that
-  /// model. Caller holds trip->mu.
+  /// model. Caller holds trip->mu (compiler-enforced).
   void ReprimeLocked(Trip* trip,
-                     const std::shared_ptr<const ModelHandle>& handle);
+                     const std::shared_ptr<const ModelHandle>& handle)
+      RL4OASD_REQUIRES(trip->mu);
 
   FleetConfig config_;
   AlertSink* sink_;
   std::vector<Shard> shards_;
   std::atomic<int64_t> active_trips_{0};
-  mutable std::mutex model_mu_;  // guards model_handle_ (the pointer only)
-  std::shared_ptr<const ModelHandle> model_handle_;
+  /// Guards model_handle_ (the pointer only). Rank kFleetModel: acquired
+  /// under a trip lock by the lazy-migration path.
+  mutable common::Mutex model_mu_{common::lockrank::kFleetModel};
+  std::shared_ptr<const ModelHandle> model_handle_
+      RL4OASD_GUARDED_BY(model_mu_);
   /// Mirror of model_handle_->generation, readable without model_mu_: the
   /// per-point Feed path compares it against the trip's pinned generation
   /// and only pays the mutex + shared_ptr copy when a swap actually

@@ -1,0 +1,196 @@
+// Tests for the annotated mutex wrappers and the debug-build lock-order
+// checker (common/mutex.h): the rank hierarchy, the same-rank
+// address-order protocol FeedBatch's wave locking relies on, CondVar
+// wait/notify, and the torn-log-line regression fixed by serializing the
+// logging sink. Death tests only run in debug builds — release compiles
+// the checker out entirely.
+#include "common/mutex.h"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+namespace rl4oasd::common {
+namespace {
+
+TEST(MutexTest, AscendingRankOrderIsLegal) {
+  Mutex shard(lockrank::kFleetShard);
+  Mutex trip(lockrank::kFleetTrip);
+  Mutex log(lockrank::kLogging);
+  {
+    MutexLock a(&shard);
+    MutexLock b(&trip);
+    MutexLock c(&log);  // logging is legal under anything
+#ifndef NDEBUG
+    EXPECT_EQ(debug::HeldLockCount(), 3u);
+#endif
+  }
+#ifndef NDEBUG
+  EXPECT_EQ(debug::HeldLockCount(), 0u);
+#endif
+}
+
+TEST(MutexTest, SameRankAscendingAddressIsLegal) {
+  // The FeedBatch wave protocol in miniature: a runtime-sized set of
+  // same-rank trip locks taken in ascending address order via UniqueLock.
+  std::vector<std::unique_ptr<Mutex>> trips;
+  for (int i = 0; i < 8; ++i) {
+    trips.push_back(std::make_unique<Mutex>(lockrank::kFleetTrip));
+  }
+  std::vector<Mutex*> wave;
+  for (const auto& mu : trips) wave.push_back(mu.get());
+  std::sort(wave.begin(), wave.end(), std::less<Mutex*>());
+
+  std::vector<UniqueLock> locks;
+  for (Mutex* mu : wave) locks.emplace_back(mu);
+#ifndef NDEBUG
+  EXPECT_EQ(debug::HeldLockCount(), wave.size());
+#endif
+  locks.clear();
+#ifndef NDEBUG
+  EXPECT_EQ(debug::HeldLockCount(), 0u);
+#endif
+}
+
+TEST(MutexTest, UniqueLockMoveAndOutOfOrderRelease) {
+  Mutex a(lockrank::kFleetTrip);
+  Mutex b(lockrank::kFleetModel);
+  UniqueLock la(&a);
+  UniqueLock lb(&b);
+  EXPECT_TRUE(la.owns());
+  UniqueLock moved(std::move(la));
+  EXPECT_FALSE(la.owns());  // NOLINT(bugprone-use-after-move) — tested
+  EXPECT_TRUE(moved.owns());
+  // Release the *earlier* acquisition first: the checker tolerates
+  // non-LIFO release (wave teardown order is unspecified).
+  moved.Release();
+  EXPECT_FALSE(moved.owns());
+#ifndef NDEBUG
+  EXPECT_EQ(debug::HeldLockCount(), 1u);
+#endif
+  lb.Release();
+#ifndef NDEBUG
+  EXPECT_EQ(debug::HeldLockCount(), 0u);
+#endif
+}
+
+TEST(MutexTest, TryLockContention) {
+  Mutex mu;
+  ASSERT_TRUE(mu.TryLock());
+  // A second thread must fail while we hold it, and succeed once released.
+  bool second = true;
+  std::thread([&mu, &second] { second = mu.TryLock(); }).join();
+  EXPECT_FALSE(second);
+  mu.Unlock();
+  std::thread([&mu, &second] {
+    second = mu.TryLock();
+    if (second) mu.Unlock();
+  }).join();
+  EXPECT_TRUE(second);
+}
+
+TEST(MutexTest, CondVarWakesWaiter) {
+  Mutex mu(lockrank::kDriftPending);
+  CondVar cv;
+  bool ready = false;
+  std::thread waiter([&] {
+    MutexLock lock(&mu);
+    while (!ready) cv.Wait(&mu);
+#ifndef NDEBUG
+    // The lock is held again after Wait returns, stack intact.
+    EXPECT_EQ(debug::HeldLockCount(), 1u);
+#endif
+  });
+  {
+    MutexLock lock(&mu);
+    ready = true;
+  }
+  cv.NotifyOne();
+  waiter.join();
+}
+
+#if !defined(NDEBUG) && defined(GTEST_HAS_DEATH_TEST)
+
+TEST(MutexDeathTest, RankInversionDies) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Mutex trip(lockrank::kFleetTrip);
+  Mutex shard(lockrank::kFleetShard);
+  MutexLock a(&trip);
+  EXPECT_DEATH(MutexLock b(&shard), "lock rank order violation");
+}
+
+TEST(MutexDeathTest, SameRankDescendingAddressDies) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Mutex m1(lockrank::kFleetTrip);
+  Mutex m2(lockrank::kFleetTrip);
+  Mutex* lo = std::less<Mutex*>()(&m1, &m2) ? &m1 : &m2;
+  Mutex* hi = lo == &m1 ? &m2 : &m1;
+  MutexLock a(hi);
+  EXPECT_DEATH(MutexLock b(lo), "lock rank order violation");
+}
+
+TEST(MutexDeathTest, RecursiveAcquireDies) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Mutex mu;
+  MutexLock a(&mu);
+  EXPECT_DEATH(mu.Lock(), "recursive acquisition");
+}
+
+TEST(MutexDeathTest, ForeignReleaseDies) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Mutex mu;
+  EXPECT_DEATH(mu.Unlock(), "does not hold");
+}
+
+#endif  // !NDEBUG && GTEST_HAS_DEATH_TEST
+
+// ---------------------------------------------------------------------------
+// Torn-log-line regression: before logging serialized through the kLogging
+// mutex, two threads logging at once could interleave *within* a line.
+// With the fix, every captured line is exactly one whole message.
+
+TEST(LoggingConcurrencyTest, ConcurrentLogLinesDoNotTear) {
+  std::ostringstream captured;
+  std::streambuf* old = std::clog.rdbuf(captured.rdbuf());
+  constexpr int kThreads = 4;
+  constexpr int kLines = 200;
+  {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([t] {
+        for (int i = 0; i < kLines; ++i) {
+          RL4_LOG(Info) << "tear-check thread=" << t << " line=" << i
+                        << " payload=abcdefghijklmnopqrstuvwxyz";
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+  std::clog.rdbuf(old);
+
+  std::istringstream in(captured.str());
+  std::string line;
+  int count = 0;
+  while (std::getline(in, line)) {
+    ++count;
+    // Each line must be one complete message: prefix, both fields, and the
+    // full payload, with nothing from another message spliced in.
+    EXPECT_NE(line.find("[INFO"), std::string::npos) << line;
+    EXPECT_NE(line.find("tear-check thread="), std::string::npos) << line;
+    EXPECT_NE(line.find("payload=abcdefghijklmnopqrstuvwxyz"),
+              std::string::npos)
+        << line;
+    EXPECT_EQ(line.find("payload="), line.rfind("payload=")) << line;
+  }
+  EXPECT_EQ(count, kThreads * kLines);
+}
+
+}  // namespace
+}  // namespace rl4oasd::common

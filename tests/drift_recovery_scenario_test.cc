@@ -20,13 +20,13 @@
 #include <cstdio>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/mutex.h"
 #include "core/rl4oasd.h"
 #include "eval/metrics.h"
 #include "roadnet/grid_city.h"
@@ -53,16 +53,16 @@ constexpr size_t kRollingWindow = 8;
 class RecordingSink : public AlertSink {
  public:
   void OnAlert(const Alert& alert) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     alerts_[alert.vehicle_id].push_back(alert.range);
   }
   void OnTripEnd(int64_t vehicle_id,
                  const std::vector<uint8_t>& final_labels) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     final_labels_[vehicle_id] = final_labels;
   }
   void OnTripEvicted(int64_t, double, const std::vector<uint8_t>&) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     ++evictions_;
   }
 
@@ -75,7 +75,7 @@ class RecordingSink : public AlertSink {
   size_t evictions() const { return evictions_; }
 
  private:
-  mutable std::mutex mu_;
+  mutable common::Mutex mu_;
   std::map<int64_t, std::vector<traj::Subtrajectory>> alerts_;
   std::map<int64_t, std::vector<uint8_t>> final_labels_;
   size_t evictions_ = 0;

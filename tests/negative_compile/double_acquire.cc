@@ -1,0 +1,14 @@
+// Negative-compile snippet (class: double acquisition). Re-acquiring a
+// capability this scope already holds must fail under
+// `clang++ -Wthread-safety -Werror`; valid C++ otherwise (GCC accepts —
+// at runtime the debug rank checker would abort on the same line).
+#include "common/mutex.h"
+
+int main() {
+  rl4oasd::common::Mutex mu;
+  mu.Lock();
+  mu.Lock();  // BAD: already held
+  mu.Unlock();
+  mu.Unlock();
+  return 0;
+}

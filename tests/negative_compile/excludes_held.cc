@@ -1,0 +1,20 @@
+// Negative-compile snippet (class: EXCLUDES / locks-excluded). Calling an
+// EXCLUDES(mu) function while holding mu must fail under
+// `clang++ -Wthread-safety -Werror`; valid C++ otherwise (GCC accepts).
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+rl4oasd::common::Mutex mu;
+
+void MustRunUnlocked() RL4OASD_EXCLUDES(mu) {}
+
+}  // namespace
+
+int main() {
+  mu.Lock();
+  MustRunUnlocked();  // BAD: mu is held
+  mu.Unlock();
+  return 0;
+}

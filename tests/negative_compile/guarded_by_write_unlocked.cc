@@ -1,0 +1,26 @@
+// Negative-compile snippet (class: GUARDED_BY access). Writing a guarded
+// member without holding its mutex must fail under
+// `clang++ -Wthread-safety -Werror`; the snippet is valid C++, so GCC
+// (where the annotations are no-ops) accepts it — see the WILL_FAIL logic
+// in tests/CMakeLists.txt.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Bump() { ++value_; }  // BAD: mu_ is not held
+
+ private:
+  rl4oasd::common::Mutex mu_;
+  int value_ RL4OASD_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Bump();
+  return 0;
+}

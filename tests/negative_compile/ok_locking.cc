@@ -1,0 +1,41 @@
+// Positive control for the negative-compile harness: fully correct locking
+// that must compile clean under BOTH `clang++ -Wthread-safety -Werror` and
+// GCC. If this one fails, the harness (or the annotations themselves) is
+// broken, not the snippet under test.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Bump() {
+    rl4oasd::common::MutexLock lock(&mu_);
+    ++value_;
+  }
+
+  int Get() {
+    rl4oasd::common::MutexLock lock(&mu_);
+    return value_;
+  }
+
+ private:
+  rl4oasd::common::Mutex mu_;
+  int value_ RL4OASD_GUARDED_BY(mu_) = 0;
+};
+
+rl4oasd::common::Mutex gmu;
+int gvalue RL4OASD_GUARDED_BY(gmu) = 0;
+
+void Touch() RL4OASD_REQUIRES(gmu) { ++gvalue; }
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Bump();
+  gmu.Lock();
+  Touch();
+  gmu.Unlock();
+  return c.Get() == 1 ? 0 : 1;
+}

@@ -1,0 +1,19 @@
+// Negative-compile snippet (class: REQUIRES precondition). Calling a
+// REQUIRES(mu) function without holding mu must fail under
+// `clang++ -Wthread-safety -Werror`; valid C++ otherwise (GCC accepts).
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+rl4oasd::common::Mutex mu;
+int value RL4OASD_GUARDED_BY(mu) = 0;
+
+void Touch() RL4OASD_REQUIRES(mu) { ++value; }
+
+}  // namespace
+
+int main() {
+  Touch();  // BAD: mu is not held at the call site
+  return 0;
+}

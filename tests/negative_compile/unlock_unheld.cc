@@ -1,0 +1,11 @@
+// Negative-compile snippet (class: release of an unheld capability).
+// Unlocking a mutex this scope does not hold must fail under
+// `clang++ -Wthread-safety -Werror`; valid C++ otherwise (GCC accepts —
+// at runtime the debug checker aborts with "does not hold").
+#include "common/mutex.h"
+
+int main() {
+  rl4oasd::common::Mutex mu;
+  mu.Unlock();  // BAD: never acquired
+  return 0;
+}

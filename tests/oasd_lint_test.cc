@@ -1,0 +1,236 @@
+// Per-rule unit tests for the repo-invariant linter (tools/lint). Each rule
+// gets a violating snippet, a clean snippet, and an escape-hatch snippet;
+// plus tests for the comment/string stripper and the per-directory policy.
+#include "lint/lint_engine.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace rl4oasd::lint {
+namespace {
+
+std::vector<Finding> Lint(const std::string& path, const std::string& content,
+                          const std::vector<std::string>& rules) {
+  return LintFileWithRules(FileSpec{path, content}, rules);
+}
+
+bool HasRule(const std::vector<Finding>& findings, const std::string& rule) {
+  return std::any_of(findings.begin(), findings.end(),
+                     [&rule](const Finding& f) { return f.rule == rule; });
+}
+
+// ---------------------------------------------------------------------------
+// raw-mutex
+
+TEST(OasdLintTest, RawMutexFlagsStdMutexMembersAndGuards) {
+  const std::string code =
+      "#include <mutex>\n"
+      "std::mutex mu;\n"
+      "void f() { std::lock_guard<std::mutex> lock(mu); }\n"
+      "std::condition_variable cv;\n"
+      "std::unique_lock<std::mutex> ul;\n";
+  const auto findings = Lint("src/serve/x.cc", code, {"raw-mutex"});
+  ASSERT_EQ(findings.size(), 5u);
+  for (const auto& f : findings) EXPECT_EQ(f.rule, "raw-mutex");
+  EXPECT_EQ(findings[0].line, 1);  // the include itself
+  EXPECT_EQ(findings[1].line, 2);
+}
+
+TEST(OasdLintTest, RawMutexAllowsOnceFlagAndCommonWrappers) {
+  const std::string code =
+      "#include \"common/mutex.h\"\n"
+      "std::once_flag once;\n"
+      "void f() { std::call_once(once, [] {}); }\n"
+      "common::Mutex mu;\n"
+      "void g() { common::MutexLock lock(&mu); }\n";
+  EXPECT_TRUE(Lint("src/serve/x.cc", code, {"raw-mutex"}).empty());
+}
+
+TEST(OasdLintTest, RawMutexLineEscapeHatch) {
+  const std::string code =
+      "#include <mutex>  // oasd-lint: allow(raw-mutex) — once_flag only\n"
+      "std::mutex mu;\n";
+  const auto findings = Lint("src/serve/x.cc", code, {"raw-mutex"});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 2);  // line 1 suppressed, line 2 still flagged
+}
+
+// ---------------------------------------------------------------------------
+// clock
+
+TEST(OasdLintTest, ClockFlagsChronoAndSleeps) {
+  const std::string code =
+      "#include <chrono>\n"
+      "auto t = std::chrono::steady_clock::now();\n"
+      "void f() { std::this_thread::sleep_for(d); }\n";
+  const auto findings = Lint("src/core/x.cc", code, {"clock"});
+  EXPECT_EQ(findings.size(), 3u);
+  EXPECT_TRUE(HasRule(findings, "clock"));
+}
+
+TEST(OasdLintTest, ClockFileEscapeHatchSuppressesWholeFile) {
+  const std::string code =
+      "// oasd-lint: allow-file(clock) — blessed timing wrapper\n"
+      "#include <chrono>\n"
+      "auto t = std::chrono::steady_clock::now();\n";
+  EXPECT_TRUE(Lint("src/common/stopwatch.h", code, {"clock"}).empty());
+}
+
+TEST(OasdLintTest, ClockDoesNotFlagYield) {
+  // Points-denominated spinning via yield() is legal; only time-based
+  // waiting is banned.
+  const std::string code = "void f() { std::this_thread::yield(); }\n";
+  EXPECT_TRUE(Lint("src/core/x.cc", code, {"clock"}).empty());
+}
+
+// ---------------------------------------------------------------------------
+// randomness
+
+TEST(OasdLintTest, RandomnessFlagsStdEnginesAndRand) {
+  const std::string code =
+      "#include <random>\n"
+      "std::mt19937 gen(std::random_device{}());\n"
+      "int x = rand();\n"
+      "void f() { srand(42); }\n";
+  const auto findings = Lint("src/traj/x.cc", code, {"randomness"});
+  EXPECT_EQ(findings.size(), 4u);
+  EXPECT_TRUE(HasRule(findings, "randomness"));
+}
+
+TEST(OasdLintTest, RandomnessDoesNotFlagSeededRngOrSimilarNames) {
+  const std::string code =
+      "#include \"common/rng.h\"\n"
+      "Rng rng(42);\n"
+      "double v = rng.Uniform();\n"
+      "int operand(int a);\n"  // 'rand(' must not match inside 'operand('
+      "int strand(int a);\n";
+  EXPECT_TRUE(Lint("src/traj/x.cc", code, {"randomness"}).empty());
+}
+
+// ---------------------------------------------------------------------------
+// iostream
+
+TEST(OasdLintTest, IostreamFlagsGlobalStreams) {
+  const std::string code =
+      "#include <iostream>\n"
+      "void f() { std::cout << 1; std::cerr << 2; }\n";
+  const auto findings = Lint("src/eval/x.cc", code, {"iostream"});
+  EXPECT_EQ(findings.size(), 2u);
+  EXPECT_TRUE(HasRule(findings, "iostream"));
+}
+
+TEST(OasdLintTest, IostreamDoesNotFlagOstreamParameters) {
+  const std::string code =
+      "#include <ostream>\n"
+      "void Dump(std::ostream& out) { out << 1; }\n";
+  EXPECT_TRUE(Lint("src/eval/x.cc", code, {"iostream"}).empty());
+}
+
+// ---------------------------------------------------------------------------
+// pragma-once
+
+TEST(OasdLintTest, PragmaOnceRequiredInHeaders) {
+  const auto findings =
+      Lint("src/core/x.h", "int f();\n", {"pragma-once"});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "pragma-once");
+  EXPECT_EQ(findings[0].line, 1);
+}
+
+TEST(OasdLintTest, PragmaOncePassesWithGuardAndIgnoresNonHeaders) {
+  EXPECT_TRUE(Lint("src/core/x.h", "// doc\n#pragma once\nint f();\n",
+                   {"pragma-once"})
+                  .empty());
+  EXPECT_TRUE(Lint("src/core/x.cc", "int f() { return 1; }\n",
+                   {"pragma-once"})
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
+// tsa-optout
+
+TEST(OasdLintTest, TsaOptOutRequiresRationaleComment) {
+  const std::string bare =
+      "void f() RL4OASD_NO_THREAD_SAFETY_ANALYSIS {}\n";
+  const auto findings = Lint("src/serve/x.cc", bare, {"tsa-optout"});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "tsa-optout");
+
+  const std::string justified =
+      "// Analysis opt-out rationale: dynamic capability set, see checker.\n"
+      "void f() RL4OASD_NO_THREAD_SAFETY_ANALYSIS {}\n";
+  EXPECT_TRUE(Lint("src/serve/x.cc", justified, {"tsa-optout"}).empty());
+}
+
+// ---------------------------------------------------------------------------
+// comment/string stripping
+
+TEST(OasdLintTest, TokensInCommentsAndStringsDoNotCount) {
+  const std::string code =
+      "// std::mutex in a comment\n"
+      "/* std::chrono in a block\n"
+      "   comment spanning lines */\n"
+      "const char* s = \"std::cout inside a string\";\n"
+      "char q = 'x';\n";
+  EXPECT_TRUE(Lint("src/core/x.cc", code,
+                   {"raw-mutex", "clock", "iostream"})
+                  .empty());
+}
+
+TEST(OasdLintTest, StripPreservesLineNumbers) {
+  const std::string code = "int a;\n/* c1\nc2 */ std::mutex mu;\n";
+  const auto findings = Lint("src/core/x.cc", code, {"raw-mutex"});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(OasdLintTest, EscapedQuoteInStringDoesNotDesync) {
+  const std::string code =
+      "const char* s = \"a \\\" b std::mutex\";\n"
+      "std::mutex mu;\n";
+  const auto findings = Lint("src/core/x.cc", code, {"raw-mutex"});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+// ---------------------------------------------------------------------------
+// per-directory policy
+
+TEST(OasdLintTest, PolicyMatchesDirectoryContracts) {
+  // src/ outside common: everything applies.
+  auto rules = RulesFor("src/serve/fleet.cc");
+  EXPECT_TRUE(std::count(rules.begin(), rules.end(), "raw-mutex"));
+  EXPECT_TRUE(std::count(rules.begin(), rules.end(), "clock"));
+  EXPECT_TRUE(std::count(rules.begin(), rules.end(), "iostream"));
+
+  // src/common: hosts the blessed lock wrappers, raw-mutex off.
+  rules = RulesFor("src/common/mutex.h");
+  EXPECT_FALSE(std::count(rules.begin(), rules.end(), "raw-mutex"));
+  EXPECT_TRUE(std::count(rules.begin(), rules.end(), "clock"));
+
+  // common/rng is the one place allowed to mention std engines.
+  rules = RulesFor("src/common/rng.h");
+  EXPECT_FALSE(std::count(rules.begin(), rules.end(), "randomness"));
+
+  // tests/: may print and time, but locks still go through common::Mutex.
+  rules = RulesFor("tests/serve_test.cc");
+  EXPECT_TRUE(std::count(rules.begin(), rules.end(), "raw-mutex"));
+  EXPECT_FALSE(std::count(rules.begin(), rules.end(), "clock"));
+  EXPECT_FALSE(std::count(rules.begin(), rules.end(), "iostream"));
+
+  // Outside the linted trees: nothing applies.
+  EXPECT_TRUE(RulesFor("build/generated.cc").empty());
+}
+
+TEST(OasdLintTest, LintFileAppliesPolicy) {
+  // The same content is a violation in src/ and clean in tests/.
+  const std::string code = "auto t = std::chrono::steady_clock::now();\n";
+  EXPECT_FALSE(LintFile(FileSpec{"src/core/x.cc", code}).empty());
+  EXPECT_TRUE(LintFile(FileSpec{"tests/x_test.cc", code}).empty());
+}
+
+}  // namespace
+}  // namespace rl4oasd::lint

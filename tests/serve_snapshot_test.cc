@@ -23,6 +23,7 @@
 #include <gtest/gtest.h>
 
 #include "common/binary.h"
+#include "common/mutex.h"
 #include "io/fleet_snapshot.h"
 #include "io/model_io.h"
 #include "serve/fleet.h"
@@ -134,28 +135,28 @@ struct TripEvents {
 class EventSink : public AlertSink {
  public:
   void OnAlert(const Alert& alert) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     events_[alert.vehicle_id].alerts.emplace_back(alert.range,
                                                   alert.position);
   }
   void OnTripEnd(int64_t vehicle_id,
                  const std::vector<uint8_t>& final_labels) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     events_[vehicle_id].ends.push_back(final_labels);
   }
   void OnTripEvicted(int64_t vehicle_id, double /*trip_start_time*/,
                      const std::vector<uint8_t>& labels_so_far) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     events_[vehicle_id].evictions.push_back(labels_so_far);
   }
 
   std::map<int64_t, TripEvents> Take() {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     return std::move(events_);
   }
 
  private:
-  std::mutex mu_;
+  common::Mutex mu_;
   std::map<int64_t, TripEvents> events_;
 };
 

@@ -1,0 +1,344 @@
+#include "lint/lint_engine.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <map>
+#include <set>
+#include <utility>
+
+namespace rl4oasd::lint {
+
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// True when `token` occurs in `line` with identifier boundaries on both
+/// sides (a token ending in a non-identifier char, e.g. "rand(", only needs
+/// the leading boundary).
+bool HasToken(std::string_view line, std::string_view token) {
+  size_t pos = 0;
+  while ((pos = line.find(token, pos)) != std::string_view::npos) {
+    const bool left_ok = pos == 0 || !IsIdentChar(line[pos - 1]);
+    const size_t end = pos + token.size();
+    const bool right_ok = end >= line.size() || !IsIdentChar(line[end]) ||
+                          !IsIdentChar(token.back());
+    if (left_ok && right_ok) return true;
+    pos += 1;
+  }
+  return false;
+}
+
+/// Whitespace-insensitive `#include <header>` test.
+bool HasInclude(std::string_view line, std::string_view header) {
+  std::string squeezed;
+  squeezed.reserve(line.size());
+  for (char c : line) {
+    if (!std::isspace(static_cast<unsigned char>(c))) squeezed.push_back(c);
+  }
+  std::string needle = "#include<";
+  needle.append(header);
+  needle.push_back('>');
+  return squeezed.find(needle) != std::string::npos;
+}
+
+struct TokenRule {
+  const char* name;
+  const char* message;
+  std::vector<std::string_view> tokens;
+  std::vector<std::string_view> includes;
+};
+
+const std::vector<TokenRule>& TokenRules() {
+  static const std::vector<TokenRule> rules = {
+      {"raw-mutex",
+       "raw standard-library locking; use common::Mutex / common::MutexLock "
+       "(capability-annotated, rank-checked) from common/mutex.h",
+       {"std::mutex", "std::timed_mutex", "std::recursive_mutex",
+        "std::recursive_timed_mutex", "std::shared_mutex",
+        "std::shared_timed_mutex", "std::lock_guard", "std::unique_lock",
+        "std::scoped_lock", "std::shared_lock", "std::condition_variable",
+        "std::condition_variable_any"},
+       {"mutex", "shared_mutex", "condition_variable"}},
+      {"clock",
+       "wall-clock read in src/; control flow must be points-denominated "
+       "(timing for reporting goes through common/stopwatch.h)",
+       {"std::chrono", "sleep_for", "sleep_until", "gettimeofday",
+        "clock_gettime", "usleep", "nanosleep"},
+       {"chrono"}},
+      {"randomness",
+       "unseeded / platform-dependent randomness; draw from the "
+       "deterministic common/rng.h Rng instead",
+       {"std::mt19937", "std::mt19937_64", "std::random_device",
+        "std::default_random_engine", "std::minstd_rand", "std::minstd_rand0",
+        "srand(", "rand("},
+       {"random"}},
+      {"iostream",
+       "global stream I/O in src/; use common/logging.h (serialized sink) "
+       "or a caller-supplied std::ostream",
+       {"std::cout", "std::cerr", "std::cin", "std::clog"},
+       {"iostream"}},
+  };
+  return rules;
+}
+
+constexpr std::string_view kOptOutMacro = "RL4OASD_NO_THREAD_SAFETY_ANALYSIS";
+constexpr std::string_view kOptOutRationale = "opt-out rationale";
+/// How far above an analysis opt-out its rationale comment may sit.
+constexpr int kRationaleWindow = 12;
+
+std::vector<std::string> SplitLines(std::string_view text) {
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start <= text.size()) {
+    const size_t nl = text.find('\n', start);
+    if (nl == std::string_view::npos) {
+      lines.emplace_back(text.substr(start));
+      break;
+    }
+    lines.emplace_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+/// Parsed `oasd-lint:` markers: rules allowed per 1-based line, and for the
+/// whole file.
+struct Allowances {
+  std::map<int, std::set<std::string>> by_line;
+  std::set<std::string> by_file;
+
+  bool Allows(const std::string& rule, int line) const {
+    if (by_file.contains(rule)) return true;
+    const auto it = by_line.find(line);
+    return it != by_line.end() && it->second.contains(rule);
+  }
+};
+
+void ParseMarker(std::string_view line, std::string_view keyword,
+                 std::set<std::string>* out) {
+  size_t pos = 0;
+  while ((pos = line.find(keyword, pos)) != std::string_view::npos) {
+    const size_t open = pos + keyword.size();
+    const size_t close = line.find(')', open);
+    if (close == std::string_view::npos) break;
+    std::string_view inner = line.substr(open, close - open);
+    size_t item_start = 0;
+    while (item_start <= inner.size()) {
+      size_t comma = inner.find(',', item_start);
+      if (comma == std::string_view::npos) comma = inner.size();
+      std::string_view item = inner.substr(item_start, comma - item_start);
+      while (!item.empty() && std::isspace(static_cast<unsigned char>(
+                                  item.front()))) {
+        item.remove_prefix(1);
+      }
+      while (!item.empty() &&
+             std::isspace(static_cast<unsigned char>(item.back()))) {
+        item.remove_suffix(1);
+      }
+      if (!item.empty()) out->emplace(item);
+      item_start = comma + 1;
+    }
+    pos = close;
+  }
+}
+
+Allowances ParseAllowances(const std::vector<std::string>& lines) {
+  Allowances a;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    if (line.find("oasd-lint:") == std::string::npos) continue;
+    ParseMarker(line, "oasd-lint: allow(", &a.by_line[static_cast<int>(i + 1)]);
+    ParseMarker(line, "oasd-lint: allow-file(", &a.by_file);
+  }
+  return a;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+bool IsHeader(std::string_view path) {
+  return path.size() >= 2 && path.substr(path.size() - 2) == ".h";
+}
+
+}  // namespace
+
+std::vector<std::string> AllRules() {
+  std::vector<std::string> rules;
+  for (const TokenRule& r : TokenRules()) rules.emplace_back(r.name);
+  rules.emplace_back("pragma-once");
+  rules.emplace_back("tsa-optout");
+  return rules;
+}
+
+std::vector<std::string> RulesFor(std::string_view path) {
+  std::vector<std::string> rules;
+  const auto add = [&rules](const char* r) { rules.emplace_back(r); };
+  if (StartsWith(path, "src/")) {
+    // src/common hosts the blessed wrappers themselves; pointing raw-mutex
+    // at them would be circular. Everything else in src/ gets every rule.
+    if (!StartsWith(path, "src/common/")) add("raw-mutex");
+    add("clock");
+    if (path != "src/common/rng.h" && path != "src/common/rng.cc") {
+      add("randomness");
+    }
+    add("iostream");
+    add("pragma-once");
+    if (path != "src/common/thread_annotations.h") add("tsa-optout");
+    return rules;
+  }
+  if (StartsWith(path, "tests/") || StartsWith(path, "tools/") ||
+      StartsWith(path, "bench/") || StartsWith(path, "examples/")) {
+    // Harnesses legitimately print, time, and (seeded) shuffle; but their
+    // locks still take part in the rank hierarchy, so raw-mutex holds.
+    add("raw-mutex");
+    add("pragma-once");
+    add("tsa-optout");
+    return rules;
+  }
+  return rules;
+}
+
+std::string StripCommentsAndStrings(std::string_view content) {
+  std::string out(content);
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  for (size_t i = 0; i < out.size(); ++i) {
+    const char c = out[i];
+    const char next = i + 1 < out.size() ? out[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out[i] = ' ';
+        } else if (c == '"') {
+          state = State::kString;
+          out[i] = ' ';
+        } else if (c == '\'') {
+          state = State::kChar;
+          out[i] = ' ';
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+      case State::kChar: {
+        const char quote = state == State::kString ? '"' : '\'';
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\0' && next != '\n') {
+            out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == quote || c == '\n') {
+          // Unterminated-at-newline closes the literal: keeps a stray quote
+          // in a macro from swallowing the rest of the file.
+          if (c == quote) out[i] = ' ';
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Finding> LintFileWithRules(const FileSpec& file,
+                                       const std::vector<std::string>& rules) {
+  std::vector<Finding> findings;
+  const std::vector<std::string> raw_lines = SplitLines(file.content);
+  const std::vector<std::string> lines =
+      SplitLines(StripCommentsAndStrings(file.content));
+  const Allowances allow = ParseAllowances(raw_lines);
+  const auto enabled = [&rules](std::string_view name) {
+    return std::find(rules.begin(), rules.end(), name) != rules.end();
+  };
+  const auto report = [&](const char* rule, int line, std::string message) {
+    if (!allow.Allows(rule, line)) {
+      findings.push_back(Finding{file.path, line, rule, std::move(message)});
+    }
+  };
+
+  for (const TokenRule& rule : TokenRules()) {
+    if (!enabled(rule.name)) continue;
+    for (size_t i = 0; i < lines.size(); ++i) {
+      const std::string& line = lines[i];
+      bool hit = std::any_of(
+          rule.tokens.begin(), rule.tokens.end(),
+          [&line](std::string_view t) { return HasToken(line, t); });
+      if (!hit) {
+        hit = std::any_of(
+            rule.includes.begin(), rule.includes.end(),
+            [&line](std::string_view h) { return HasInclude(line, h); });
+      }
+      if (hit) report(rule.name, static_cast<int>(i + 1), rule.message);
+    }
+  }
+
+  if (enabled("pragma-once") && IsHeader(file.path)) {
+    const bool has = std::any_of(
+        lines.begin(), lines.end(), [](const std::string& line) {
+          const size_t first = line.find_first_not_of(" \t");
+          return first != std::string::npos &&
+                 StartsWith(std::string_view(line).substr(first),
+                            "#pragma once");
+        });
+    if (!has) {
+      report("pragma-once", 1, "header is missing #pragma once");
+    }
+  }
+
+  if (enabled("tsa-optout")) {
+    for (size_t i = 0; i < lines.size(); ++i) {
+      if (!HasToken(lines[i], kOptOutMacro)) continue;
+      bool justified = false;
+      const size_t lo =
+          i > static_cast<size_t>(kRationaleWindow) ? i - kRationaleWindow : 0;
+      for (size_t j = lo; j < i && !justified; ++j) {
+        justified = raw_lines[j].find(kOptOutRationale) != std::string::npos;
+      }
+      if (!justified) {
+        report("tsa-optout", static_cast<int>(i + 1),
+               "thread-safety analysis opt-out without a preceding "
+               "\"opt-out rationale\" comment explaining why the static "
+               "checker cannot model this function");
+      }
+    }
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::pair(a.line, std::string_view(a.rule)) <
+                     std::pair(b.line, std::string_view(b.rule));
+            });
+  return findings;
+}
+
+std::vector<Finding> LintFile(const FileSpec& file) {
+  return LintFileWithRules(file, RulesFor(file.path));
+}
+
+}  // namespace rl4oasd::lint

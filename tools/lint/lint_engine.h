@@ -1,0 +1,74 @@
+// The repo-invariant linter behind tools/oasd_lint (and the per-rule unit
+// tests in tests/oasd_lint_test.cc). Each rule encodes a contract the
+// codebase depends on but the compiler cannot see:
+//
+//   raw-mutex   — all locking outside src/common goes through common::Mutex
+//                 (so every lock is capability-annotated and rank-checked;
+//                 std::once_flag/call_once stay legal, <mutex> itself does
+//                 not).
+//   clock       — serving-side control flow is points-denominated, never
+//                 wall-clock: no std::chrono / sleeps in src/ outside the
+//                 blessed common/stopwatch.h reporting wrapper.
+//   randomness  — all stochastic draws go through the seeded common/rng
+//                 (std::mt19937, random_device, rand() break determinism
+//                 and therefore snapshot/replay).
+//   iostream    — src/ never writes to the global streams directly; output
+//                 funnels through common/logging (one serialized sink) or
+//                 caller-supplied streams.
+//   pragma-once — every header opens with #pragma once (self-containment
+//                 is checked separately by the CI header-compile pass).
+//   tsa-optout  — every RL4OASD_NO_THREAD_SAFETY_ANALYSIS carries a written
+//                 "opt-out rationale" comment within the preceding lines.
+//
+// Escape hatches, greppable by design:
+//   // oasd-lint: allow(<rule>)       — suppress on this line
+//   // oasd-lint: allow-file(<rule>)  — suppress for the whole file
+//
+// Rule applicability is per top-level directory (RulesFor): tests/, tools/,
+// bench/, and examples/ relax clock/randomness/iostream (harnesses print
+// and time things), src/common/ hosts the blessed wrappers the rules point
+// everyone else at.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rl4oasd::lint {
+
+/// One rule violation at a specific line (1-based).
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// A file to lint: `path` is repo-relative with '/' separators (rule
+/// applicability keys on its leading directories), `content` is the raw
+/// bytes.
+struct FileSpec {
+  std::string path;
+  std::string content;
+};
+
+/// Every rule name the engine knows, in reporting order.
+std::vector<std::string> AllRules();
+
+/// The rules that apply to `path` under the per-directory policy above.
+/// Files outside the linted trees (e.g. build/) get no rules.
+std::vector<std::string> RulesFor(std::string_view path);
+
+/// Replaces comments and string/char literals with spaces (newlines are
+/// preserved, so line numbers survive). Tokens inside comments or strings
+/// must never trip a rule; markers are extracted before stripping.
+std::string StripCommentsAndStrings(std::string_view content);
+
+/// Lints one file with an explicit rule set (unit-test entry point).
+std::vector<Finding> LintFileWithRules(const FileSpec& file,
+                                       const std::vector<std::string>& rules);
+
+/// Lints one file under the per-directory policy: RulesFor(path) + markers.
+std::vector<Finding> LintFile(const FileSpec& file);
+
+}  // namespace rl4oasd::lint

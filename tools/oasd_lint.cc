@@ -1,0 +1,94 @@
+// Repo-invariant linter (see tools/lint/lint_engine.h for the rules and
+// docs/STATIC_ANALYSIS.md for where it sits in the CI gate). Usage:
+//
+//   oasd_lint [repo_root]          lint src/ tests/ tools/ bench/ examples/
+//   oasd_lint [repo_root] FILE...  lint specific repo-relative files
+//   oasd_lint --list-rules
+//
+// Exit status is the number of findings capped at 1 — i.e. 0 iff clean —
+// so `add_test(... oasd_lint ${CMAKE_SOURCE_DIR})` gates CI directly.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint_engine.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool ReadFile(const fs::path& p, std::string* out) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+bool IsSourceFile(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc";
+}
+
+/// Repo-relative path with '/' separators (what RulesFor keys on).
+std::string RelPath(const fs::path& root, const fs::path& p) {
+  return fs::relative(p, root).generic_string();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (!args.empty() && args[0] == "--list-rules") {
+    for (const std::string& rule : rl4oasd::lint::AllRules()) {
+      std::cout << rule << "\n";
+    }
+    return 0;
+  }
+
+  const fs::path root = args.empty() ? fs::path(".") : fs::path(args[0]);
+  std::vector<fs::path> files;
+  if (args.size() > 1) {
+    for (size_t i = 1; i < args.size(); ++i) files.emplace_back(root / args[i]);
+  } else {
+    for (const char* dir :
+         {"src", "tests", "tools", "bench", "examples"}) {
+      const fs::path top = root / dir;
+      if (!fs::exists(top)) continue;
+      for (const auto& entry : fs::recursive_directory_iterator(top)) {
+        if (entry.is_regular_file() && IsSourceFile(entry.path())) {
+          files.push_back(entry.path());
+        }
+      }
+    }
+    std::sort(files.begin(), files.end());
+  }
+
+  size_t checked = 0;
+  std::vector<rl4oasd::lint::Finding> findings;
+  for (const fs::path& p : files) {
+    rl4oasd::lint::FileSpec spec;
+    spec.path = RelPath(root, p);
+    if (!ReadFile(p, &spec.content)) {
+      std::cerr << "oasd_lint: cannot read " << p << "\n";
+      return 2;
+    }
+    ++checked;
+    for (auto& f : rl4oasd::lint::LintFile(spec)) {
+      findings.push_back(std::move(f));
+    }
+  }
+
+  for (const auto& f : findings) {
+    std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
+              << f.message << "\n";
+  }
+  std::cout << "oasd_lint: " << checked << " files, " << findings.size()
+            << " finding(s)\n";
+  return findings.empty() ? 0 : 1;
+}
