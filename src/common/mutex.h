@@ -24,9 +24,13 @@
 // for what each level guards):
 //
 //   rank   mutex                          acquired while holding
+//   50     IngestPipeline::Lane::mu       nothing (staging ops only; the
+//                                         workers release it before feeding)
 //   100    FleetMonitor::Shard::mu        nothing (map ops only)
 //   200    FleetMonitor::Trip::mu         nothing, or same-rank trips in
 //                                         ascending address order (waves)
+//   250    AlertDeliveryQueue::mu_        trip locks (events are sequenced
+//                                         and enqueued under the trip lock)
 //   300    FleetMonitor::model_mu_        trip locks (lazy migration)
 //   400    DriftAdapter::pending_mu_      trip locks (harvest callback)
 //   500    DriftAdapter::state_mu_        nothing
@@ -43,8 +47,17 @@
 namespace rl4oasd::common {
 
 namespace lockrank {
+/// Staging-queue locks of the async ingest pipeline. Below kFleetShard so a
+/// misuse that feeds the monitor while still holding a lane lock fails the
+/// checker immediately (the workers drain a wave first, then feed unlocked).
+inline constexpr int kFleetIngest = 50;
 inline constexpr int kFleetShard = 100;
 inline constexpr int kFleetTrip = 200;
+/// The async alert-delivery queue: events are sequence-stamped and enqueued
+/// while the reporting trip's lock (and, during a FeedBatch wave, the other
+/// wave trips' locks) is held, so the rank sits above kFleetTrip; the
+/// drainer acquires it holding nothing.
+inline constexpr int kFleetDelivery = 250;
 inline constexpr int kFleetModel = 300;
 inline constexpr int kDriftPending = 400;
 inline constexpr int kDriftState = 500;

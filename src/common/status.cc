@@ -16,6 +16,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Out of range";
     case StatusCode::kFailedPrecondition:
       return "Failed precondition";
+    case StatusCode::kResourceExhausted:
+      return "Resource exhausted";
     case StatusCode::kInternal:
       return "Internal error";
     case StatusCode::kNotImplemented:

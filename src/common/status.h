@@ -19,6 +19,7 @@ enum class StatusCode {
   kIOError,
   kOutOfRange,
   kFailedPrecondition,
+  kResourceExhausted,
   kInternal,
   kNotImplemented,
 };
@@ -66,6 +67,9 @@ class Status {
   }
   static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

@@ -10,6 +10,8 @@
 #include "common/logging.h"
 #include "io/fleet_snapshot.h"
 #include "io/model_io.h"
+#include "serve/delivery_queue.h"
+#include "serve/ingest_queue.h"
 
 namespace rl4oasd::serve {
 
@@ -43,6 +45,23 @@ FleetMonitor::FleetMonitor(std::shared_ptr<const core::Rl4Oasd> model,
   handle->model = std::move(model);
   model_handle_ = std::move(handle);
   current_generation_.store(1, kRelaxed);
+  // Async plumbing last: the ingest workers capture `this`, so every other
+  // member must already be live when they start.
+  if (sink_ != nullptr && config_.async_alerts) {
+    delivery_ = std::make_unique<AlertDeliveryQueue>(
+        sink_, config_.alert_queue_capacity);
+  }
+  if (config_.ingest_workers > 0) {
+    ingest_ = std::make_unique<IngestPipeline>(this, config_, shards_.size());
+  }
+}
+
+FleetMonitor::~FleetMonitor() {
+  // Producers first: the ingest workers drain their lanes and may enqueue
+  // delivery events while doing so; the delivery queue then flushes its
+  // backlog. Reversing this order would lose the drained points' alerts.
+  ingest_.reset();
+  delivery_.reset();
 }
 
 FleetMonitor::FleetMonitor(const core::Rl4Oasd* model, FleetConfig config,
@@ -114,33 +133,52 @@ Status FleetMonitor::StartTrip(int64_t vehicle_id, traj::SdPair sd,
   const std::string precondition_msg =
       "vehicle " + std::to_string(vehicle_id) +
       " already has an active trip (EndTrip it first)";
-  // Reject duplicates before making room: a failing call must not evict a
-  // live trip. (A racing double-start can still reach the emplace below,
-  // which stays authoritative.)
+  // Reject duplicates early so the common failure is cheap. (A racing
+  // double-start can still reach the emplace below, which stays
+  // authoritative.)
   {
     common::MutexLock lock(&shard.mu);
     if (shard.trips.contains(vehicle_id)) {
       return Status::FailedPrecondition(precondition_msg);
     }
   }
-  if (active_trips_.load(kRelaxed) >=
-      static_cast<int64_t>(config_.max_active_trips)) {
-    EvictStalest();
-  }
   // The session (LSTM state allocation) is built before any lock is taken.
   auto handle = CurrentHandle();
   auto trip = std::make_shared<Trip>(
       handle->model->StartSession(sd, start_time), sd, start_time,
       std::move(handle));
+  // Slot reservation is atomic with admission: the emplace is the single
+  // admission point, and the active-trip counter bumps under the same shard
+  // lock only for an inserted trip. N concurrent admissions therefore read
+  // N *distinct* reservation indices, so exactly the admissions past the
+  // cap know they owe an eviction — the old check-then-insert admitted up
+  // to cap + N - 1 trips with nobody evicting. A failed (duplicate) start
+  // never touches the counter and never evicts; the old code evicted
+  // *before* the insert, so a racing duplicate start could sacrifice an
+  // innocent stalest trip and then fail anyway. (Reserving before the
+  // insert and undoing on failure has the same flaw one level down: the
+  // loser's transient reservation inflates a concurrent winner's count and
+  // makes *it* over-evict.)
+  const int64_t cap = static_cast<int64_t>(config_.max_active_trips);
+  int64_t reserved = 0;
   {
     common::MutexLock lock(&shard.mu);
     const auto [it, inserted] = shard.trips.emplace(vehicle_id, trip);
     if (!inserted) {
       return Status::FailedPrecondition(precondition_msg);
     }
+    reserved = active_trips_.fetch_add(1, kRelaxed) + 1;
   }
   shard.counters.trips_started.fetch_add(1, kRelaxed);
-  active_trips_.fetch_add(1, kRelaxed);
+  if (reserved > cap) {
+    // This admission overflowed the cap, so it pays for exactly one
+    // eviction. The count can transiently sit above the cap (by the number
+    // of in-flight admissions), but every over-cap admission evicts once,
+    // so quiescent active <= cap is exact. A concurrent EndTrip can make
+    // this eviction redundant (active dips below the cap); low is the safe
+    // side — the cap bounds memory.
+    (void)EvictStalest();
+  }
   return Status::OK();
 }
 
@@ -157,13 +195,77 @@ void FleetMonitor::EmitNewRuns(int64_t vehicle_id, Trip* trip, Shard* shard,
   if (runs.empty()) return;
   const size_t position = trip->session.labels().size();
   for (const auto& run : runs) {
-    if (sink_ != nullptr) {
-      sink_->OnAlert(Alert{vehicle_id, trip->sd, trip->start_time, run,
-                           timestamp, position});
-    }
+    SinkAlert(Alert{vehicle_id, trip->sd, trip->start_time, run, timestamp,
+                    position});
   }
   shard->counters.alerts_emitted.fetch_add(static_cast<int64_t>(runs.size()),
                                            kRelaxed);
+}
+
+// The Sink* helpers run under the reporting trip's lock (their callers are
+// the EmitNewRuns/EndTrip/FinishEvicted critical sections); enqueueing on
+// the delivery queue there is rank-legal (kFleetDelivery > kFleetTrip) and
+// is precisely what stamps the event sequence "under the trip lock".
+
+void FleetMonitor::SinkAlert(const Alert& alert) {
+  if (sink_ == nullptr) return;
+  if (delivery_ != nullptr) {
+    DeliveryEvent event;
+    event.kind = DeliveryEvent::Kind::kAlert;
+    event.alert = alert;
+    event.vehicle_id = alert.vehicle_id;
+    delivery_->Enqueue(std::move(event));
+    return;
+  }
+  sink_->OnAlert(alert);
+}
+
+void FleetMonitor::SinkTripEnd(int64_t vehicle_id,
+                               const std::vector<uint8_t>& labels) {
+  if (sink_ == nullptr) return;
+  if (delivery_ != nullptr) {
+    DeliveryEvent event;
+    event.kind = DeliveryEvent::Kind::kTripEnd;
+    event.vehicle_id = vehicle_id;
+    event.labels = labels;
+    delivery_->Enqueue(std::move(event));
+    return;
+  }
+  sink_->OnTripEnd(vehicle_id, labels);
+}
+
+void FleetMonitor::SinkTripEvicted(int64_t vehicle_id, double start_time,
+                                   const std::vector<uint8_t>& labels) {
+  if (sink_ == nullptr) return;
+  if (delivery_ != nullptr) {
+    DeliveryEvent event;
+    event.kind = DeliveryEvent::Kind::kTripEvicted;
+    event.vehicle_id = vehicle_id;
+    event.start_time = start_time;
+    event.labels = labels;
+    delivery_->Enqueue(std::move(event));
+    return;
+  }
+  sink_->OnTripEvicted(vehicle_id, start_time, labels);
+}
+
+void FleetMonitor::SinkTripFinalized(int64_t vehicle_id, traj::SdPair sd,
+                                     double start_time,
+                                     const std::vector<traj::EdgeId>& edges,
+                                     const std::vector<uint8_t>& labels) {
+  if (sink_ == nullptr) return;
+  if (delivery_ != nullptr) {
+    DeliveryEvent event;
+    event.kind = DeliveryEvent::Kind::kTripFinalized;
+    event.vehicle_id = vehicle_id;
+    event.sd = sd;
+    event.start_time = start_time;
+    event.edges = edges;
+    event.labels = labels;
+    delivery_->Enqueue(std::move(event));
+    return;
+  }
+  sink_->OnTripFinalized(vehicle_id, sd, start_time, edges, labels);
 }
 
 Result<int> FleetMonitor::Feed(int64_t vehicle_id, traj::EdgeId edge,
@@ -379,6 +481,41 @@ size_t FleetMonitor::FeedBatch(std::span<const FleetPoint> points)
   return fed;
 }
 
+Status FleetMonitor::Submit(const FleetPoint& point) {
+  if (ingest_ == nullptr) {
+    return Status::FailedPrecondition(
+        "async ingest is disabled (FleetConfig::ingest_workers == 0); use "
+        "Feed/FeedBatch or configure workers");
+  }
+  if (!ingest_->Submit(point)) {
+    return Status::ResourceExhausted(
+        "ingest lane full; point shed (OverloadPolicy::kShed)");
+  }
+  return Status::OK();
+}
+
+size_t FleetMonitor::SubmitBatch(std::span<const FleetPoint> points) {
+  if (ingest_ == nullptr) return 0;
+  return ingest_->SubmitBatch(points);
+}
+
+Status FleetMonitor::SubmitEndTrip(int64_t vehicle_id) {
+  if (ingest_ == nullptr) {
+    return Status::FailedPrecondition(
+        "async ingest is disabled (FleetConfig::ingest_workers == 0); use "
+        "EndTrip");
+  }
+  ingest_->SubmitEnd(vehicle_id);
+  return Status::OK();
+}
+
+void FleetMonitor::Quiesce() {
+  // Order matters: draining the lanes can enqueue delivery events, so the
+  // delivery flush must come second to cover them.
+  if (ingest_ != nullptr) ingest_->Quiesce();
+  if (delivery_ != nullptr) delivery_->Flush();
+}
+
 Result<std::vector<uint8_t>> FleetMonitor::EndTrip(int64_t vehicle_id) {
   Shard& shard = ShardOf(vehicle_id);
   std::shared_ptr<Trip> trip;
@@ -403,15 +540,13 @@ Result<std::vector<uint8_t>> FleetMonitor::EndTrip(int64_t vehicle_id) {
     // by definition) becomes takable and is emitted here.
     labels = t->session.Finish();
     EmitNewRuns(vehicle_id, t, &shard, t->last_update.load(kRelaxed));
-    if (sink_ != nullptr) {
-      sink_->OnTripEnd(vehicle_id, labels);
-      // The harvesting callback: a completed trip's (edges, final labels)
-      // pair is a ready-made training sample for online learning. Exactly
-      // once per trip — `finished` above makes this EndTrip the only one
-      // that reaches here.
-      sink_->OnTripFinalized(vehicle_id, t->sd, t->start_time,
-                             t->session.edges(), labels);
-    }
+    SinkTripEnd(vehicle_id, labels);
+    // The harvesting callback: a completed trip's (edges, final labels)
+    // pair is a ready-made training sample for online learning. Exactly
+    // once per trip — `finished` above makes this EndTrip the only one
+    // that reaches here.
+    SinkTripFinalized(vehicle_id, t->sd, t->start_time, t->session.edges(),
+                      labels);
   }
   shard.counters.trips_finished.fetch_add(1, kRelaxed);
   return labels;
@@ -428,16 +563,11 @@ void FleetMonitor::FinishEvicted(int64_t vehicle_id, Trip* trip,
     // tail: eviction must not silently drop an anomaly in progress.
     EmitNewRuns(vehicle_id, trip, shard, ts);
     if (const auto open = trip->session.OpenRun()) {
-      if (sink_ != nullptr) {
-        sink_->OnAlert(Alert{vehicle_id, trip->sd, trip->start_time, *open,
-                             ts, trip->session.labels().size()});
-      }
+      SinkAlert(Alert{vehicle_id, trip->sd, trip->start_time, *open, ts,
+                      trip->session.labels().size()});
       shard->counters.alerts_emitted.fetch_add(1, kRelaxed);
     }
-    if (sink_ != nullptr) {
-      sink_->OnTripEvicted(vehicle_id, trip->start_time,
-                           trip->session.labels());
-    }
+    SinkTripEvicted(vehicle_id, trip->start_time, trip->session.labels());
   }
   shard->counters.trips_evicted.fetch_add(1, kRelaxed);
 }
@@ -468,36 +598,41 @@ size_t FleetMonitor::EvictStale(double now) {
   return evicted;
 }
 
-void FleetMonitor::EvictStalest() {
-  // Two passes: find the globally stalest trip, then remove it. A trip that
-  // ended (or was replaced by a same-vehicle restart) between the passes is
-  // simply spared — the cap is advisory, not exact — which is why pass 2
-  // rechecks the trip's identity, not just the vehicle id.
-  int64_t victim = 0;
-  std::shared_ptr<Trip> observed;
-  double oldest = std::numeric_limits<double>::infinity();
-  for (Shard& shard : shards_) {
-    common::MutexLock lock(&shard.mu);
-    for (const auto& [vehicle, trip] : shard.trips) {
-      const double last = trip->last_update.load(kRelaxed);
-      if (last < oldest) {
-        oldest = last;
-        victim = vehicle;
-        observed = trip;
+bool FleetMonitor::EvictStalest() {
+  // Two passes per attempt: find the globally stalest trip, then remove it,
+  // rechecking the trip's *identity* (not just the vehicle id) — a trip
+  // that ended or was replaced by a same-vehicle restart between the passes
+  // must be spared. Losing that race retries the scan: the caller is an
+  // over-cap admission that still owes the hierarchy one eviction, so
+  // "someone else removed my victim" must not silently count as mine.
+  for (;;) {
+    int64_t victim = 0;
+    std::shared_ptr<Trip> observed;
+    double oldest = std::numeric_limits<double>::infinity();
+    for (Shard& shard : shards_) {
+      common::MutexLock lock(&shard.mu);
+      for (const auto& [vehicle, trip] : shard.trips) {
+        const double last = trip->last_update.load(kRelaxed);
+        if (last < oldest) {
+          oldest = last;
+          victim = vehicle;
+          observed = trip;
+        }
       }
     }
+    if (observed == nullptr) return false;
+    Shard& shard = ShardOf(victim);
+    std::shared_ptr<Trip> trip;
+    {
+      common::MutexLock lock(&shard.mu);
+      const auto it = shard.trips.find(victim);
+      if (it == shard.trips.end() || it->second != observed) continue;
+      trip = std::move(it->second);
+      shard.trips.erase(it);
+    }
+    FinishEvicted(victim, trip.get(), &shard);
+    return true;
   }
-  if (observed == nullptr) return;
-  Shard& shard = ShardOf(victim);
-  std::shared_ptr<Trip> trip;
-  {
-    common::MutexLock lock(&shard.mu);
-    const auto it = shard.trips.find(victim);
-    if (it == shard.trips.end() || it->second != observed) return;
-    trip = std::move(it->second);
-    shard.trips.erase(it);
-  }
-  FinishEvicted(victim, trip.get(), &shard);
 }
 
 size_t FleetMonitor::ActiveTrips() const {
@@ -514,7 +649,18 @@ FleetStats FleetMonitor::Stats() const {
     stats.alerts_emitted += shard.counters.alerts_emitted.load(kRelaxed);
     stats.trips_evicted += shard.counters.trips_evicted.load(kRelaxed);
   }
+  if (ingest_ != nullptr) {
+    stats.points_submitted = ingest_->PointsSubmitted();
+    stats.points_shed = ingest_->PointsShed();
+  }
+  stats.alerts_delivered = delivery_ != nullptr ? delivery_->AlertsDelivered()
+                                                : stats.alerts_emitted;
   return stats;
+}
+
+std::vector<int64_t> FleetMonitor::TakeAlertLatencySamplesNs() {
+  if (delivery_ == nullptr) return {};
+  return delivery_->TakeLatencySamplesNs();
 }
 
 Status FleetMonitor::Snapshot(BinaryWriter* w, std::string_view user_meta) {

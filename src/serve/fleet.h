@@ -5,8 +5,10 @@
 // deviate from the normal route". A deployment therefore runs one detection
 // session per *active trip*, fed by an interleaved stream of GPS-derived
 // road segments from the whole fleet. FleetMonitor owns that bookkeeping:
-// trip lifecycle, thread-safe ingest, stale-trip eviction, alert delivery,
-// and service counters.
+// trip lifecycle, thread-safe ingest (synchronous Feed/FeedBatch and the
+// self-batching Submit pipeline of serve/ingest_queue.h), stale-trip
+// eviction, alert delivery (inline or via the bounded async queue of
+// serve/delivery_queue.h), and service counters.
 //
 // Locking is two-level so throughput scales with cores:
 //   * a per-shard mutex guards only the vehicle -> trip map (insert, lookup,
@@ -47,6 +49,9 @@
 
 namespace rl4oasd::serve {
 
+class AlertDeliveryQueue;  // serve/delivery_queue.h
+class IngestPipeline;      // serve/ingest_queue.h
+
 /// An anomalous subtrajectory alert for one vehicle. Emitted as soon as the
 /// detector finalizes an anomalous run — Delayed Labeling scans D more
 /// segments past a boundary, so a run is reported once no future segment
@@ -72,21 +77,39 @@ struct Alert {
   size_t position = 0;
 };
 
-/// Alert delivery interface. Callbacks are invoked under the reporting
-/// trip's lock — never under a shard lock — and during a FeedBatch wave the
-/// other wave trips' locks (up to FleetConfig::micro_batch of them) are
-/// also held, so a slow sink stalls the whole wave, not just one trip:
-/// implementations must not call back into the monitor and should hand off
-/// to a queue if processing is slow. (Delivery stays under the trip lock
-/// because it is what guarantees the in-order-per-trip contract below.)
+/// Alert delivery interface. Delivery has two modes:
 ///
-/// Delivery ordering: within one trip, callbacks arrive in order. Across
-/// trips of the *same vehicle* there is one caveat — a trip is removed from
-/// the routing table before its final callbacks are delivered, so when an
-/// evicted vehicle immediately starts a new trip, the old trip's
-/// OnAlert/OnTripEvicted can interleave with the new trip's callbacks.
-/// Sinks that key state by vehicle must use (vehicle_id, trip_start_time)
-/// as the trip identity.
+///   * Synchronous (default, FleetConfig::async_alerts == false): callbacks
+///     are invoked under the reporting trip's lock — never under a shard
+///     lock — and during a FeedBatch wave the other wave trips' locks (up
+///     to FleetConfig::micro_batch of them) are also held, so a slow sink
+///     stalls the whole wave, not just one trip.
+///
+///   * Asynchronous (FleetConfig::async_alerts == true): every callback is
+///     captured by value as a DeliveryEvent, sequence-numbered *under the
+///     reporting trip's lock*, and enqueued on a bounded delivery queue
+///     (serve/delivery_queue.h); a dedicated drainer thread invokes the
+///     sink in sequence order with **no monitor lock held**, so a slow sink
+///     backs up only the queue — ingest keeps flowing until the queue
+///     itself fills, at which point enqueueing blocks (bounded memory,
+///     never a dropped event). Use FleetMonitor::Quiesce() to wait until
+///     everything emitted so far has been delivered; the monitor's
+///     destructor delivers the backlog before returning.
+///
+/// In both modes, implementations must not call back into the monitor: the
+/// synchronous path would re-enter while holding trip locks, and an async
+/// sink that feeds the monitor can deadlock against a full delivery queue
+/// it is itself responsible for draining.
+///
+/// Delivery ordering (both modes): within one trip, callbacks arrive in
+/// order — synchronously because they run under the trip's lock, and
+/// asynchronously because events are sequenced under that same lock and the
+/// drainer preserves sequence order. Across trips of the *same vehicle*
+/// there is one caveat — a trip is removed from the routing table before
+/// its final callbacks are delivered, so when an evicted vehicle
+/// immediately starts a new trip, the old trip's OnAlert/OnTripEvicted can
+/// interleave with the new trip's callbacks. Sinks that key state by
+/// vehicle must use (vehicle_id, trip_start_time) as the trip identity.
 class AlertSink {
  public:
   virtual ~AlertSink() = default;
@@ -182,10 +205,24 @@ struct FleetPoint {
   double timestamp = 0.0;
 };
 
+/// What Submit does when a staging lane is full (see ingest_queue.h).
+enum class OverloadPolicy {
+  /// Wait for space: lossless, backpressure propagates to the submitter.
+  kBlock,
+  /// Drop the point and count it in FleetStats::points_shed: bounded
+  /// latency, explicit loss. End-of-trip markers are never shed.
+  kShed,
+};
+
 struct FleetConfig {
-  /// Soft cap on simultaneously active trips; StartTrip beyond it evicts the
-  /// stalest trip first. Checked against an approximate counter, so brief
-  /// overshoot by the number of concurrent starters is possible.
+  /// Cap on simultaneously active trips. A StartTrip that admits a trip
+  /// beyond it evicts the stalest trip. Slot reservation is atomic with
+  /// admission (counted under the shard lock at insert), so concurrent
+  /// admissions read distinct reservation indices and every over-cap
+  /// admission pays for exactly one eviction: the count may transiently
+  /// exceed the cap by the number of in-flight StartTrip calls, but in
+  /// quiescence active <= max_active_trips holds exactly. A StartTrip that
+  /// fails (duplicate vehicle) never touches the count and never evicts.
   size_t max_active_trips = 100000;
   /// Trips with no Feed for this long are evictable by EvictStale.
   double trip_timeout_s = 2 * 3600.0;
@@ -199,6 +236,34 @@ struct FleetConfig {
   /// RSRNet/ASDNet matmuls across trips but hold that many trip locks for
   /// the duration of one fused step.
   size_t micro_batch = 128;
+  /// Number of ingest worker threads behind Submit/SubmitBatch. 0 disables
+  /// the async ingest pipeline entirely (Submit fails; Feed/FeedBatch are
+  /// the only ingest paths). Clamped to num_shards; shard s is served by
+  /// lane s % ingest_workers, which preserves per-vehicle order.
+  size_t ingest_workers = 0;
+  /// Bound on staged points per ingest lane; overflow behavior is
+  /// overload_policy. Sized in points: ~24 bytes each.
+  size_t ingest_queue_capacity = 8192;
+  /// Adaptive flush age for partial ingest waves, denominated in *points*
+  /// (later submissions to the same lane), never wall time — the repo's
+  /// determinism contract bans clock-driven control flow. 0 (default):
+  /// flush any non-empty lane as soon as its worker is free (lowest
+  /// latency; waves still widen under load because they accumulate behind
+  /// the previous wave). N > 0: hold a sub-micro_batch wave until its
+  /// oldest point has seen N later submissions, trading latency for wider
+  /// fused batches under sparse arrivals. A tail younger than N waits for
+  /// Quiesce()/destruction.
+  size_t ingest_flush_age_points = 0;
+  /// Full-lane behavior for Submit/SubmitBatch.
+  OverloadPolicy overload_policy = OverloadPolicy::kBlock;
+  /// Deliver AlertSink callbacks asynchronously (see the AlertSink contract
+  /// above). Off by default: the synchronous path is the deterministic
+  /// reference, and existing callers observe sink effects immediately on
+  /// return from Feed/EndTrip.
+  bool async_alerts = false;
+  /// Bound on undelivered async sink events; enqueueing blocks when full
+  /// (events are never dropped — see AlertSink).
+  size_t alert_queue_capacity = 16384;
 };
 
 /// Service counters (monotonic since construction).
@@ -208,6 +273,19 @@ struct FleetStats {
   int64_t points_processed = 0;
   int64_t alerts_emitted = 0;
   int64_t trips_evicted = 0;
+  /// Submit-path points accepted into a staging lane (0 when
+  /// ingest_workers == 0; Feed/FeedBatch points count only in
+  /// points_processed). After Quiesce, points_submitted ==
+  /// points_processed' + skipped, where points_processed' is the
+  /// Submit-path share and skipped are points whose vehicle had no trip.
+  int64_t points_submitted = 0;
+  /// Points dropped by OverloadPolicy::kShed (the overload signal; always 0
+  /// under kBlock).
+  int64_t points_shed = 0;
+  /// OnAlert callbacks completed by the async delivery worker. Equals
+  /// alerts_emitted once Quiesce returns; lags it by the queue backlog
+  /// under load. With async_alerts off, mirrors alerts_emitted.
+  int64_t alerts_delivered = 0;
 };
 
 /// Concurrent multi-trip online detector over one trained model. The model
@@ -230,6 +308,10 @@ class FleetMonitor {
 
   FleetMonitor(const FleetMonitor&) = delete;
   FleetMonitor& operator=(const FleetMonitor&) = delete;
+
+  /// Stops the ingest workers (after they drain every staged point) and
+  /// delivers any queued async sink events, in that order.
+  ~FleetMonitor();
 
   /// Begins a trip for a vehicle. The SD pair is known at trip start in the
   /// ride-hailing setting. Fails if the vehicle already has an active trip.
@@ -265,6 +347,42 @@ class FleetMonitor {
   /// before return.
   Result<std::vector<uint8_t>> EndTrip(int64_t vehicle_id);
 
+  // -- Asynchronous ingest (requires FleetConfig::ingest_workers > 0) ------
+  //
+  // Submit* stage work on bounded per-shard lanes and return; worker
+  // threads assemble the staged points into FeedBatch waves adaptively (see
+  // serve/ingest_queue.h for the width/age flush policy and the ordering
+  // guarantees). Feed/FeedBatch above remain the synchronous reference
+  // path: after Quiesce(), a Submit-driven run produces the identical
+  // per-vehicle label/alert/trip-end sequences.
+
+  /// Stages one point for the vehicle's active trip. Non-blocking except
+  /// for backpressure: under OverloadPolicy::kBlock a full lane makes it
+  /// wait for space; under kShed a full lane drops the point, counts it in
+  /// points_shed, and returns ResourceExhausted. FailedPrecondition when
+  /// the pipeline is disabled (ingest_workers == 0).
+  Status Submit(const FleetPoint& point);
+
+  /// Stages a batch (split across lanes by vehicle; per-vehicle order
+  /// preserved). Returns the number of points accepted — equal to
+  /// points.size() under kBlock, possibly fewer under kShed. Returns 0 if
+  /// the pipeline is disabled.
+  size_t SubmitBatch(std::span<const FleetPoint> points);
+
+  /// Stages an end-of-trip marker behind everything the vehicle has
+  /// submitted so far; the lane worker calls EndTrip once the points ahead
+  /// of it are fed (final labels go to the sink, not returned). Never shed.
+  /// FailedPrecondition when the pipeline is disabled.
+  Status SubmitEndTrip(int64_t vehicle_id);
+
+  /// Drains the pipeline: blocks until every staged point/end marker has
+  /// been fed AND every async sink event emitted by that work has been
+  /// delivered. After Quiesce, Stats() and sink contents are exact (the
+  /// conservation identity holds) and a Submit-driven run is comparable
+  /// point-for-point with the synchronous reference. No-op when both
+  /// features are off.
+  void Quiesce();
+
   /// Drops trips whose last update is older than `now - trip_timeout_s`
   /// (vehicles that vanished mid-trip). A still-open anomalous run is
   /// alerted and the sink's OnTripEvicted hook fires for every dropped
@@ -275,6 +393,11 @@ class FleetMonitor {
   /// quiescence, momentarily off by in-flight starts/ends under concurrency.
   size_t ActiveTrips() const;
   FleetStats Stats() const;
+
+  /// Drains the async delivery queue's enqueue→delivery latency samples
+  /// (nanoseconds, most recent window; reporting-only — see
+  /// delivery_queue.h). Empty when async_alerts is off.
+  std::vector<int64_t> TakeAlertLatencySamplesNs();
 
   /// Atomically hot-reloads a new model bundle under concurrent ingest and
   /// returns the retired model. New trips start on the new model
@@ -447,8 +570,22 @@ class FleetMonitor {
       RL4OASD_EXCLUDES(trip->mu);
 
   /// Evicts the least-recently-updated trip across all shards (requires no
-  /// lock held by the caller).
-  void EvictStalest();
+  /// lock held by the caller). Retries internally when a race removes the
+  /// chosen victim first; returns false only when no evictable trip was
+  /// found at all, so over-cap admissions can loop until the cap holds.
+  bool EvictStalest();
+
+  // Sink dispatch: inline under the caller's trip lock (synchronous mode)
+  // or value-captured onto the delivery queue (async_alerts). All no-ops
+  // when sink_ is null. Counter bumps stay at the call sites.
+  void SinkAlert(const Alert& alert);
+  void SinkTripEnd(int64_t vehicle_id, const std::vector<uint8_t>& labels);
+  void SinkTripEvicted(int64_t vehicle_id, double start_time,
+                       const std::vector<uint8_t>& labels);
+  void SinkTripFinalized(int64_t vehicle_id, traj::SdPair sd,
+                         double start_time,
+                         const std::vector<traj::EdgeId>& edges,
+                         const std::vector<uint8_t>& labels);
 
   /// The current model handle (shared_ptr copy under model_mu_, so a
   /// concurrent SwapModel can never hand out a torn read).
@@ -464,6 +601,12 @@ class FleetMonitor {
   AlertSink* sink_;
   std::vector<Shard> shards_;
   std::atomic<int64_t> active_trips_{0};
+  /// Async alert delivery (async_alerts && sink). Declared before ingest_
+  /// and torn down after it in ~FleetMonitor: the ingest workers are
+  /// producers of delivery events, so they must stop first.
+  std::unique_ptr<AlertDeliveryQueue> delivery_;
+  /// Async ingest lanes + workers (ingest_workers > 0).
+  std::unique_ptr<IngestPipeline> ingest_;
   /// Guards model_handle_ (the pointer only). Rank kFleetModel: acquired
   /// under a trip lock by the lazy-migration path.
   mutable common::Mutex model_mu_{common::lockrank::kFleetModel};

@@ -197,6 +197,44 @@ TEST(OasdLintTest, EscapedQuoteInStringDoesNotDesync) {
 }
 
 // ---------------------------------------------------------------------------
+// lock-rank
+
+TEST(OasdLintTest, LockRankFlagsUnknownRankIdentifiers) {
+  const std::string code =
+      "#include \"common/mutex.h\"\n"
+      "common::Mutex mu{common::lockrank::kFleetSnapshot};\n"
+      "common::Mutex mu2{lockrank::kFleetShard};\n";
+  const auto findings = Lint("src/serve/x.cc", code, {"lock-rank"});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "lock-rank");
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_NE(findings[0].message.find("kFleetSnapshot"), std::string::npos);
+}
+
+TEST(OasdLintTest, LockRankAllowsEveryTableTier) {
+  const std::string code =
+      "int ranks[] = {lockrank::kFleetIngest, lockrank::kFleetShard,\n"
+      "               lockrank::kFleetTrip, lockrank::kFleetDelivery,\n"
+      "               lockrank::kFleetModel, lockrank::kDriftPending,\n"
+      "               lockrank::kDriftState, lockrank::kDefault,\n"
+      "               lockrank::kLogging};\n";
+  EXPECT_TRUE(Lint("src/serve/x.cc", code, {"lock-rank"}).empty());
+}
+
+TEST(OasdLintTest, LockRankIgnoresCommentsAndHonorsEscapeHatch) {
+  // A rank mentioned in a comment is not a use; an explicit allow() keeps
+  // prototype code compiling while the table change is in review.
+  const std::string code =
+      "// future: lockrank::kFleetFuture below kFleetShard\n"
+      "common::Mutex mu{lockrank::kFleetFuture};  "
+      "// oasd-lint: allow(lock-rank)\n"
+      "common::Mutex mu2{lockrank::kFleetFuture};\n";
+  const auto findings = Lint("src/serve/x.cc", code, {"lock-rank"});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 3);
+}
+
+// ---------------------------------------------------------------------------
 // per-directory policy
 
 TEST(OasdLintTest, PolicyMatchesDirectoryContracts) {
@@ -215,11 +253,20 @@ TEST(OasdLintTest, PolicyMatchesDirectoryContracts) {
   rules = RulesFor("src/common/rng.h");
   EXPECT_FALSE(std::count(rules.begin(), rules.end(), "randomness"));
 
-  // tests/: may print and time, but locks still go through common::Mutex.
+  // tests/: may print and time, but locks still go through common::Mutex
+  // and rank names still come from the closed table.
   rules = RulesFor("tests/serve_test.cc");
   EXPECT_TRUE(std::count(rules.begin(), rules.end(), "raw-mutex"));
+  EXPECT_TRUE(std::count(rules.begin(), rules.end(), "lock-rank"));
   EXPECT_FALSE(std::count(rules.begin(), rules.end(), "clock"));
   EXPECT_FALSE(std::count(rules.begin(), rules.end(), "iostream"));
+
+  // The queue mutexes' ranks are checked wherever locks are linted.
+  EXPECT_TRUE(std::count(rules.begin(), rules.end(), "lock-rank"));
+  rules = RulesFor("bench/bench_fleet_soak.cc");
+  EXPECT_TRUE(std::count(rules.begin(), rules.end(), "lock-rank"));
+  rules = RulesFor("src/serve/ingest_queue.cc");
+  EXPECT_TRUE(std::count(rules.begin(), rules.end(), "lock-rank"));
 
   // Outside the linted trees: nothing applies.
   EXPECT_TRUE(RulesFor("build/generated.cc").empty());

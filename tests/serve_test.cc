@@ -306,6 +306,183 @@ TEST_F(FleetTest, DuplicateStartAtCapEvictsNothing) {
   EXPECT_EQ(sink.NumEvicted(), 0u);
 }
 
+/// Parks the *first* eviction callback until the test opens the gate, and
+/// records every victim. Lets a test freeze one StartTrip inside its
+/// eviction (mid-admission) while another runs to completion — the exact
+/// interleaving behind the historical cap-overshoot race, made
+/// deterministic (no reliance on scheduler timing, works on one core).
+class EvictGateSink : public AlertSink {
+ public:
+  void OnAlert(const Alert&) override {}
+  void OnTripEvicted(int64_t vehicle_id, double /*trip_start_time*/,
+                     const std::vector<uint8_t>&) override {
+    common::MutexLock lock(&mu_);
+    victims_.push_back(vehicle_id);
+    if (victims_.size() == 1) {
+      entered_cv_.NotifyAll();
+      while (!open_) gate_cv_.Wait(&mu_);
+    }
+  }
+  void AwaitFirstEviction() {
+    common::MutexLock lock(&mu_);
+    while (victims_.empty()) entered_cv_.Wait(&mu_);
+  }
+  void Open() {
+    common::MutexLock lock(&mu_);
+    open_ = true;
+    gate_cv_.NotifyAll();
+  }
+  std::vector<int64_t> Victims() {
+    common::MutexLock lock(&mu_);
+    return victims_;
+  }
+
+ private:
+  mutable common::Mutex mu_;
+  common::CondVar entered_cv_;
+  common::CondVar gate_cv_;
+  std::vector<int64_t> victims_ RL4OASD_GUARDED_BY(mu_);
+  bool open_ RL4OASD_GUARDED_BY(mu_) = false;
+};
+
+TEST_F(FleetTest, StartTripRacingEvictionNeverOvershootsCap) {
+  // Deterministic regression for the StartTrip cap race. Old order:
+  // check-active-then-evict-then-insert. Freeze starter A inside the
+  // eviction it performs for its own admission (the victim is already
+  // removed and uncounted, A's trip not yet inserted); let starter B run
+  // start-to-finish in that window. B observes active < cap, skips
+  // eviction, and admits; when A resumes and inserts, active lands above
+  // the cap — and *stays* there, because nothing ever re-checks. With
+  // reservation atomic to admission, each over-cap admission pays its own
+  // eviction and the final count is exactly the cap, whatever the
+  // interleaving.
+  const auto& t = (*dataset_)[0].traj;
+  EvictGateSink sink;
+  FleetConfig cfg;
+  cfg.max_active_trips = 1;
+  FleetMonitor monitor(model_, cfg, &sink);
+  ASSERT_TRUE(monitor.StartTrip(1, t.sd(), 0.0).ok());
+
+  std::thread starter_a([&] {
+    ASSERT_TRUE(monitor.StartTrip(2, t.sd(), 20.0).ok());
+  });
+  sink.AwaitFirstEviction();  // A is frozen mid-StartTrip, mid-eviction
+  ASSERT_TRUE(monitor.StartTrip(3, t.sd(), 30.0).ok());
+  sink.Open();
+  starter_a.join();
+
+  // Quiescent now: the cap must hold exactly, and every trip must be
+  // accounted for.
+  EXPECT_EQ(monitor.ActiveTrips(), 1u);
+  const FleetStats stats = monitor.Stats();
+  EXPECT_EQ(stats.trips_started, 3);
+  EXPECT_EQ(stats.trips_started,
+            stats.trips_evicted + static_cast<int64_t>(monitor.ActiveTrips()));
+  const auto victims = sink.Victims();
+  EXPECT_EQ(victims.size(), static_cast<size_t>(stats.trips_evicted));
+  EXPECT_EQ(victims[0], 1);  // the stalest trip goes first
+}
+
+TEST_F(FleetTest, RacingDuplicateStartNeverEvictsInnocent) {
+  // Regression: StartTrip used to evict *before* inserting, so when two
+  // threads raced a start for the same vehicle at the cap, the loser passed
+  // the duplicate pre-check, evicted an innocent stalest trip, and then
+  // failed at the insert anyway — the fleet lost a live trip for a start
+  // that never happened. Post-fix only an admitted start evicts, so each
+  // round must evict exactly one trip (paid by the winner) and the
+  // second-stalest trip must survive.
+  const auto& t = (*dataset_)[0].traj;
+  for (int iter = 0; iter < 25; ++iter) {
+    CollectingSink sink;
+    FleetConfig cfg;
+    cfg.max_active_trips = 2;
+    FleetMonitor monitor(model_, cfg, &sink);
+    ASSERT_TRUE(monitor.StartTrip(1, t.sd(), 0.0).ok());   // stalest: fair game
+    ASSERT_TRUE(monitor.StartTrip(2, t.sd(), 10.0).ok());  // innocent bystander
+    std::atomic<int> admitted{0};
+    std::atomic<int> rejected{0};
+    // Spin barrier: both racers enter StartTrip together, so both pass the
+    // duplicate pre-check before either inserts.
+    std::atomic<int> ready{0};
+    std::atomic<bool> go{false};
+    auto racer = [&] {
+      ready.fetch_add(1);
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      const Status st = monitor.StartTrip(3, t.sd(), 20.0);
+      if (st.ok()) {
+        admitted.fetch_add(1);
+      } else if (st.code() == StatusCode::kFailedPrecondition) {
+        rejected.fetch_add(1);
+      }
+    };
+    std::thread a(racer);
+    std::thread b(racer);
+    while (ready.load() != 2) {
+    }
+    go.store(true, std::memory_order_release);
+    a.join();
+    b.join();
+    EXPECT_EQ(admitted.load(), 1);
+    EXPECT_EQ(rejected.load(), 1);
+    // Exactly one eviction — the winner's — and the victim is the stalest
+    // trip, never the bystander.
+    EXPECT_EQ(monitor.ActiveTrips(), 2u);
+    EXPECT_EQ(monitor.Stats().trips_evicted, 1);
+    const auto evicted = sink.TakeEvicted();
+    ASSERT_EQ(evicted.size(), 1u) << "iteration " << iter;
+    EXPECT_EQ(evicted[0].first, 1) << "iteration " << iter;
+    EXPECT_TRUE(monitor.Feed(2, t.edges[0], 30.0).ok());
+  }
+}
+
+TEST_F(FleetTest, ConcurrentStartersNeverOvershootCap) {
+  // Regression: StartTrip used to check the cap before inserting, so N
+  // concurrent starters could each observe active < cap and admit cap+N-1
+  // trips with nobody evicting — and once the count sat above the cap,
+  // nothing ever brought it back down. Reservation is now atomic with
+  // admission (distinct indices), so every over-cap admission evicts
+  // exactly once and the quiescent count lands exactly on the cap. Each
+  // round is a barrier-synced burst of starters crossing the cap boundary
+  // together (the racy moment). Runs under the CI ThreadSanitizer job.
+  const auto& t = (*dataset_)[0].traj;
+  constexpr size_t kCap = 4;
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 10;
+  for (int round = 0; round < kRounds; ++round) {
+    CollectingSink sink;
+    FleetConfig cfg;
+    cfg.max_active_trips = kCap;
+    cfg.num_shards = 4;  // force cross-thread shard sharing
+    FleetMonitor monitor(model_, cfg, &sink);
+    std::atomic<int> ready{0};
+    std::atomic<bool> go{false};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int th = 0; th < kThreads; ++th) {
+      threads.emplace_back([&, th] {
+        ready.fetch_add(1);
+        while (!go.load(std::memory_order_acquire)) {
+        }
+        ASSERT_TRUE(monitor.StartTrip(th, t.sd(), static_cast<double>(th))
+                        .ok());
+      });
+    }
+    while (ready.load() != kThreads) {
+    }
+    go.store(true, std::memory_order_release);
+    for (auto& th : threads) th.join();
+
+    // Quiescent: every over-cap admission has paid its eviction.
+    EXPECT_EQ(monitor.ActiveTrips(), kCap) << "round " << round;
+    const FleetStats stats = monitor.Stats();
+    EXPECT_EQ(stats.trips_started, kThreads);
+    EXPECT_EQ(stats.trips_started,
+              stats.trips_evicted + static_cast<int64_t>(kCap));
+    EXPECT_EQ(stats.trips_evicted, static_cast<int64_t>(sink.NumEvicted()));
+  }
+}
+
 TEST_F(FleetTest, CapEvictionNotifiesSink) {
   CollectingSink sink;
   FleetConfig cfg;

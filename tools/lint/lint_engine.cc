@@ -84,6 +84,24 @@ const std::vector<TokenRule>& TokenRules() {
   return rules;
 }
 
+/// The closed lock-rank table mirrored from common/mutex.h (namespace
+/// lockrank). The runtime checker only sees orderings that actually execute;
+/// this rule catches the static half: a `lockrank::kSomething` that nobody
+/// added to the table is a typo or an undeclared hierarchy tier, either of
+/// which silently lands at whatever value the compiler error turns into
+/// once "fixed" locally. New tiers must be added to common/mutex.h and to
+/// this table in the same change.
+constexpr std::array<std::string_view, 9> kKnownRanks = {
+    "kFleetIngest", "kFleetShard",   "kFleetTrip",
+    "kFleetDelivery", "kFleetModel", "kDriftPending",
+    "kDriftState",  "kDefault",      "kLogging",
+};
+
+bool IsKnownRank(std::string_view name) {
+  return std::find(kKnownRanks.begin(), kKnownRanks.end(), name) !=
+         kKnownRanks.end();
+}
+
 constexpr std::string_view kOptOutMacro = "RL4OASD_NO_THREAD_SAFETY_ANALYSIS";
 constexpr std::string_view kOptOutRationale = "opt-out rationale";
 /// How far above an analysis opt-out its rationale comment may sit.
@@ -171,6 +189,7 @@ std::vector<std::string> AllRules() {
   for (const TokenRule& r : TokenRules()) rules.emplace_back(r.name);
   rules.emplace_back("pragma-once");
   rules.emplace_back("tsa-optout");
+  rules.emplace_back("lock-rank");
   return rules;
 }
 
@@ -188,15 +207,18 @@ std::vector<std::string> RulesFor(std::string_view path) {
     add("iostream");
     add("pragma-once");
     if (path != "src/common/thread_annotations.h") add("tsa-optout");
+    add("lock-rank");
     return rules;
   }
   if (StartsWith(path, "tests/") || StartsWith(path, "tools/") ||
       StartsWith(path, "bench/") || StartsWith(path, "examples/")) {
     // Harnesses legitimately print, time, and (seeded) shuffle; but their
-    // locks still take part in the rank hierarchy, so raw-mutex holds.
+    // locks still take part in the rank hierarchy, so raw-mutex and
+    // lock-rank hold.
     add("raw-mutex");
     add("pragma-once");
     add("tsa-optout");
+    add("lock-rank");
     return rules;
   }
   return rules;
@@ -325,6 +347,29 @@ std::vector<Finding> LintFileWithRules(const FileSpec& file,
                "thread-safety analysis opt-out without a preceding "
                "\"opt-out rationale\" comment explaining why the static "
                "checker cannot model this function");
+      }
+    }
+  }
+
+  if (enabled("lock-rank")) {
+    constexpr std::string_view kNs = "lockrank::";
+    for (size_t i = 0; i < lines.size(); ++i) {
+      const std::string& line = lines[i];
+      size_t pos = 0;
+      while ((pos = line.find(kNs, pos)) != std::string::npos) {
+        const bool left_ok = pos == 0 || !IsIdentChar(line[pos - 1]);
+        const size_t start = pos + kNs.size();
+        size_t end = start;
+        while (end < line.size() && IsIdentChar(line[end])) ++end;
+        const std::string name = line.substr(start, end - start);
+        if (left_ok && !name.empty() && !IsKnownRank(name)) {
+          report("lock-rank", static_cast<int>(i + 1),
+                 "unknown lock rank 'lockrank::" + name +
+                     "' — the rank table is closed; declare new tiers in "
+                     "common/mutex.h and add them to this linter's "
+                     "kKnownRanks in the same change");
+        }
+        pos = end;
       }
     }
   }

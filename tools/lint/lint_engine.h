@@ -19,6 +19,11 @@
 //                 is checked separately by the CI header-compile pass).
 //   tsa-optout  — every RL4OASD_NO_THREAD_SAFETY_ANALYSIS carries a written
 //                 "opt-out rationale" comment within the preceding lines.
+//   lock-rank   — every lockrank::k* identifier names a tier of the closed
+//                 rank table in common/mutex.h (kFleetIngest .. kLogging);
+//                 a new tier is declared there and mirrored in the linter's
+//                 table in the same change, so an invented or misspelled
+//                 rank cannot slip into the hierarchy unreviewed.
 //
 // Escape hatches, greppable by design:
 //   // oasd-lint: allow(<rule>)       — suppress on this line

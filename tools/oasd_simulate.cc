@@ -10,7 +10,14 @@
 // where it stopped — the remaining alert stream is bit-identical to the
 // uninterrupted run (both require --threads 1, the deterministic replay).
 //
+// Async serving: --async stages every point through the monitor's
+// self-batching shard ingest workers (Submit/SubmitEndTrip, non-blocking)
+// with alert delivery on the async delivery worker; the replay threads
+// become pure producers and Quiesce() drains the pipeline before the
+// summary.
+//
 //   oasd_simulate --data-dir data --model data/model.rlmb --threads 4
+//   oasd_simulate ... --async --ingest-workers 4
 //   oasd_simulate ... --threads 1 --snapshot-every 5000
 //   oasd_simulate ... --threads 1 --resume-from data/fleet.snap
 #include <atomic>
@@ -71,6 +78,13 @@ int Main(int argc, char** argv) {
                "concurrent trips per ingest thread, fed one point each per "
                "FeedBatch wave so the model steps fuse (0 = per-point Feed)");
   flags.AddBool("print-alerts", false, "print each alert as it fires");
+  flags.AddBool("async", false,
+                "stage ingest through the self-batching shard workers "
+                "(Submit/SubmitEndTrip) with async alert delivery instead "
+                "of feeding inline; --threads become producer threads");
+  flags.AddInt("ingest-workers", 4,
+               "ingest worker threads behind --async (clamped to the "
+               "shard count)");
   flags.AddInt("snapshot-every", 0,
                "write a durable fleet snapshot every N points "
                "(0 = never; requires --threads 1)");
@@ -142,6 +156,12 @@ int Main(int argc, char** argv) {
   serve::FleetConfig fleet_cfg;
   fleet_cfg.max_active_trips =
       static_cast<size_t>(flags.GetInt("max-active"));
+  const bool async = flags.GetBool("async");
+  if (async) {
+    fleet_cfg.ingest_workers = static_cast<size_t>(
+        std::max<int64_t>(1, flags.GetInt("ingest-workers")));
+    fleet_cfg.async_alerts = true;
+  }
   const bool adapt = flags.GetBool("adapt");
   std::shared_ptr<const core::Rl4Oasd> shared_model = std::move(model);
   std::unique_ptr<serve::DriftAdapter> adapter;
@@ -193,6 +213,15 @@ int Main(int argc, char** argv) {
                  "taken with\n");
     return 1;
   }
+  if (async && (durable_mode || batch_size > 0 || adapt)) {
+    std::fprintf(stderr,
+                 "error: --async is incompatible with --batch (the ingest "
+                 "workers form their own micro-batch waves), with "
+                 "snapshot/resume/--max-points (the deterministic replay), "
+                 "and with --adapt (the drift adapter harvests labels from "
+                 "synchronous sink callbacks)\n");
+    return 1;
+  }
   // Snapshot/resume rides the batched loop; --batch 0 degenerates to
   // one-trip waves, which FeedBatch runs through the scalar path.
   if (durable_mode && batch_size == 0) batch_size = 1;
@@ -227,7 +256,9 @@ int Main(int argc, char** argv) {
 
   std::printf("replaying %zu trips x%d across %d threads%s...\n",
               input.size(), repeat, threads,
-              batch_size > 0 ? " (batched ingest)" : "");
+              async         ? " (async staged ingest)"
+              : batch_size > 0 ? " (batched ingest)"
+                               : "");
 
   Stopwatch sw;
   std::atomic<int64_t> points{0};
@@ -246,6 +277,22 @@ int Main(int argc, char** argv) {
                   static_cast<int64_t>(i),
               &input[i].traj);
         }
+      }
+      if (async) {
+        // Producer role: stage everything and move on. The shard workers
+        // form the micro-batch waves; a full staging lane applies the
+        // configured backpressure (kBlock by default, so nothing drops).
+        for (const auto& [vid, t] : todo) {
+          if (!monitor.StartTrip(vid, t->sd(), t->start_time).ok()) continue;
+          double ts = t->start_time;
+          for (traj::EdgeId e : t->edges) {
+            (void)monitor.Submit({vid, e, ts});
+            ts += 2.0;  // paper's sampling rate
+          }
+          (void)monitor.SubmitEndTrip(vid);
+          points.fetch_add(static_cast<int64_t>(t->edges.size()));
+        }
+        return;
       }
       if (batch_size == 0) {
         for (const auto& [vid, t] : todo) {
@@ -355,6 +402,9 @@ int Main(int argc, char** argv) {
     });
   }
   for (auto& w : workers) w.join();
+  // Producers only staged work in async mode; the wall clock must cover the
+  // drain, or points/s would count staged-not-processed points.
+  if (async) monitor.Quiesce();
   const double elapsed = sw.ElapsedSeconds();
 
   const serve::FleetStats stats = monitor.Stats();
@@ -371,6 +421,13 @@ int Main(int argc, char** argv) {
   std::printf("  alerts:     %lld (%lld eviction notices)\n",
               static_cast<long long>(sink.count()),
               static_cast<long long>(sink.evicted()));
+  if (async) {
+    std::printf("  staging:    %lld submitted, %lld shed, %lld alerts "
+                "delivered\n",
+                static_cast<long long>(stats.points_submitted),
+                static_cast<long long>(stats.points_shed),
+                static_cast<long long>(stats.alerts_delivered));
+  }
   if (adapt) {
     // Ingest is done; wait for the background worker to drain the harvest
     // queue and resolve any in-flight retrain cycle so the summary is
