@@ -25,6 +25,14 @@
 //      2x of the no-sink baseline; the sync column shows what the old
 //      under-trip-lock delivery cost. Also reports the async queue's
 //      enqueue->delivery latency percentiles.
+//   5. Chaos: a dedicated fleet with the ingest guard in repair mode and
+//      quarantine armed, fed a ChaosInjector-degraded replay (drops,
+//      duplicates, reorders, skew, teleports) through the async Submit
+//      path. Reports degraded-stream throughput, the guard's per-class
+//      detections, and quarantine churn, and FAILS the bench if either
+//      conservation identity breaks (trips: started == finished + evicted
+//      + active; points: offered == processed + rejected +
+//      quarantine-dropped).
 //
 // Flags: --tiny (seconds-scale smoke, registered as a ctest target),
 // --json <path> (machine-readable record; CI uploads BENCH_soak.json),
@@ -40,7 +48,9 @@
 #include "bench_util.h"
 #include "common/flags.h"
 #include "common/stopwatch.h"
+#include "serve/chaos.h"
 #include "serve/fleet.h"
+#include "serve/ingest_guard.h"
 
 using namespace rl4oasd;
 
@@ -241,6 +251,10 @@ struct SoakReport {
   double delivery_p50_ms = 0.0;
   double delivery_p99_ms = 0.0;
   double delivery_p999_ms = 0.0;
+  serve::ChaosCounts chaos;
+  double chaos_s = 0.0;
+  serve::FleetStats chaos_stats;
+  bool chaos_conserved = true;
   double mem_ceiling_mb = 0.0;
   bool within_ceiling = true;
 };
@@ -289,6 +303,31 @@ void WriteJson(const std::string& path, const SoakReport& r, bool tiny) {
       r.nosink.p99_us > 0.0 ? r.async_slow.p99_us / r.nosink.p99_us : 0.0,
       r.nosink.max_us, r.sync_slow.max_us, r.async_slow.max_us,
       r.delivery_p50_ms, r.delivery_p99_ms, r.delivery_p999_ms);
+  std::fprintf(
+      f,
+      "  \"chaos\": {\"clean_points\": %lld, \"perturbed_points\": %lld, "
+      "\"seconds\": %.4f, \"points_per_s\": %.0f,\n"
+      "    \"dropped\": %lld, \"duplicated\": %lld, \"reordered\": %lld, "
+      "\"skewed\": %lld, \"teleported\": %lld,\n"
+      "    \"repaired\": %lld, \"rejected\": %lld, "
+      "\"quarantine_dropped\": %lld, \"trips_quarantined\": %lld, "
+      "\"trips_recovered\": %lld, \"quarantine_evictions\": %lld, "
+      "\"conserved\": %s},\n",
+      static_cast<long long>(r.chaos.input),
+      static_cast<long long>(r.chaos.emitted), r.chaos_s,
+      r.chaos_s > 0.0 ? static_cast<double>(r.chaos.emitted) / r.chaos_s : 0.0,
+      static_cast<long long>(r.chaos.dropped),
+      static_cast<long long>(r.chaos.duplicated),
+      static_cast<long long>(r.chaos.reordered),
+      static_cast<long long>(r.chaos.skewed),
+      static_cast<long long>(r.chaos.teleported),
+      static_cast<long long>(r.chaos_stats.points_repaired),
+      static_cast<long long>(r.chaos_stats.points_rejected),
+      static_cast<long long>(r.chaos_stats.points_quarantine_dropped),
+      static_cast<long long>(r.chaos_stats.trips_quarantined),
+      static_cast<long long>(r.chaos_stats.trips_recovered),
+      static_cast<long long>(r.chaos_stats.quarantine_evictions),
+      r.chaos_conserved ? "true" : "false");
   std::fprintf(f,
                "  \"memory\": {\"rss_after_fill_mb\": %.1f, \"hwm_mb\": %.1f, "
                "\"ceiling_mb\": %.1f, \"within_ceiling\": %s}\n}\n",
@@ -490,6 +529,100 @@ int main(int argc, char** argv) {
               report.delivery_p50_ms, report.delivery_p99_ms,
               report.delivery_p999_ms);
 
+  // --- 5. chaos ------------------------------------------------------------
+  // Degraded-stream soak: the guard repairs what it can, quarantines trips
+  // that blow the malformed budget, and the conservation identities must
+  // survive the async pipeline end to end.
+  {
+    const int64_t chaos_n = tiny ? 300 : 3000;
+    serve::FleetConfig chaos_cfg;
+    chaos_cfg.max_active_trips = static_cast<size_t>(chaos_n) + 1;
+    chaos_cfg.num_shards = 16;
+    chaos_cfg.ingest_workers = fleet_cfg.ingest_workers;
+    chaos_cfg.ingest_queue_capacity = 16384;
+    chaos_cfg.async_alerts = true;
+    chaos_cfg.alert_queue_capacity = 65536;
+    chaos_cfg.guard.duplicate_policy = serve::GuardPolicy::kRepair;
+    chaos_cfg.guard.out_of_order_policy = serve::GuardPolicy::kRepair;
+    chaos_cfg.guard.skew_policy = serve::GuardPolicy::kRepair;
+    chaos_cfg.guard.dropout_policy = serve::GuardPolicy::kRepair;
+    chaos_cfg.guard.teleport_policy = serve::GuardPolicy::kRepair;
+    chaos_cfg.guard.malformed_budget = 8;
+    serve::CollectingSink chaos_sink;
+    serve::FleetMonitor chaos_monitor(&model, chaos_cfg, &chaos_sink);
+    serve::ChaosSpec spec;
+    spec.drop_prob = 0.02;
+    spec.dup_prob = 0.03;
+    spec.reorder_prob = 0.02;
+    spec.skew_prob = 0.01;
+    spec.teleport_prob = 0.01;
+    spec.seed = 42;
+    serve::ChaosInjector injector(spec, &city.net);
+    std::vector<serve::FleetPoint> clean;
+    Stopwatch sw;
+    for (int64_t v = 0; v < chaos_n; ++v) {
+      const auto& t = wl.TrajFor(v);
+      if (!chaos_monitor.StartTrip(v, t.sd(), t.start_time).ok()) continue;
+      clean.clear();
+      double ts = t.start_time;
+      for (traj::EdgeId e : t.edges) {
+        clean.push_back({v, e, ts});
+        ts += 2.0;
+      }
+      const std::vector<serve::FleetPoint> pts = injector.Perturb(clean);
+      const serve::ChaosCounts& c = injector.counts();
+      report.chaos.input += c.input;
+      report.chaos.emitted += c.emitted;
+      report.chaos.dropped += c.dropped;
+      report.chaos.duplicated += c.duplicated;
+      report.chaos.reordered += c.reordered;
+      report.chaos.skewed += c.skewed;
+      report.chaos.teleported += c.teleported;
+      report.chaos.drop_gaps += c.drop_gaps;
+      for (const serve::FleetPoint& p : pts) (void)chaos_monitor.Submit(p);
+      (void)chaos_monitor.SubmitEndTrip(v);
+    }
+    chaos_monitor.Quiesce();
+    report.chaos_s = sw.ElapsedSeconds();
+    report.chaos_stats = chaos_monitor.Stats();
+    const auto& cs = report.chaos_stats;
+    const bool trips_ok =
+        cs.trips_started ==
+        cs.trips_finished + cs.trips_evicted +
+            static_cast<int64_t>(chaos_monitor.ActiveTrips());
+    const bool points_ok = cs.points_submitted - cs.points_shed ==
+                           cs.points_processed + cs.points_rejected +
+                               cs.points_quarantine_dropped;
+    report.chaos_conserved = trips_ok && points_ok;
+    std::printf("--- chaos (degraded stream, guard repair + quarantine) ---\n");
+    std::printf("%lld clean -> %lld perturbed points in %.2fs (%.0f "
+                "points/s)\n",
+                static_cast<long long>(report.chaos.input),
+                static_cast<long long>(report.chaos.emitted), report.chaos_s,
+                report.chaos_s > 0.0
+                    ? static_cast<double>(report.chaos.emitted) /
+                          report.chaos_s
+                    : 0.0);
+    std::printf("injected: %lld dropped, %lld duplicated, %lld reordered, "
+                "%lld skewed, %lld teleported\n",
+                static_cast<long long>(report.chaos.dropped),
+                static_cast<long long>(report.chaos.duplicated),
+                static_cast<long long>(report.chaos.reordered),
+                static_cast<long long>(report.chaos.skewed),
+                static_cast<long long>(report.chaos.teleported));
+    std::printf("guard: %lld repaired, %lld rejected, %lld "
+                "quarantine-dropped; trips %lld quarantined, %lld "
+                "recovered, %lld evicted\n",
+                static_cast<long long>(cs.points_repaired),
+                static_cast<long long>(cs.points_rejected),
+                static_cast<long long>(cs.points_quarantine_dropped),
+                static_cast<long long>(cs.trips_quarantined),
+                static_cast<long long>(cs.trips_recovered),
+                static_cast<long long>(cs.quarantine_evictions));
+    std::printf("conservation: trips %s, points %s\n\n",
+                trips_ok ? "OK" : "BROKEN", points_ok ? "OK" : "BROKEN");
+  }
+
   // --- memory ceiling ------------------------------------------------------
   report.final_mem = ReadMem();
   report.within_ceiling = report.final_mem.hwm_mb <= ceiling_mb;
@@ -498,6 +631,9 @@ int main(int argc, char** argv) {
               report.final_mem.rss_mb, report.final_mem.hwm_mb, ceiling_mb,
               report.within_ceiling ? "OK" : "EXCEEDED");
 
+  if (!report.chaos_conserved) {
+    std::fprintf(stderr, "chaos section: conservation identity BROKEN\n");
+  }
   if (flags.IsSet("json")) WriteJson(flags.GetString("json"), report, tiny);
-  return report.within_ceiling ? 0 : 1;
+  return report.within_ceiling && report.chaos_conserved ? 0 : 1;
 }

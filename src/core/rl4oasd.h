@@ -112,6 +112,11 @@ class Rl4Oasd {
   OnlineDetector::Session StartSession(traj::SdPair sd,
                                        double start_time) const;
 
+  /// The road network the model was built over (non-owning; outlives the
+  /// model). Serving-side consumers — e.g. the ingest guard's teleport
+  /// check — share this graph rather than carrying their own copy.
+  const roadnet::RoadNetwork* network() const { return net_; }
+
   const Preprocessor& preprocessor() const { return preprocessor_; }
   Preprocessor* mutable_preprocessor() { return &preprocessor_; }
   const RsrNet& rsrnet() const { return *rsr_; }

@@ -29,14 +29,27 @@ Status ReadFleetSnapshotHeader(BinaryReader* r, FleetSnapshotHeader* header) {
   RL4_RETURN_NOT_OK(r->ReadI64(&header->points_processed));
   RL4_RETURN_NOT_OK(r->ReadI64(&header->alerts_emitted));
   RL4_RETURN_NOT_OK(r->ReadI64(&header->trips_evicted));
+  RL4_RETURN_NOT_OK(r->ReadI64(&header->guard_duplicates));
+  RL4_RETURN_NOT_OK(r->ReadI64(&header->guard_out_of_order));
+  RL4_RETURN_NOT_OK(r->ReadI64(&header->guard_clock_skew));
+  RL4_RETURN_NOT_OK(r->ReadI64(&header->guard_dropout_gaps));
+  RL4_RETURN_NOT_OK(r->ReadI64(&header->guard_teleports));
+  RL4_RETURN_NOT_OK(r->ReadI64(&header->guard_invalid_edges));
+  RL4_RETURN_NOT_OK(r->ReadI64(&header->points_repaired));
+  RL4_RETURN_NOT_OK(r->ReadI64(&header->points_rejected));
+  RL4_RETURN_NOT_OK(r->ReadI64(&header->points_quarantine_dropped));
+  RL4_RETURN_NOT_OK(r->ReadI64(&header->trips_quarantined));
+  RL4_RETURN_NOT_OK(r->ReadI64(&header->trips_recovered));
+  RL4_RETURN_NOT_OK(r->ReadI64(&header->quarantine_evictions));
   return Status::OK();
 }
 
 Status ReadFleetSnapshotTripCount(BinaryReader* r, uint64_t* num_trips) {
   RL4_RETURN_NOT_OK(r->ReadU64(num_trips));
-  // Minimum record: i64 vehicle (8) + f64 last_update (8) + u32 blob
-  // length (4). Division avoids overflowing the product for lying counts.
-  if (*num_trips > r->remaining() / 20) {
+  // Minimum record: i64 vehicle (8) + f64 last_update (8) + u32 session
+  // blob length (4) + u32 guard blob length (4). Division avoids
+  // overflowing the product for lying counts.
+  if (*num_trips > r->remaining() / 24) {
     return Status::OutOfRange("trip count exceeds remaining payload");
   }
   return Status::OK();
@@ -55,6 +68,18 @@ Result<FleetSnapshotInfo> DescribeFleetSnapshot(const std::string& path) {
   info.points_processed = header.points_processed;
   info.alerts_emitted = header.alerts_emitted;
   info.trips_evicted = header.trips_evicted;
+  info.guard_duplicates = header.guard_duplicates;
+  info.guard_out_of_order = header.guard_out_of_order;
+  info.guard_clock_skew = header.guard_clock_skew;
+  info.guard_dropout_gaps = header.guard_dropout_gaps;
+  info.guard_teleports = header.guard_teleports;
+  info.guard_invalid_edges = header.guard_invalid_edges;
+  info.points_repaired = header.points_repaired;
+  info.points_rejected = header.points_rejected;
+  info.points_quarantine_dropped = header.points_quarantine_dropped;
+  info.trips_quarantined = header.trips_quarantined;
+  info.trips_recovered = header.trips_recovered;
+  info.quarantine_evictions = header.quarantine_evictions;
 
   uint64_t num_trips;
   RL4_RETURN_NOT_OK(ReadFleetSnapshotTripCount(&r, &num_trips));
@@ -81,6 +106,30 @@ Result<FleetSnapshotInfo> DescribeFleetSnapshot(const std::string& path) {
     }
     trip.points_fed = num_labels;
     info.total_points += num_labels;
+    // Skim the guard record's trailing quarantine flag (the layout is owned
+    // by serve::IngestGuard::State::ExportState: two f64s, two i32s, four
+    // u32s, then has_arrival and quarantined as u8s — 42 bytes).
+    std::string guard_blob;
+    RL4_RETURN_NOT_OK(r.ReadString(&guard_blob));
+    BinaryReader guard(std::move(guard_blob));
+    double f64_field;
+    int32_t i32_field;
+    uint32_t u32_field;
+    for (int j = 0; j < 2; ++j) RL4_RETURN_NOT_OK(guard.ReadF64(&f64_field));
+    for (int j = 0; j < 2; ++j) RL4_RETURN_NOT_OK(guard.ReadI32(&i32_field));
+    for (int j = 0; j < 4; ++j) RL4_RETURN_NOT_OK(guard.ReadU32(&u32_field));
+    uint8_t has_arrival;
+    uint8_t quarantined;
+    RL4_RETURN_NOT_OK(guard.ReadU8(&has_arrival));
+    RL4_RETURN_NOT_OK(guard.ReadU8(&quarantined));
+    if (!guard.AtEnd()) {
+      return Status::IOError("trailing bytes in trip guard record");
+    }
+    if (quarantined > 1) {
+      return Status::InvalidArgument("guard quarantine flag out of range");
+    }
+    trip.quarantined = quarantined != 0;
+    if (trip.quarantined) ++info.quarantined_trips;
     info.trips.push_back(trip);
   }
   if (!r.AtEnd()) {

@@ -5,9 +5,17 @@
 // CRC32-protected file. Layout (inside a BinaryWriter payload):
 //
 //   magic "RLFS" | u32 format version | u64 model-bundle fingerprint |
-//   user metadata string | 5 x i64 service counters |
+//   user metadata string | 17 x i64 service counters |
 //   u64 trip count | per trip: i64 vehicle_id | f64 last_update |
-//                              length-prefixed session record
+//                              length-prefixed session record |
+//                              length-prefixed ingest-guard record
+//
+// Version history: v1 carried 5 service counters and no guard record;
+// v2 (current) appends the 12 ingest-guard counters after the original 5
+// and a per-trip serve::IngestGuard::State blob after the session record,
+// so quarantine state round-trips through restore. Older versions are
+// rejected with a descriptive error (snapshots are ephemeral hand-off
+// state, not archives — see serve::FleetMonitor::Restore).
 //
 // The session record is written by core::OnlineDetector::Session::ExportState
 // and is opaque at this level; length-prefixing lets tooling (oasd_inspect)
@@ -31,7 +39,7 @@
 namespace rl4oasd::io {
 
 inline constexpr char kFleetSnapshotMagic[4] = {'R', 'L', 'F', 'S'};
-inline constexpr uint32_t kFleetSnapshotVersion = 1;
+inline constexpr uint32_t kFleetSnapshotVersion = 2;
 
 /// Per-trip header readable without the model or road network.
 struct FleetSnapshotTrip {
@@ -39,6 +47,9 @@ struct FleetSnapshotTrip {
   double last_update = 0.0;
   double start_time = 0.0;
   uint64_t points_fed = 0;  // labels recorded when the snapshot was taken
+  /// The trip was quarantined by the ingest guard when the snapshot was
+  /// taken (skimmed from the guard record's trailing flag).
+  bool quarantined = false;
 };
 
 /// Snapshot metadata readable without reconstructing the fleet — backs the
@@ -53,8 +64,22 @@ struct FleetSnapshotInfo {
   int64_t points_processed = 0;
   int64_t alerts_emitted = 0;
   int64_t trips_evicted = 0;
+  // Ingest-guard counters (format v2; mirrors serve::FleetStats).
+  int64_t guard_duplicates = 0;
+  int64_t guard_out_of_order = 0;
+  int64_t guard_clock_skew = 0;
+  int64_t guard_dropout_gaps = 0;
+  int64_t guard_teleports = 0;
+  int64_t guard_invalid_edges = 0;
+  int64_t points_repaired = 0;
+  int64_t points_rejected = 0;
+  int64_t points_quarantine_dropped = 0;
+  int64_t trips_quarantined = 0;
+  int64_t trips_recovered = 0;
+  int64_t quarantine_evictions = 0;
   std::vector<FleetSnapshotTrip> trips;
-  uint64_t total_points = 0;  // sum of points_fed over all live trips
+  uint64_t total_points = 0;       // sum of points_fed over all live trips
+  uint64_t quarantined_trips = 0;  // live trips snapshotted mid-quarantine
 };
 
 /// The fixed header that precedes the trip array. One parser
@@ -68,6 +93,19 @@ struct FleetSnapshotHeader {
   int64_t points_processed = 0;
   int64_t alerts_emitted = 0;
   int64_t trips_evicted = 0;
+  // Ingest-guard counters (format v2; mirrors serve::FleetStats).
+  int64_t guard_duplicates = 0;
+  int64_t guard_out_of_order = 0;
+  int64_t guard_clock_skew = 0;
+  int64_t guard_dropout_gaps = 0;
+  int64_t guard_teleports = 0;
+  int64_t guard_invalid_edges = 0;
+  int64_t points_repaired = 0;
+  int64_t points_rejected = 0;
+  int64_t points_quarantine_dropped = 0;
+  int64_t trips_quarantined = 0;
+  int64_t trips_recovered = 0;
+  int64_t quarantine_evictions = 0;
 };
 
 /// Reads magic, version, fingerprint, user metadata, and the service

@@ -1,0 +1,244 @@
+#include "serve/chaos.h"
+
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+#include "serve/ingest_guard.h"
+
+namespace rl4oasd::serve {
+
+namespace {
+
+Status ParseDouble(std::string_view key, std::string_view value,
+                   double* out) {
+  const std::string v(value);
+  char* end = nullptr;
+  const double d = std::strtod(v.c_str(), &end);
+  if (v.empty() || end != v.c_str() + v.size()) {
+    return Status::InvalidArgument("chaos spec: bad number for '" +
+                                   std::string(key) + "': '" + v + "'");
+  }
+  *out = d;
+  return Status::OK();
+}
+
+Status ParseProb(std::string_view key, std::string_view value, double* out) {
+  RL4_RETURN_NOT_OK(ParseDouble(key, value, out));
+  if (*out < 0.0 || *out > 1.0) {
+    return Status::InvalidArgument("chaos spec: '" + std::string(key) +
+                                   "' must be a probability in [0, 1]");
+  }
+  return Status::OK();
+}
+
+Status ParsePositiveInt(std::string_view key, std::string_view value,
+                        int* out) {
+  double d;
+  RL4_RETURN_NOT_OK(ParseDouble(key, value, &d));
+  if (d < 1.0 || d != static_cast<double>(static_cast<int>(d))) {
+    return Status::InvalidArgument("chaos spec: '" + std::string(key) +
+                                   "' must be a positive integer");
+  }
+  *out = static_cast<int>(d);
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ChaosSpec> ParseChaosSpec(std::string_view spec) {
+  ChaosSpec out;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    const size_t comma = spec.find(',', pos);
+    const std::string_view item =
+        comma == std::string_view::npos ? spec.substr(pos)
+                                        : spec.substr(pos, comma - pos);
+    pos = comma == std::string_view::npos ? spec.size() : comma + 1;
+    if (item.empty()) continue;
+    const size_t eq = item.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument(
+          "chaos spec: expected key=value, got '" + std::string(item) + "'");
+    }
+    const std::string_view key = item.substr(0, eq);
+    const std::string_view value = item.substr(eq + 1);
+    if (key == "drop") {
+      RL4_RETURN_NOT_OK(ParseProb(key, value, &out.drop_prob));
+    } else if (key == "dup") {
+      RL4_RETURN_NOT_OK(ParseProb(key, value, &out.dup_prob));
+    } else if (key == "reorder") {
+      RL4_RETURN_NOT_OK(ParseProb(key, value, &out.reorder_prob));
+    } else if (key == "skew") {
+      RL4_RETURN_NOT_OK(ParseProb(key, value, &out.skew_prob));
+    } else if (key == "teleport") {
+      RL4_RETURN_NOT_OK(ParseProb(key, value, &out.teleport_prob));
+    } else if (key == "window") {
+      RL4_RETURN_NOT_OK(ParsePositiveInt(key, value, &out.reorder_window));
+    } else if (key == "skew_offset") {
+      RL4_RETURN_NOT_OK(ParseDouble(key, value, &out.skew_offset_s));
+      if (out.skew_offset_s <= 0.0) {
+        return Status::InvalidArgument(
+            "chaos spec: 'skew_offset' must be positive");
+      }
+    } else if (key == "hops") {
+      RL4_RETURN_NOT_OK(ParsePositiveInt(key, value, &out.teleport_min_hops));
+    } else if (key == "seed") {
+      double d;
+      RL4_RETURN_NOT_OK(ParseDouble(key, value, &d));
+      if (d < 0.0 || d != static_cast<double>(static_cast<uint64_t>(d))) {
+        return Status::InvalidArgument(
+            "chaos spec: 'seed' must be a non-negative integer");
+      }
+      out.seed = static_cast<uint64_t>(d);
+    } else {
+      return Status::InvalidArgument("chaos spec: unknown key '" +
+                                     std::string(key) + "'");
+    }
+  }
+  const double sum = out.drop_prob + out.dup_prob + out.reorder_prob +
+                     out.skew_prob + out.teleport_prob;
+  if (sum > 1.0) {
+    return Status::InvalidArgument(
+        "chaos spec: perturbation probabilities sum to " +
+        std::to_string(sum) + " > 1 (one draw per point)");
+  }
+  return out;
+}
+
+ChaosInjector::ChaosInjector(ChaosSpec spec, const roadnet::RoadNetwork* net)
+    : spec_(spec), net_(net), rng_(spec.seed) {}
+
+traj::EdgeId ChaosInjector::DrawTeleportEdge(traj::EdgeId from) {
+  if (net_ == nullptr || from == roadnet::kInvalidEdge) {
+    return roadnet::kInvalidEdge;
+  }
+  const size_t n = net_->NumEdges();
+  if (n < 2) return roadnet::kInvalidEdge;
+  // Rejection-sample a provably unreachable edge. A graph so connected that
+  // 64 draws all land within the hop ball simply yields no teleport for
+  // this point (clean fallback, not counted) — exactness over coverage.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const auto e =
+        static_cast<traj::EdgeId>(rng_.UniformInt(static_cast<uint64_t>(n)));
+    if (e == from) continue;
+    if (!IngestGuard::ReachableWithinHops(*net_, from, e,
+                                          spec_.teleport_min_hops)) {
+      return e;
+    }
+  }
+  return roadnet::kInvalidEdge;
+}
+
+void ChaosInjector::Emit(const FleetPoint& p, bool teleported,
+                         VehicleState* vs, std::vector<FleetPoint>* out) {
+  if (vs->pending_gap) {
+    // The drop run is now exposed: the guard will see this point's forward
+    // gap. One run, one gap event, charged exactly once.
+    ++counts_.drop_gaps;
+    vs->pending_gap = false;
+  }
+  out->push_back(p);
+  ++counts_.emitted;
+  if (!teleported) vs->last_clean_edge = p.edge;
+  if (vs->held.empty()) return;
+  // This emission overtakes every live hold; a hold that filled its window
+  // is released right behind it. Releases do not advance other holds
+  // (bounded displacement, no cascades).
+  size_t keep = 0;
+  for (size_t i = 0; i < vs->held.size(); ++i) {
+    Held h = vs->held[i];
+    ++h.overtaken;
+    if (h.overtaken >= spec_.reorder_window) {
+      out->push_back(h.point);
+      ++counts_.emitted;
+      ++counts_.reordered;
+      ++perturbed_[h.point.vehicle_id];
+    } else {
+      vs->held[keep++] = h;
+    }
+  }
+  vs->held.resize(keep);
+}
+
+std::vector<FleetPoint> ChaosInjector::Perturb(
+    std::span<const FleetPoint> clean) {
+  counts_ = ChaosCounts{};
+  perturbed_.clear();
+  vehicles_.clear();
+  std::vector<int64_t> vehicle_order;  // deterministic flush order
+  std::vector<FleetPoint> out;
+  out.reserve(clean.size() + clean.size() / 8);
+  for (const FleetPoint& p : clean) {
+    ++counts_.input;
+    auto [it, inserted] = vehicles_.try_emplace(p.vehicle_id);
+    if (inserted) vehicle_order.push_back(p.vehicle_id);
+    VehicleState& vs = it->second;
+    const double u = rng_.Uniform();
+    double edge = spec_.drop_prob;
+    if (u < edge) {
+      ++counts_.dropped;
+      ++perturbed_[p.vehicle_id];
+      vs.pending_gap = true;
+      continue;
+    }
+    if (u < (edge += spec_.dup_prob)) {
+      // Original then an identical retransmit: the guard's exact
+      // duplicate definition (same edge, same timestamp, back-to-back).
+      Emit(p, /*teleported=*/false, &vs, &out);
+      Emit(p, /*teleported=*/false, &vs, &out);
+      ++counts_.duplicated;
+      ++perturbed_[p.vehicle_id];
+      continue;
+    }
+    if (u < (edge += spec_.reorder_prob)) {
+      // Held now, counted only when released displaced (Emit / flush).
+      vs.held.push_back(Held{p, 0});
+      continue;
+    }
+    if (u < (edge += spec_.skew_prob)) {
+      FleetPoint q = p;
+      q.timestamp += spec_.skew_offset_s;
+      ++counts_.skewed;
+      ++perturbed_[p.vehicle_id];
+      Emit(q, /*teleported=*/false, &vs, &out);
+      continue;
+    }
+    if (u < (edge += spec_.teleport_prob)) {
+      const traj::EdgeId target = DrawTeleportEdge(vs.last_clean_edge);
+      if (target != roadnet::kInvalidEdge) {
+        FleetPoint q = p;
+        q.edge = target;
+        ++counts_.teleported;
+        ++perturbed_[p.vehicle_id];
+        Emit(q, /*teleported=*/true, &vs, &out);
+        continue;
+      }
+      // No manufacturable teleport (first point of the vehicle, or the
+      // graph is too connected): emit clean, count nothing.
+    }
+    Emit(p, /*teleported=*/false, &vs, &out);
+  }
+  // Flush the holds the stream ended on, in first-seen vehicle order so the
+  // output is deterministic across standard-library implementations. A hold
+  // nothing overtook lands in order and is NOT counted as reordered.
+  for (const int64_t vehicle : vehicle_order) {
+    VehicleState& vs = vehicles_.at(vehicle);
+    for (const Held& h : vs.held) {
+      if (vs.pending_gap) {
+        ++counts_.drop_gaps;
+        vs.pending_gap = false;
+      }
+      out.push_back(h.point);
+      ++counts_.emitted;
+      if (h.overtaken > 0) {
+        ++counts_.reordered;
+        ++perturbed_[h.point.vehicle_id];
+      }
+    }
+    vs.held.clear();
+  }
+  return out;
+}
+
+}  // namespace rl4oasd::serve

@@ -92,6 +92,10 @@ void AlertDeliveryQueue::Deliver(const DeliveryEvent& event) {
       sink_->OnTripFinalized(event.vehicle_id, event.sd, event.start_time,
                              event.edges, event.labels);
       break;
+    case DeliveryEvent::Kind::kTripQuarantined:
+      sink_->OnTripQuarantined(event.vehicle_id, event.start_time,
+                               event.malformed);
+      break;
   }
   events_delivered_.fetch_add(1, kRelaxed);
 }

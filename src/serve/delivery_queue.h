@@ -40,7 +40,13 @@ namespace rl4oasd::serve {
 /// One sink callback, captured by value so it can outlive the trip that
 /// produced it (the session is gone by delivery time for end/evict events).
 struct DeliveryEvent {
-  enum class Kind : uint8_t { kAlert, kTripEnd, kTripEvicted, kTripFinalized };
+  enum class Kind : uint8_t {
+    kAlert,
+    kTripEnd,
+    kTripEvicted,
+    kTripFinalized,
+    kTripQuarantined,
+  };
   Kind kind = Kind::kAlert;
   /// Global delivery order, stamped at enqueue time — i.e. under the
   /// reporting trip's lock — and asserted monotonic by the drainer.
@@ -48,9 +54,11 @@ struct DeliveryEvent {
   Alert alert;  // kAlert only
   int64_t vehicle_id = 0;
   traj::SdPair sd;          // kTripFinalized
-  double start_time = 0.0;  // kTripEvicted / kTripFinalized
+  double start_time = 0.0;  // kTripEvicted / kTripFinalized / kTripQuarantined
   std::vector<uint8_t> labels;
   std::vector<traj::EdgeId> edges;  // kTripFinalized
+  /// Lifetime malformed-point count at quarantine entry (kTripQuarantined).
+  int64_t malformed = 0;
   /// Reporting-only enqueue timestamp for the latency histogram.
   int64_t enqueue_ns = 0;
 };

@@ -1,6 +1,8 @@
 #include "serve/drift.h"
 
 #include <algorithm>
+#include <string>
+#include <string_view>
 #include <utility>
 
 #include "common/logging.h"
@@ -394,6 +396,33 @@ void DriftAdapter::WorkerLoop() {
     }
     DrainAndMaybeAdapt();
   }
+}
+
+std::string DriftAdapter::DumpMetrics() const {
+  std::string out = monitor_->DumpMetrics();
+  const DriftStatus s = Status();
+  const auto line = [&out](std::string_view name, int64_t value) {
+    out.append(name);
+    out.push_back(' ');
+    out.append(std::to_string(value));
+    out.push_back('\n');
+  };
+  line("harvest_trips", static_cast<int64_t>(s.trips_harvested));
+  line("harvest_buffer_trips", static_cast<int64_t>(s.buffer_trips));
+  line("harvest_buffer_evictions", static_cast<int64_t>(s.buffer_evictions));
+  line("harvest_pending_trips", static_cast<int64_t>(s.pending_trips));
+  line("drift_detector_armed", s.detector_armed ? 1 : 0);
+  line("drift_pending", s.drift_pending ? 1 : 0);
+  line("drift_events", static_cast<int64_t>(s.drift_events));
+  line("drift_cycles_started", static_cast<int64_t>(s.cycles_started));
+  line("drift_promotions", static_cast<int64_t>(s.promotions));
+  line("drift_rejections", static_cast<int64_t>(s.rejections));
+  line("drift_cycle_errors", static_cast<int64_t>(s.cycle_errors));
+  line("drift_backoff_points_remaining",
+       static_cast<int64_t>(s.backoff_points_remaining));
+  line("drift_detector_windows",
+       static_cast<int64_t>(s.detector.windows_completed));
+  return out;
 }
 
 DriftStatus DriftAdapter::Status() const {

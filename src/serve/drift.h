@@ -230,6 +230,12 @@ class DriftAdapter final : public AlertSink {
 
   DriftStatus Status() const;
 
+  /// Plain-text metrics dump: the monitor's FleetMonitor::DumpMetrics lines
+  /// followed by the drift-loop counters (`drift_*` / `harvest_*` lines,
+  /// same `name value` format). One call, one consistent text block for the
+  /// end-of-run summary and scrape-style tooling.
+  std::string DumpMetrics() const;
+
   // AlertSink: forwards to the downstream sink; OnTripFinalized also
   // enqueues the trip for harvesting. Callbacks only buffer under their own
   // lock — they never call back into the monitor (the AlertSink contract).

@@ -32,6 +32,8 @@ FleetMonitor::FleetMonitor(std::shared_ptr<const core::Rl4Oasd> model,
                            FleetConfig config, AlertSink* sink)
     : config_(config),
       sink_(sink),
+      guard_(config.guard,
+             model == nullptr ? nullptr : model->network()),
       shards_(RoundUpPow2(std::max<size_t>(config.num_shards, 1))) {
   RL4_CHECK(model != nullptr);
   RL4_CHECK_GT(config_.max_active_trips, 0u);
@@ -268,6 +270,71 @@ void FleetMonitor::SinkTripFinalized(int64_t vehicle_id, traj::SdPair sd,
   sink_->OnTripFinalized(vehicle_id, sd, start_time, edges, labels);
 }
 
+void FleetMonitor::SinkTripQuarantined(int64_t vehicle_id, double start_time,
+                                       int64_t malformed_points) {
+  if (sink_ == nullptr) return;
+  if (delivery_ != nullptr) {
+    DeliveryEvent event;
+    event.kind = DeliveryEvent::Kind::kTripQuarantined;
+    event.vehicle_id = vehicle_id;
+    event.start_time = start_time;
+    event.malformed = malformed_points;
+    delivery_->Enqueue(std::move(event));
+    return;
+  }
+  sink_->OnTripQuarantined(vehicle_id, start_time, malformed_points);
+}
+
+FleetMonitor::GuardVerdict FleetMonitor::ApplyGuard(int64_t vehicle_id,
+                                                    Trip* trip, Shard* shard,
+                                                    traj::EdgeId edge,
+                                                    double* timestamp) {
+  const IngestGuard::Decision d = guard_.Check(&trip->guard, edge,
+                                               *timestamp);
+  ShardCounters& c = shard->counters;
+  switch (d.anomaly) {
+    case IngestGuard::Anomaly::kNone:
+      break;
+    case IngestGuard::Anomaly::kInvalidEdge:
+      c.guard_invalid_edges.fetch_add(1, kRelaxed);
+      break;
+    case IngestGuard::Anomaly::kDuplicate:
+      c.guard_duplicates.fetch_add(1, kRelaxed);
+      break;
+    case IngestGuard::Anomaly::kOutOfOrder:
+      c.guard_out_of_order.fetch_add(1, kRelaxed);
+      break;
+    case IngestGuard::Anomaly::kClockSkew:
+      c.guard_clock_skew.fetch_add(1, kRelaxed);
+      break;
+    case IngestGuard::Anomaly::kDropout:
+      c.guard_dropout_gaps.fetch_add(1, kRelaxed);
+      break;
+    case IngestGuard::Anomaly::kTeleport:
+      c.guard_teleports.fetch_add(1, kRelaxed);
+      break;
+  }
+  if (d.repaired) c.points_repaired.fetch_add(1, kRelaxed);
+  if (!d.accept) {
+    if (d.quarantine_dropped) {
+      c.points_quarantine_dropped.fetch_add(1, kRelaxed);
+    } else {
+      c.points_rejected.fetch_add(1, kRelaxed);
+    }
+  }
+  if (d.entered_quarantine) {
+    c.trips_quarantined.fetch_add(1, kRelaxed);
+    // Fired here, under the trip lock, so the quarantine notice is
+    // sequenced against the trip's alerts exactly like every other
+    // lifecycle event.
+    SinkTripQuarantined(vehicle_id, trip->start_time,
+                        trip->guard.malformed_total);
+  }
+  if (d.recovered) c.trips_recovered.fetch_add(1, kRelaxed);
+  *timestamp = d.timestamp;
+  return GuardVerdict{d.accept, d.evict};
+}
+
 Result<int> FleetMonitor::Feed(int64_t vehicle_id, traj::EdgeId edge,
                                double timestamp) {
   Shard& shard = ShardOf(vehicle_id);
@@ -278,29 +345,54 @@ Result<int> FleetMonitor::Feed(int64_t vehicle_id, traj::EdgeId edge,
                               " has no active trip");
     }
     Trip* const t = trip.get();
-    common::MutexLock lock(&t->mu);
-    // A finisher (EndTrip/eviction) erases the trip from the shard map
-    // *before* setting finished, so observing the flag here means a fresh
-    // resolve sees either nothing or the vehicle's next trip — retry
-    // rather than dropping a point the vehicle's live trip should get.
-    if (t->finished) continue;
-    // Lazy hot-swap migration: a trip still primed against a retired model
-    // replays its history through the current one before this point. The
-    // relaxed generation hint keeps the steady-state path free of the
-    // model mutex and handle refcount; a trip already *newer* than the
-    // fetched handle (SwapModel raced us) just proceeds on its own
-    // session.
-    if (t->handle->generation < current_generation_.load(kRelaxed)) {
-      const auto handle = CurrentHandle();
-      if (t->handle->generation < handle->generation) {
-        ReprimeLocked(t, handle);
+    bool evict = false;
+    bool quarantine_dropped = false;
+    {
+      common::MutexLock lock(&t->mu);
+      // A finisher (EndTrip/eviction) erases the trip from the shard map
+      // *before* setting finished, so observing the flag here means a fresh
+      // resolve sees either nothing or the vehicle's next trip — retry
+      // rather than dropping a point the vehicle's live trip should get.
+      if (t->finished) continue;
+      // Lazy hot-swap migration: a trip still primed against a retired
+      // model replays its history through the current one before this
+      // point. The relaxed generation hint keeps the steady-state path free
+      // of the model mutex and handle refcount; a trip already *newer* than
+      // the fetched handle (SwapModel raced us) just proceeds on its own
+      // session.
+      if (t->handle->generation < current_generation_.load(kRelaxed)) {
+        const auto handle = CurrentHandle();
+        if (t->handle->generation < handle->generation) {
+          ReprimeLocked(t, handle);
+        }
       }
+      // The input contract runs before the session sees anything. The
+      // timestamp comes back rewritten to the trip's monotone clock, which
+      // is what staleness and alert timestamps record — one skewed or
+      // negative client timestamp can no longer mark the trip stalest.
+      double ts = timestamp;
+      const GuardVerdict v = ApplyGuard(vehicle_id, t, &shard, edge, &ts);
+      t->last_update.store(ts, kRelaxed);
+      if (v.accept) {
+        const int label = t->session.Feed(edge);
+        EmitNewRuns(vehicle_id, t, &shard, ts);
+        shard.counters.points_processed.fetch_add(1, kRelaxed);
+        return label;
+      }
+      evict = v.evict;
+      quarantine_dropped = t->guard.quarantined || evict;
     }
-    const int label = t->session.Feed(edge);
-    t->last_update.store(timestamp, kRelaxed);
-    EmitNewRuns(vehicle_id, t, &shard, timestamp);
-    shard.counters.points_processed.fetch_add(1, kRelaxed);
-    return label;
+    // The quarantine point budget ran out: remove the trip with no trip
+    // lock held (shard rank sits below trip rank). `trip` keeps it alive.
+    if (evict) EvictQuarantined(vehicle_id, t);
+    if (quarantine_dropped) {
+      return Status::ResourceExhausted(
+          "vehicle " + std::to_string(vehicle_id) +
+          " is quarantined (malformed-point budget exceeded); point dropped");
+    }
+    return Status::InvalidArgument(
+        "point rejected by the ingest guard for vehicle " +
+        std::to_string(vehicle_id));
   }
 }
 
@@ -399,6 +491,12 @@ size_t FleetMonitor::FeedBatch(std::span<const FleetPoint> points)
   std::vector<size_t> live;
   std::vector<core::OnlineDetector::Session*> sessions;
   std::vector<traj::EdgeId> edges;
+  std::vector<double> live_ts;
+  // Quarantine evictions decided during a wave are deferred until the
+  // chunk's locks are released: eviction re-acquires shard then trip locks,
+  // which the rank hierarchy forbids while any wave lock is held. The
+  // `resolved` vector keeps every victim alive until then.
+  std::vector<std::pair<int64_t, Trip*>> quarantine_victims;
   while (!active.empty()) {
     for (size_t chunk = 0; chunk < active.size(); chunk += wave_cap) {
       const size_t chunk_end = std::min(active.size(), chunk + wave_cap);
@@ -409,6 +507,7 @@ size_t FleetMonitor::FeedBatch(std::span<const FleetPoint> points)
       live.clear();
       sessions.clear();
       edges.clear();
+      live_ts.clear();
       for (size_t i = chunk; i < chunk_end; ++i) {
         TripGroup& g = groups[active[i]];
         Trip* trip = items[g.next].first;
@@ -424,36 +523,56 @@ size_t FleetMonitor::FeedBatch(std::span<const FleetPoint> points)
         if (trip->handle->generation < handle->generation) {
           ReprimeLocked(trip, handle);
         }
+        // The same input contract as Feed, applied before the fusion
+        // decision so sync and async ingest stay point-for-point
+        // equivalent.
+        const FleetPoint& p = points[items[g.next].second];
+        double ts = p.timestamp;
+        const GuardVerdict v =
+            ApplyGuard(p.vehicle_id, trip, g.shard, p.edge, &ts);
+        trip->last_update.store(ts, kRelaxed);
+        if (!v.accept) {
+          if (v.evict) quarantine_victims.emplace_back(p.vehicle_id, trip);
+          ++g.next;
+          locks.pop_back();
+          continue;
+        }
         if (trip->handle != handle) {
           // A racing SwapModel moved this trip past our handle between the
           // fetch above and taking its lock: its session belongs to a newer
           // detector, so it cannot fuse into this wave. Feed it scalar on
           // its own (newer) model instead — same bookkeeping, no fusion.
-          const FleetPoint& p = points[items[g.next].second];
           (void)trip->session.Feed(p.edge);
-          trip->last_update.store(p.timestamp, kRelaxed);
-          EmitNewRuns(p.vehicle_id, trip, g.shard, p.timestamp);
+          EmitNewRuns(p.vehicle_id, trip, g.shard, ts);
           ++shard_fed[ShardIndexOf(p.vehicle_id)];
           ++g.next;
           continue;
         }
         live.push_back(active[i]);
         sessions.push_back(&trip->session);
-        edges.push_back(points[items[g.next].second].edge);
+        edges.push_back(p.edge);
+        live_ts.push_back(ts);
       }
       if (!sessions.empty()) {
         handle->model->detector().FeedBatch(sessions, edges);
-        for (const size_t gi : live) {
-          TripGroup& g = groups[gi];
+        for (size_t li = 0; li < live.size(); ++li) {
+          TripGroup& g = groups[live[li]];
           Trip* trip = items[g.next].first;
           const FleetPoint& p = points[items[g.next].second];
-          trip->last_update.store(p.timestamp, kRelaxed);
-          EmitNewRuns(p.vehicle_id, trip, g.shard, p.timestamp);
+          EmitNewRuns(p.vehicle_id, trip, g.shard, live_ts[li]);
           ++shard_fed[ShardIndexOf(p.vehicle_id)];
           ++g.next;
         }
       }
       locks.clear();
+      // No wave lock held: finish this chunk's quarantine evictions. A
+      // victim's remaining points hit its `finished` flag next round and
+      // fall back to Feed, which re-resolves (NotFound, or the vehicle's
+      // next trip).
+      for (const auto& [vehicle, victim] : quarantine_victims) {
+        EvictQuarantined(vehicle, victim);
+      }
+      quarantine_victims.clear();
     }
     active.erase(std::remove_if(active.begin(), active.end(),
                                 [&](size_t g) {
@@ -572,6 +691,22 @@ void FleetMonitor::FinishEvicted(int64_t vehicle_id, Trip* trip,
   shard->counters.trips_evicted.fetch_add(1, kRelaxed);
 }
 
+void FleetMonitor::EvictQuarantined(int64_t vehicle_id, Trip* trip) {
+  Shard& shard = ShardOf(vehicle_id);
+  {
+    common::MutexLock lock(&shard.mu);
+    const auto it = shard.trips.find(vehicle_id);
+    // Identity check, not just vehicle id: EndTrip, a stale/stalest
+    // eviction, or a duplicate quarantine-evict signal may have removed
+    // this trip already (and the vehicle may even be on a new trip). Losing
+    // the race means someone else finished the trip — nothing owed here.
+    if (it == shard.trips.end() || it->second.get() != trip) return;
+    shard.trips.erase(it);
+  }
+  FinishEvicted(vehicle_id, trip, &shard);
+  shard.counters.quarantine_evictions.fetch_add(1, kRelaxed);
+}
+
 size_t FleetMonitor::EvictStale(double now) {
   size_t evicted = 0;
   for (Shard& shard : shards_) {
@@ -643,11 +778,25 @@ size_t FleetMonitor::ActiveTrips() const {
 FleetStats FleetMonitor::Stats() const {
   FleetStats stats;
   for (const Shard& shard : shards_) {
-    stats.trips_started += shard.counters.trips_started.load(kRelaxed);
-    stats.trips_finished += shard.counters.trips_finished.load(kRelaxed);
-    stats.points_processed += shard.counters.points_processed.load(kRelaxed);
-    stats.alerts_emitted += shard.counters.alerts_emitted.load(kRelaxed);
-    stats.trips_evicted += shard.counters.trips_evicted.load(kRelaxed);
+    const ShardCounters& c = shard.counters;
+    stats.trips_started += c.trips_started.load(kRelaxed);
+    stats.trips_finished += c.trips_finished.load(kRelaxed);
+    stats.points_processed += c.points_processed.load(kRelaxed);
+    stats.alerts_emitted += c.alerts_emitted.load(kRelaxed);
+    stats.trips_evicted += c.trips_evicted.load(kRelaxed);
+    stats.guard_duplicates += c.guard_duplicates.load(kRelaxed);
+    stats.guard_out_of_order += c.guard_out_of_order.load(kRelaxed);
+    stats.guard_clock_skew += c.guard_clock_skew.load(kRelaxed);
+    stats.guard_dropout_gaps += c.guard_dropout_gaps.load(kRelaxed);
+    stats.guard_teleports += c.guard_teleports.load(kRelaxed);
+    stats.guard_invalid_edges += c.guard_invalid_edges.load(kRelaxed);
+    stats.points_repaired += c.points_repaired.load(kRelaxed);
+    stats.points_rejected += c.points_rejected.load(kRelaxed);
+    stats.points_quarantine_dropped +=
+        c.points_quarantine_dropped.load(kRelaxed);
+    stats.trips_quarantined += c.trips_quarantined.load(kRelaxed);
+    stats.trips_recovered += c.trips_recovered.load(kRelaxed);
+    stats.quarantine_evictions += c.quarantine_evictions.load(kRelaxed);
   }
   if (ingest_ != nullptr) {
     stats.points_submitted = ingest_->PointsSubmitted();
@@ -656,6 +805,63 @@ FleetStats FleetMonitor::Stats() const {
   stats.alerts_delivered = delivery_ != nullptr ? delivery_->AlertsDelivered()
                                                 : stats.alerts_emitted;
   return stats;
+}
+
+Result<double> FleetMonitor::TripHealth(int64_t vehicle_id) {
+  Shard& shard = ShardOf(vehicle_id);
+  const std::shared_ptr<Trip> trip = ResolveTrip(shard, vehicle_id);
+  if (trip == nullptr) {
+    return Status::NotFound("vehicle " + std::to_string(vehicle_id) +
+                            " has no active trip");
+  }
+  common::MutexLock lock(&trip->mu);
+  return guard_.HealthScore(trip->guard);
+}
+
+Result<bool> FleetMonitor::TripQuarantined(int64_t vehicle_id) {
+  Shard& shard = ShardOf(vehicle_id);
+  const std::shared_ptr<Trip> trip = ResolveTrip(shard, vehicle_id);
+  if (trip == nullptr) {
+    return Status::NotFound("vehicle " + std::to_string(vehicle_id) +
+                            " has no active trip");
+  }
+  common::MutexLock lock(&trip->mu);
+  return trip->guard.quarantined;
+}
+
+std::string FleetMonitor::DumpMetrics() const {
+  const FleetStats s = Stats();
+  std::string out;
+  out.reserve(1024);
+  const auto line = [&out](std::string_view name, int64_t value) {
+    out.append(name);
+    out.push_back(' ');
+    out.append(std::to_string(value));
+    out.push_back('\n');
+  };
+  line("fleet_trips_started", s.trips_started);
+  line("fleet_trips_finished", s.trips_finished);
+  line("fleet_trips_evicted", s.trips_evicted);
+  line("fleet_trips_active", static_cast<int64_t>(ActiveTrips()));
+  line("fleet_points_processed", s.points_processed);
+  line("fleet_points_submitted", s.points_submitted);
+  line("fleet_points_shed", s.points_shed);
+  line("fleet_alerts_emitted", s.alerts_emitted);
+  line("fleet_alerts_delivered", s.alerts_delivered);
+  line("guard_duplicates", s.guard_duplicates);
+  line("guard_out_of_order", s.guard_out_of_order);
+  line("guard_clock_skew", s.guard_clock_skew);
+  line("guard_dropout_gaps", s.guard_dropout_gaps);
+  line("guard_teleports", s.guard_teleports);
+  line("guard_invalid_edges", s.guard_invalid_edges);
+  line("guard_points_repaired", s.points_repaired);
+  line("guard_points_rejected", s.points_rejected);
+  line("guard_points_quarantine_dropped", s.points_quarantine_dropped);
+  line("guard_trips_quarantined", s.trips_quarantined);
+  line("guard_trips_recovered", s.trips_recovered);
+  line("guard_quarantine_evictions", s.quarantine_evictions);
+  line("model_generation", static_cast<int64_t>(ModelGeneration()));
+  return out;
 }
 
 std::vector<int64_t> FleetMonitor::TakeAlertLatencySamplesNs() {
@@ -670,7 +876,7 @@ Status FleetMonitor::Snapshot(BinaryWriter* w, std::string_view user_meta) {
   // Quiesce shard by shard: the trip list is copied under the shard lock
   // (map mutations pause for microseconds), then every trip serializes
   // under only its own lock — ingest for all other trips keeps flowing.
-  std::vector<std::tuple<int64_t, double, std::string>> records;
+  std::vector<std::tuple<int64_t, double, std::string, std::string>> records;
   std::vector<std::pair<int64_t, std::shared_ptr<Trip>>> shard_trips;
   for (Shard& shard : shards_) {
     shard_trips.clear();
@@ -696,10 +902,20 @@ Status FleetMonitor::Snapshot(BinaryWriter* w, std::string_view user_meta) {
       }
       BinaryWriter session;
       trip->session.ExportState(&session);
+      BinaryWriter guard_state;
+      trip->guard.ExportState(&guard_state);
       records.emplace_back(vehicle, trip->last_update.load(kRelaxed),
-                           session.buffer());
+                           session.buffer(), guard_state.buffer());
     }
   }
+
+  // Canonical record order: shard-map iteration order depends on insertion
+  // history, so sort by vehicle id — snapshotting a restored fleet then
+  // reproduces the original snapshot bit for bit.
+  std::sort(records.begin(), records.end(),
+            [](const auto& a, const auto& b) {
+              return std::get<0>(a) < std::get<0>(b);
+            });
 
   // Assemble into a local writer and publish all-or-nothing: an aborted
   // snapshot (mid-swap above) must not leave a partial header in the
@@ -714,11 +930,24 @@ Status FleetMonitor::Snapshot(BinaryWriter* w, std::string_view user_meta) {
   out.WriteI64(stats.points_processed);
   out.WriteI64(stats.alerts_emitted);
   out.WriteI64(stats.trips_evicted);
+  out.WriteI64(stats.guard_duplicates);
+  out.WriteI64(stats.guard_out_of_order);
+  out.WriteI64(stats.guard_clock_skew);
+  out.WriteI64(stats.guard_dropout_gaps);
+  out.WriteI64(stats.guard_teleports);
+  out.WriteI64(stats.guard_invalid_edges);
+  out.WriteI64(stats.points_repaired);
+  out.WriteI64(stats.points_rejected);
+  out.WriteI64(stats.points_quarantine_dropped);
+  out.WriteI64(stats.trips_quarantined);
+  out.WriteI64(stats.trips_recovered);
+  out.WriteI64(stats.quarantine_evictions);
   out.WriteU64(records.size());
-  for (const auto& [vehicle, last_update, blob] : records) {
+  for (const auto& [vehicle, last_update, blob, guard_blob] : records) {
     out.WriteI64(vehicle);
     out.WriteF64(last_update);
     out.WriteString(blob);
+    out.WriteString(guard_blob);
   }
   w->WriteBytes(out.buffer().data(), out.buffer().size());
   return Status::OK();
@@ -743,11 +972,29 @@ Status FleetMonitor::Restore(BinaryReader* r, RestoreInfo* info) {
   stats.points_processed = header.points_processed;
   stats.alerts_emitted = header.alerts_emitted;
   stats.trips_evicted = header.trips_evicted;
+  stats.guard_duplicates = header.guard_duplicates;
+  stats.guard_out_of_order = header.guard_out_of_order;
+  stats.guard_clock_skew = header.guard_clock_skew;
+  stats.guard_dropout_gaps = header.guard_dropout_gaps;
+  stats.guard_teleports = header.guard_teleports;
+  stats.guard_invalid_edges = header.guard_invalid_edges;
+  stats.points_repaired = header.points_repaired;
+  stats.points_rejected = header.points_rejected;
+  stats.points_quarantine_dropped = header.points_quarantine_dropped;
+  stats.trips_quarantined = header.trips_quarantined;
+  stats.trips_recovered = header.trips_recovered;
+  stats.quarantine_evictions = header.quarantine_evictions;
   // Counters are hostile input like everything else: a lying negative
   // value would poison Stats() and the conservation identity forever.
   if (stats.trips_started < 0 || stats.trips_finished < 0 ||
       stats.points_processed < 0 || stats.alerts_emitted < 0 ||
-      stats.trips_evicted < 0) {
+      stats.trips_evicted < 0 || stats.guard_duplicates < 0 ||
+      stats.guard_out_of_order < 0 || stats.guard_clock_skew < 0 ||
+      stats.guard_dropout_gaps < 0 || stats.guard_teleports < 0 ||
+      stats.guard_invalid_edges < 0 || stats.points_repaired < 0 ||
+      stats.points_rejected < 0 || stats.points_quarantine_dropped < 0 ||
+      stats.trips_quarantined < 0 || stats.trips_recovered < 0 ||
+      stats.quarantine_evictions < 0) {
     return Status::InvalidArgument(
         "snapshot service counters are negative (corrupt or forged header)");
   }
@@ -767,9 +1014,11 @@ Status FleetMonitor::Restore(BinaryReader* r, RestoreInfo* info) {
     int64_t vehicle;
     double last_update;
     std::string blob;
+    std::string guard_blob;
     RL4_RETURN_NOT_OK(r->ReadI64(&vehicle));
     RL4_RETURN_NOT_OK(r->ReadF64(&last_update));
     RL4_RETURN_NOT_OK(r->ReadString(&blob));
+    RL4_RETURN_NOT_OK(r->ReadString(&guard_blob));
     if (!seen.insert(vehicle).second) {
       return Status::InvalidArgument(
           "snapshot lists vehicle " + std::to_string(vehicle) + " twice");
@@ -784,12 +1033,25 @@ Status FleetMonitor::Restore(BinaryReader* r, RestoreInfo* info) {
       return Status::InvalidArgument(
           "snapshot contains an already-finished trip");
     }
+    BinaryReader guard_reader(std::move(guard_blob));
+    IngestGuard::State guard_state;
+    RL4_RETURN_NOT_OK(guard_state.ImportState(
+        &guard_reader, handle->model->network()->NumEdges()));
+    if (!guard_reader.AtEnd()) {
+      return Status::IOError("trailing bytes in trip guard record");
+    }
     const traj::SdPair sd = session.sd();
     const double start_time = session.start_time();
     const size_t points_fed = session.labels().size();
     auto trip = std::make_shared<Trip>(std::move(session), sd, start_time,
                                        handle);
     trip->last_update.store(last_update, kRelaxed);
+    {
+      // Not yet published (this monitor is still empty), but the lock keeps
+      // the GUARDED_BY contract analysis-clean and costs nothing here.
+      common::MutexLock lock(&trip->mu);
+      trip->guard = guard_state;
+    }
     parsed.push_back(std::move(trip));
     restored.push_back(RestoredTrip{vehicle, sd, start_time, points_fed});
   }
@@ -826,6 +1088,20 @@ Status FleetMonitor::Restore(BinaryReader* r, RestoreInfo* info) {
   counters.points_processed.fetch_add(stats.points_processed, kRelaxed);
   counters.alerts_emitted.fetch_add(stats.alerts_emitted, kRelaxed);
   counters.trips_evicted.fetch_add(stats.trips_evicted, kRelaxed);
+  counters.guard_duplicates.fetch_add(stats.guard_duplicates, kRelaxed);
+  counters.guard_out_of_order.fetch_add(stats.guard_out_of_order, kRelaxed);
+  counters.guard_clock_skew.fetch_add(stats.guard_clock_skew, kRelaxed);
+  counters.guard_dropout_gaps.fetch_add(stats.guard_dropout_gaps, kRelaxed);
+  counters.guard_teleports.fetch_add(stats.guard_teleports, kRelaxed);
+  counters.guard_invalid_edges.fetch_add(stats.guard_invalid_edges, kRelaxed);
+  counters.points_repaired.fetch_add(stats.points_repaired, kRelaxed);
+  counters.points_rejected.fetch_add(stats.points_rejected, kRelaxed);
+  counters.points_quarantine_dropped.fetch_add(
+      stats.points_quarantine_dropped, kRelaxed);
+  counters.trips_quarantined.fetch_add(stats.trips_quarantined, kRelaxed);
+  counters.trips_recovered.fetch_add(stats.trips_recovered, kRelaxed);
+  counters.quarantine_evictions.fetch_add(stats.quarantine_evictions,
+                                          kRelaxed);
 
   if (info != nullptr) {
     info->user_meta = std::move(user_meta);

@@ -45,6 +45,7 @@
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "core/rl4oasd.h"
+#include "serve/ingest_guard.h"
 #include "traj/types.h"
 
 namespace rl4oasd::serve {
@@ -147,6 +148,18 @@ class AlertSink {
     (void)edges;
     (void)final_labels;
   }
+  /// Called when a trip exceeds its malformed-point budget and is
+  /// quarantined (the detector stops consuming its points — see
+  /// serve/ingest_guard.h for the lifecycle). Fires exactly once per
+  /// quarantine episode, with the trip's lifetime malformed-point count at
+  /// that moment. The trip later either recovers silently (points flow
+  /// again) or is evicted through the usual OnTripEvicted path.
+  virtual void OnTripQuarantined(int64_t vehicle_id, double trip_start_time,
+                                 int64_t malformed_points) {
+    (void)vehicle_id;
+    (void)trip_start_time;
+    (void)malformed_points;
+  }
 };
 
 /// Thread-safe in-memory sink (tests, examples, tooling). Callbacks arrive
@@ -188,6 +201,20 @@ class CollectingSink : public AlertSink {
     common::MutexLock lock(&mu_);
     return std::move(evicted_);
   }
+  void OnTripQuarantined(int64_t vehicle_id, double trip_start_time,
+                         int64_t malformed_points) override {
+    common::MutexLock lock(&mu_);
+    quarantined_.emplace_back(vehicle_id, trip_start_time);
+    (void)malformed_points;
+  }
+  size_t NumQuarantined() const {
+    common::MutexLock lock(&mu_);
+    return quarantined_.size();
+  }
+  std::vector<std::pair<int64_t, double>> TakeQuarantined() {
+    common::MutexLock lock(&mu_);
+    return std::move(quarantined_);
+  }
 
  private:
   mutable common::Mutex mu_;
@@ -195,6 +222,8 @@ class CollectingSink : public AlertSink {
   std::vector<std::pair<int64_t, std::vector<uint8_t>>> finished_
       RL4OASD_GUARDED_BY(mu_);
   std::vector<std::pair<int64_t, std::vector<uint8_t>>> evicted_
+      RL4OASD_GUARDED_BY(mu_);
+  std::vector<std::pair<int64_t, double>> quarantined_
       RL4OASD_GUARDED_BY(mu_);
 };
 
@@ -264,6 +293,13 @@ struct FleetConfig {
   /// Bound on undelivered async sink events; enqueueing blocks when full
   /// (events are never dropped — see AlertSink).
   size_t alert_queue_capacity = 16384;
+  /// The ingest input contract: per-anomaly-class policies, thresholds, and
+  /// the quarantine budget (serve/ingest_guard.h). The defaults are
+  /// observe-only — detection counters tick, nothing is dropped or
+  /// repaired, quarantine is off — except that trip staleness is always
+  /// routed through the guard's monotone per-trip clock, so a skewed or
+  /// negative client timestamp can never mark a live trip stalest.
+  IngestGuardConfig guard;
 };
 
 /// Service counters (monotonic since construction).
@@ -286,6 +322,32 @@ struct FleetStats {
   /// alerts_emitted once Quiesce returns; lags it by the queue backlog
   /// under load. With async_alerts off, mirrors alerts_emitted.
   int64_t alerts_delivered = 0;
+
+  // -- Ingest-guard counters (serve/ingest_guard.h) ------------------------
+  //
+  // Per-class detections tick under every policy (kPassThrough included).
+  // Disposition counters partition the points the guard removed:
+  //   points offered to Feed/FeedBatch ==
+  //       points_processed + points_rejected + points_quarantine_dropped
+  // for points whose vehicle had an active trip.
+  int64_t guard_duplicates = 0;
+  int64_t guard_out_of_order = 0;
+  int64_t guard_clock_skew = 0;
+  int64_t guard_dropout_gaps = 0;
+  int64_t guard_teleports = 0;
+  int64_t guard_invalid_edges = 0;
+  /// Points accepted with a repaired (clamped) timestamp.
+  int64_t points_repaired = 0;
+  /// Points dropped by a kReject/kRepair policy outside quarantine.
+  int64_t points_rejected = 0;
+  /// Points dropped because their trip was quarantined (including the
+  /// tipping point).
+  int64_t points_quarantine_dropped = 0;
+  /// Quarantine episodes entered / recovered from; evictions forced by the
+  /// quarantine point budget (a subset of trips_evicted).
+  int64_t trips_quarantined = 0;
+  int64_t trips_recovered = 0;
+  int64_t quarantine_evictions = 0;
 };
 
 /// Concurrent multi-trip online detector over one trained model. The model
@@ -394,6 +456,20 @@ class FleetMonitor {
   size_t ActiveTrips() const;
   FleetStats Stats() const;
 
+  /// Input health of a vehicle's active trip in [0, 1]: 1 with an empty
+  /// strike bucket, 0 when quarantined (IngestGuard::HealthScore). NotFound
+  /// when the vehicle has no active trip.
+  Result<double> TripHealth(int64_t vehicle_id);
+
+  /// True when the vehicle's active trip is currently quarantined.
+  Result<bool> TripQuarantined(int64_t vehicle_id);
+
+  /// Plain-text metrics dump: every FleetStats counter plus the active-trip
+  /// gauge and model generation, one `name value` line each, sorted stable.
+  /// The serving-side metrics endpoint (oasd_simulate prints it in its
+  /// end-of-run summary; DriftAdapter::DumpMetrics appends the drift loop).
+  std::string DumpMetrics() const;
+
   /// Drains the async delivery queue's enqueue→delivery latency samples
   /// (nanoseconds, most recent window; reporting-only — see
   /// delivery_queue.h). Empty when async_alerts is off.
@@ -501,7 +577,9 @@ class FleetMonitor {
           handle(std::move(h)),
           sd(sd_in),
           start_time(t0),
-          last_update(t0) {}
+          last_update(t0) {
+      guard.mono_ts = t0;  // the monotone clock seeds from trip start
+    }
 
     /// Guards session, handle, and finished. Rank kFleetTrip: multiple trip
     /// locks are held together only by FeedBatch waves, in ascending
@@ -525,6 +603,10 @@ class FleetMonitor {
     /// feeding a dead session (delivering the point to the vehicle's next
     /// trip if one already started, else reporting NotFound).
     bool finished RL4OASD_GUARDED_BY(mu) = false;
+    /// Ingest-guard validator state (monotone clock, position, strike
+    /// bucket, quarantine lifecycle). Serialized with the session into
+    /// fleet snapshots.
+    IngestGuard::State guard RL4OASD_GUARDED_BY(mu);
   };
 
   /// Monotonic service counters, bumped with relaxed ordering. Relaxed is
@@ -538,6 +620,19 @@ class FleetMonitor {
     std::atomic<int64_t> points_processed{0};
     std::atomic<int64_t> alerts_emitted{0};
     std::atomic<int64_t> trips_evicted{0};
+    // Ingest-guard counters (see FleetStats for semantics).
+    std::atomic<int64_t> guard_duplicates{0};
+    std::atomic<int64_t> guard_out_of_order{0};
+    std::atomic<int64_t> guard_clock_skew{0};
+    std::atomic<int64_t> guard_dropout_gaps{0};
+    std::atomic<int64_t> guard_teleports{0};
+    std::atomic<int64_t> guard_invalid_edges{0};
+    std::atomic<int64_t> points_repaired{0};
+    std::atomic<int64_t> points_rejected{0};
+    std::atomic<int64_t> points_quarantine_dropped{0};
+    std::atomic<int64_t> trips_quarantined{0};
+    std::atomic<int64_t> trips_recovered{0};
+    std::atomic<int64_t> quarantine_evictions{0};
   };
 
   struct alignas(64) Shard {
@@ -575,6 +670,30 @@ class FleetMonitor {
   /// found at all, so over-cap admissions can loop until the cap holds.
   bool EvictStalest();
 
+  /// What the per-point guard application tells the ingest path to do.
+  struct GuardVerdict {
+    bool accept = true;
+    /// The trip exhausted its quarantine point budget; the caller must
+    /// remove it (with no trip lock held — EvictQuarantined).
+    bool evict = false;
+  };
+
+  /// Runs the ingest guard over one point under the trip's lock: advances
+  /// the trip's guard state, bumps the per-class/disposition counters,
+  /// fires OnTripQuarantined on a quarantine entry, and rewrites
+  /// `*timestamp` to the trip's monotone clock (what last_update and alert
+  /// timestamps record).
+  GuardVerdict ApplyGuard(int64_t vehicle_id, Trip* trip, Shard* shard,
+                          traj::EdgeId edge, double* timestamp)
+      RL4OASD_REQUIRES(trip->mu);
+
+  /// Identity-checked removal of a quarantine-evicted trip: erases it from
+  /// its shard map (no-op if EndTrip or another eviction won the race) and
+  /// finishes it with the silent-eviction guarantees. Caller must hold no
+  /// trip or shard lock; `trip` must be kept alive by the caller.
+  void EvictQuarantined(int64_t vehicle_id, Trip* trip)
+      RL4OASD_EXCLUDES(trip->mu);
+
   // Sink dispatch: inline under the caller's trip lock (synchronous mode)
   // or value-captured onto the delivery queue (async_alerts). All no-ops
   // when sink_ is null. Counter bumps stay at the call sites.
@@ -586,6 +705,8 @@ class FleetMonitor {
                          double start_time,
                          const std::vector<traj::EdgeId>& edges,
                          const std::vector<uint8_t>& labels);
+  void SinkTripQuarantined(int64_t vehicle_id, double start_time,
+                           int64_t malformed_points);
 
   /// The current model handle (shared_ptr copy under model_mu_, so a
   /// concurrent SwapModel can never hand out a torn read).
@@ -599,6 +720,10 @@ class FleetMonitor {
 
   FleetConfig config_;
   AlertSink* sink_;
+  /// The input-contract validator (stateless; per-trip state lives in
+  /// Trip::guard). Pinned to the construction model's road network, which
+  /// SwapModel requires to stay unchanged.
+  IngestGuard guard_;
   std::vector<Shard> shards_;
   std::atomic<int64_t> active_trips_{0};
   /// Async alert delivery (async_alerts && sink). Declared before ingest_

@@ -1,0 +1,256 @@
+#include "serve/ingest_guard.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace rl4oasd::serve {
+
+IngestGuard::IngestGuard(IngestGuardConfig config,
+                         const roadnet::RoadNetwork* net)
+    : config_(config), net_(net) {}
+
+bool IngestGuard::ReachableWithinHops(const roadnet::RoadNetwork& net,
+                                      traj::EdgeId from, traj::EdgeId to,
+                                      int hops) {
+  if (from == to) return true;
+  if (hops <= 0) return false;
+  // Bounded BFS over edge adjacency. The frontier after h hops holds at
+  // most (max out-degree)^h edges; hop bounds are small (2-3), so a flat
+  // vector + linear dedup against the visited set beats hashing.
+  std::vector<traj::EdgeId> frontier{from};
+  std::vector<traj::EdgeId> visited{from};
+  std::vector<traj::EdgeId> next;
+  for (int h = 0; h < hops; ++h) {
+    next.clear();
+    for (const traj::EdgeId e : frontier) {
+      for (const traj::EdgeId succ : net.NextEdges(e)) {
+        if (succ == to) return true;
+        if (std::find(visited.begin(), visited.end(), succ) ==
+            visited.end()) {
+          visited.push_back(succ);
+          next.push_back(succ);
+        }
+      }
+    }
+    if (next.empty()) return false;
+    frontier.swap(next);
+  }
+  return false;
+}
+
+IngestGuard::Anomaly IngestGuard::Classify(const State& state,
+                                           traj::EdgeId edge,
+                                           double timestamp) const {
+  if (edge < 0 || static_cast<size_t>(edge) >= net_->NumEdges()) {
+    return Anomaly::kInvalidEdge;
+  }
+  if (state.has_arrival && edge == state.last_arrival_edge &&
+      timestamp == state.last_arrival_ts) {
+    return Anomaly::kDuplicate;
+  }
+  if (timestamp < state.mono_ts) return Anomaly::kOutOfOrder;
+  const double gap = timestamp - state.mono_ts;
+  if (gap > config_.skew_tolerance_s) return Anomaly::kClockSkew;
+  if (gap > config_.dropout_gap_s) return Anomaly::kDropout;
+  if (state.position != roadnet::kInvalidEdge && edge != state.position &&
+      !net_->AreConsecutive(state.position, edge) &&
+      !ReachableWithinHops(*net_, state.position, edge,
+                           config_.teleport_hop_bound)) {
+    return Anomaly::kTeleport;
+  }
+  return Anomaly::kNone;
+}
+
+GuardPolicy IngestGuard::PolicyFor(Anomaly anomaly) const {
+  switch (anomaly) {
+    case Anomaly::kDuplicate:
+      return config_.duplicate_policy;
+    case Anomaly::kOutOfOrder:
+      return config_.out_of_order_policy;
+    case Anomaly::kClockSkew:
+      return config_.skew_policy;
+    case Anomaly::kDropout:
+      return config_.dropout_policy;
+    case Anomaly::kTeleport:
+      return config_.teleport_policy;
+    case Anomaly::kInvalidEdge:
+    case Anomaly::kNone:
+      break;
+  }
+  // An out-of-range edge would index past the embedding table: rejected
+  // under every policy.
+  return GuardPolicy::kReject;
+}
+
+IngestGuard::Decision IngestGuard::Check(State* s, traj::EdgeId edge,
+                                         double timestamp) const {
+  Decision d;
+  d.anomaly = Classify(*s, edge, timestamp);
+  const bool clean = d.anomaly == Anomaly::kNone;
+  // The duplicate check compares raw arrivals, so the arrival memo updates
+  // unconditionally — a second retransmission of a dropped copy is still a
+  // duplicate.
+  s->last_arrival_edge = edge;
+  s->last_arrival_ts = timestamp;
+  s->has_arrival = true;
+
+  if (s->quarantined) {
+    // Validate but never feed: the session's hidden state is protected
+    // until the stream proves itself clean again.
+    ++s->quarantine_points;
+    d.accept = false;
+    d.quarantine_dropped = true;
+    if (clean) {
+      // A credible point moves the trip's clock and position even though
+      // the detector never sees it: liveness and the next spatial check
+      // track the vehicle, not the session.
+      s->mono_ts = timestamp;
+      if (edge != roadnet::kInvalidEdge) s->position = edge;
+      if (++s->clean_streak >= config_.quarantine_recovery_points) {
+        s->quarantined = false;
+        s->clean_streak = 0;
+        s->quarantine_points = 0;
+        s->strikes = 0;
+        // The recovering point itself is fed: recovery is immediate.
+        d.accept = true;
+        d.quarantine_dropped = false;
+        d.recovered = true;
+      }
+    } else {
+      ++s->malformed_total;
+      s->clean_streak = 0;
+      if (config_.quarantine_evict_points > 0 &&
+          s->quarantine_points >= config_.quarantine_evict_points) {
+        d.evict = true;
+      }
+    }
+    d.timestamp = s->mono_ts;
+    return d;
+  }
+
+  if (clean) {
+    s->mono_ts = timestamp;
+    s->position = edge;
+    if (s->strikes > 0) --s->strikes;
+    d.timestamp = s->mono_ts;
+    return d;
+  }
+
+  ++s->malformed_total;
+  ++s->strikes;
+  if (config_.malformed_budget > 0 &&
+      s->strikes > config_.malformed_budget) {
+    // The tipping point is dropped along with everything that follows
+    // until the stream recovers.
+    s->quarantined = true;
+    s->clean_streak = 0;
+    s->quarantine_points = 0;
+    d.accept = false;
+    d.entered_quarantine = true;
+    d.quarantine_dropped = true;
+    d.timestamp = s->mono_ts;
+    return d;
+  }
+
+  switch (PolicyFor(d.anomaly)) {
+    case GuardPolicy::kPassThrough:
+      // Faithful raw behavior: the point is fed as-is and advances the
+      // clock/position wherever it credibly can. A regressing timestamp
+      // still cannot pull the monotone clock backwards.
+      d.accept = true;
+      s->mono_ts = std::max(s->mono_ts, timestamp);
+      if (d.anomaly != Anomaly::kInvalidEdge) s->position = edge;
+      break;
+    case GuardPolicy::kRepair:
+      switch (d.anomaly) {
+        case Anomaly::kDuplicate:
+        case Anomaly::kTeleport:
+          // Nothing to clamp onto: drop, keep clock and position.
+          d.accept = false;
+          break;
+        case Anomaly::kOutOfOrder:
+          // Clamp the late point to "now"; its segment is still evidence.
+          // The position stays: a historical point says nothing about
+          // where the vehicle currently is.
+          d.accept = true;
+          d.repaired = true;
+          break;
+        case Anomaly::kClockSkew:
+          d.accept = true;
+          d.repaired = true;
+          s->mono_ts += config_.skew_clamp_s;
+          s->position = edge;
+          break;
+        case Anomaly::kDropout:
+          // The point after a gap is credible; the gap itself is the
+          // anomaly and cannot be repaired.
+          d.accept = true;
+          s->mono_ts = timestamp;
+          s->position = edge;
+          break;
+        case Anomaly::kInvalidEdge:
+        case Anomaly::kNone:
+          d.accept = false;
+          break;
+      }
+      break;
+    case GuardPolicy::kReject:
+      d.accept = false;
+      break;
+  }
+  d.timestamp = s->mono_ts;
+  return d;
+}
+
+double IngestGuard::HealthScore(const State& state) const {
+  const uint32_t scale = config_.malformed_budget > 0
+                             ? config_.malformed_budget
+                             : kDefaultHealthScale;
+  if (state.quarantined) return 0.0;
+  const double load = static_cast<double>(state.strikes) / scale;
+  return 1.0 - std::min(1.0, load);
+}
+
+void IngestGuard::State::ExportState(BinaryWriter* w) const {
+  w->WriteF64(mono_ts);
+  w->WriteF64(last_arrival_ts);
+  w->WriteI32(last_arrival_edge);
+  w->WriteI32(position);
+  w->WriteU32(strikes);
+  w->WriteU32(clean_streak);
+  w->WriteU32(quarantine_points);
+  w->WriteU32(malformed_total);
+  w->WriteU8(has_arrival ? 1 : 0);
+  w->WriteU8(quarantined ? 1 : 0);
+}
+
+Status IngestGuard::State::ImportState(BinaryReader* r, size_t num_edges) {
+  RL4_RETURN_NOT_OK(r->ReadF64(&mono_ts));
+  RL4_RETURN_NOT_OK(r->ReadF64(&last_arrival_ts));
+  RL4_RETURN_NOT_OK(r->ReadI32(&last_arrival_edge));
+  RL4_RETURN_NOT_OK(r->ReadI32(&position));
+  RL4_RETURN_NOT_OK(r->ReadU32(&strikes));
+  RL4_RETURN_NOT_OK(r->ReadU32(&clean_streak));
+  RL4_RETURN_NOT_OK(r->ReadU32(&quarantine_points));
+  RL4_RETURN_NOT_OK(r->ReadU32(&malformed_total));
+  uint8_t arrival_flag = 0;
+  uint8_t quarantine_flag = 0;
+  RL4_RETURN_NOT_OK(r->ReadU8(&arrival_flag));
+  RL4_RETURN_NOT_OK(r->ReadU8(&quarantine_flag));
+  if (arrival_flag > 1 || quarantine_flag > 1) {
+    return Status::InvalidArgument("guard state flags out of range");
+  }
+  const auto valid_edge = [num_edges](traj::EdgeId e) {
+    return e == roadnet::kInvalidEdge ||
+           (e >= 0 && static_cast<size_t>(e) < num_edges);
+  };
+  if (!valid_edge(last_arrival_edge) || !valid_edge(position)) {
+    return Status::InvalidArgument(
+        "guard state edge id out of range for the serving road network");
+  }
+  has_arrival = arrival_flag != 0;
+  quarantined = quarantine_flag != 0;
+  return Status::OK();
+}
+
+}  // namespace rl4oasd::serve

@@ -1,0 +1,215 @@
+// The ingest input contract: per-trip validation of every point entering
+// FleetMonitor::Feed/FeedBatch (and therefore the async Submit drain path,
+// which feeds through FeedBatch — sync and async stay equivalent by
+// construction).
+//
+// The paper's serving scenario is a live GPS stream from a whole fleet of
+// devices, and live device streams degrade in a handful of well-known ways.
+// The guard classifies each arriving point against the trip's *monotone
+// clock* (the max timestamp it has accepted so far) and its last accepted
+// road segment:
+//
+//   * duplicate     — same edge AND same timestamp as the previous arrival
+//                     (a retransmitted packet). Repair: drop the copy.
+//   * out-of-order  — timestamp regresses below the monotone clock (late
+//                     delivery / device clock stepping backwards). Repair:
+//                     clamp the timestamp to the monotone clock and accept
+//                     the segment; the trip's *position* is not moved (a
+//                     late historical point says nothing about where the
+//                     vehicle is now).
+//   * clock skew    — timestamp jumps forward past the monotone clock by
+//                     more than skew_tolerance_s (a device clock jumped).
+//                     Repair: clamp to one nominal sampling interval
+//                     (skew_clamp_s) past the monotone clock.
+//   * dropout gap   — a forward gap larger than dropout_gap_s but within
+//                     skew tolerance: plausible missing data. The point
+//                     itself is credible, so repair accepts it unchanged;
+//                     the gap still counts as an anomaly (the detector's
+//                     hidden state has a blind spot).
+//   * teleport      — an edge not reachable from the trip's current
+//                     position within teleport_hop_bound hops of
+//                     roadnet::RoadNetwork adjacency. No plausible path
+//                     exists to repair onto, so repair drops the point and
+//                     keeps the position.
+//
+// An out-of-range edge id is a sixth, unconditional class: it cannot be fed
+// (the embedding lookup would be out of bounds), so it is rejected under
+// every policy.
+//
+// Exactly one class is reported per point, in the precedence order above
+// (time before space: a reordered point usually looks spatially wrong too,
+// and the timestamp is the primary evidence). Each class has its own
+// GuardPolicy knob; kPassThrough accepts the raw point (detection counters
+// still tick — observability is free), kRepair applies the documented
+// repair, kReject drops the point.
+//
+// Quarantine: every detected anomaly adds a strike to a per-trip leaky
+// bucket (a clean point removes one). When strikes exceed malformed_budget
+// the trip is quarantined — the detector stops consuming its points, so a
+// garbage stream cannot pollute RSRNet hidden state or fabricate alerts —
+// and AlertSink::OnTripQuarantined fires. While quarantined, points are
+// validated but dropped; quarantine_recovery_points consecutive clean
+// points end the quarantine (the streak's last point is fed), and
+// quarantine_evict_points total points without recovery evict the trip with
+// the usual silent-eviction guarantees. malformed_budget == 0 disables
+// quarantine entirely.
+//
+// The guard's State is part of the trip's durable identity: it round-trips
+// through fleet snapshots (io/fleet_snapshot.h format v2) so a restored
+// fleet resumes mid-quarantine exactly where it left off.
+#pragma once
+
+#include <cstdint>
+
+#include "common/binary.h"
+#include "common/status.h"
+#include "roadnet/road_network.h"
+#include "traj/types.h"
+
+namespace rl4oasd::serve {
+
+/// What to do with a point once an anomaly class is detected.
+enum class GuardPolicy : uint8_t {
+  /// Accept the raw point unchanged (detection counters still tick).
+  kPassThrough = 0,
+  /// Apply the class's documented repair (clamp / drop), then accept what
+  /// survives.
+  kRepair = 1,
+  /// Drop the point.
+  kReject = 2,
+};
+
+/// Per-class policies and thresholds. Defaults are observe-only (every
+/// policy kPassThrough, quarantine disabled): enabling the guard changes no
+/// served behavior until a policy is opted into.
+struct IngestGuardConfig {
+  GuardPolicy duplicate_policy = GuardPolicy::kPassThrough;
+  GuardPolicy out_of_order_policy = GuardPolicy::kPassThrough;
+  GuardPolicy skew_policy = GuardPolicy::kPassThrough;
+  GuardPolicy dropout_policy = GuardPolicy::kPassThrough;
+  GuardPolicy teleport_policy = GuardPolicy::kPassThrough;
+  /// Forward jumps beyond this are clock skew, not dropout.
+  double skew_tolerance_s = 3600.0;
+  /// Where kRepair clamps a skewed timestamp: one nominal sampling interval
+  /// past the trip's monotone clock.
+  double skew_clamp_s = 2.0;
+  /// Forward gaps beyond this (but within skew tolerance) are dropout gaps.
+  double dropout_gap_s = 60.0;
+  /// A new edge must be reachable from the trip's position within this many
+  /// adjacency hops; clean streams are connected paths, so the common case
+  /// is one O(1) AreConsecutive check and never searches.
+  int teleport_hop_bound = 2;
+  /// Leaky-bucket strike budget before quarantine; 0 disables quarantine.
+  uint32_t malformed_budget = 0;
+  /// Consecutive clean points that end a quarantine.
+  uint32_t quarantine_recovery_points = 16;
+  /// Points observed in quarantine without recovery before the trip is
+  /// evicted; 0 means never evict (quarantine until recovery or timeout).
+  uint32_t quarantine_evict_points = 256;
+};
+
+class IngestGuard {
+ public:
+  /// Anomaly classes in detection-precedence order.
+  enum class Anomaly : uint8_t {
+    kNone = 0,
+    kInvalidEdge,
+    kDuplicate,
+    kOutOfOrder,
+    kClockSkew,
+    kDropout,
+    kTeleport,
+  };
+
+  /// Per-trip validator state. Lives inside serve::FleetMonitor's Trip,
+  /// guarded by the trip mutex, and serializes into fleet snapshots.
+  struct State {
+    /// Monotone per-trip clock: max accepted (or credible) timestamp so
+    /// far. Seeds from the trip's start_time. FleetMonitor routes trip
+    /// staleness (last_update) through this clock, so one skewed or
+    /// negative client timestamp can never make a live trip the
+    /// EvictStalest victim.
+    double mono_ts = 0.0;
+    /// Raw (edge, timestamp) of the previous arrival, accepted or not —
+    /// the duplicate check compares against what the device actually sent.
+    double last_arrival_ts = 0.0;
+    traj::EdgeId last_arrival_edge = roadnet::kInvalidEdge;
+    /// The trip's current position: the last accepted credible edge.
+    /// Dropped points (duplicates, teleports, quarantined garbage) and
+    /// repaired out-of-order points do not move it.
+    traj::EdgeId position = roadnet::kInvalidEdge;
+    /// Leaky-bucket strike count (anomaly +1, clean point -1).
+    uint32_t strikes = 0;
+    /// Consecutive clean points observed while quarantined.
+    uint32_t clean_streak = 0;
+    /// Points observed (and dropped) since quarantine began.
+    uint32_t quarantine_points = 0;
+    /// Total anomalous points detected over the trip's lifetime.
+    uint32_t malformed_total = 0;
+    bool has_arrival = false;
+    bool quarantined = false;
+
+    void ExportState(BinaryWriter* w) const;
+    /// Hostile-input tolerant: every field is validated (edges against
+    /// `num_edges`, flags against {0,1}) and a lie returns a descriptive
+    /// error, never UB.
+    Status ImportState(BinaryReader* r, size_t num_edges);
+  };
+
+  /// What the guard decided about one point.
+  struct Decision {
+    Anomaly anomaly = Anomaly::kNone;
+    /// Feed the point to the detection session?
+    bool accept = true;
+    /// The accepted timestamp was modified (clamped) by kRepair.
+    bool repaired = false;
+    /// Dropped because the trip is (or just became) quarantined.
+    bool quarantine_dropped = false;
+    /// This point tipped the trip into quarantine (fire OnTripQuarantined).
+    bool entered_quarantine = false;
+    /// This point completed the clean streak and ended the quarantine.
+    bool recovered = false;
+    /// The quarantine exceeded its point budget: evict the trip.
+    bool evict = false;
+    /// The trip's monotone clock after this point — what last_update and
+    /// alert timestamps should record. Never regresses.
+    double timestamp = 0.0;
+  };
+
+  /// `net` must outlive the guard (SwapModel requires an unchanged road
+  /// network, so the construction-time network stays authoritative).
+  IngestGuard(IngestGuardConfig config, const roadnet::RoadNetwork* net);
+
+  /// Classifies one arriving point and advances `state`. Caller holds the
+  /// owning trip's lock; the guard itself is stateless and const.
+  Decision Check(State* state, traj::EdgeId edge, double timestamp) const;
+
+  /// Trip input health in [0, 1]: 1 when the strike bucket is empty, 0 at
+  /// (or past) the quarantine threshold. With quarantine disabled the
+  /// bucket is scored against kDefaultHealthScale strikes.
+  double HealthScore(const State& state) const;
+
+  /// True when `to` is reachable from `from` within `hops` directed
+  /// adjacency hops (bounded BFS over RoadNetwork::NextEdges; `from == to`
+  /// counts as reachable). Shared with the chaos injector, which uses it to
+  /// manufacture guaranteed-unreachable teleports.
+  static bool ReachableWithinHops(const roadnet::RoadNetwork& net,
+                                  traj::EdgeId from, traj::EdgeId to,
+                                  int hops);
+
+  const IngestGuardConfig& config() const { return config_; }
+
+ private:
+  static constexpr uint32_t kDefaultHealthScale = 8;
+
+  /// Classification only (no state mutation): first matching class in
+  /// precedence order.
+  Anomaly Classify(const State& state, traj::EdgeId edge,
+                   double timestamp) const;
+  GuardPolicy PolicyFor(Anomaly anomaly) const;
+
+  IngestGuardConfig config_;
+  const roadnet::RoadNetwork* net_;
+};
+
+}  // namespace rl4oasd::serve

@@ -380,9 +380,9 @@ TEST_P(FleetSnapshotFuzz, FingerprintMismatchRejectedOnRestoreOnly) {
 
 TEST_P(FleetSnapshotFuzz, TripCountLieRejected) {
   BuildSnapshot("fuzz");  // meta length pins the trip-count offset below
-  // Layout: magic(4) version(4) fingerprint(8) meta(4+4) stats(40) -> 64.
+  // Layout: magic(4) version(4) fingerprint(8) meta(4+4) stats(136) -> 160.
   const uint64_t lie = ~uint64_t{0} / 2;
-  PatchPayloadWithValidCrc(path_, 64, &lie, 8);
+  PatchPayloadWithValidCrc(path_, 160, &lie, 8);
   EXPECT_FALSE(io::DescribeFleetSnapshot(path_).ok());
   EXPECT_FALSE(TryRestore().ok());
 }

@@ -575,5 +575,91 @@ TEST_F(FleetIngestTest, DisabledPipelineIsExplicit) {
   EXPECT_TRUE(monitor.EndTrip(1).ok());
 }
 
+TEST_F(FleetIngestTest, SubmitEndTripBeforeAnyPointFinishesEmpty) {
+  // An end marker with nothing staged ahead of it is a legal degenerate
+  // trip: the lane worker calls EndTrip on a zero-point session.
+  const auto& t = (*dataset_)[0].traj;
+  SequenceSink sink;
+  FleetConfig cfg;
+  cfg.ingest_workers = 1;
+  FleetMonitor monitor(model_, cfg, &sink);
+  ASSERT_TRUE(monitor.StartTrip(1, t.sd(), t.start_time).ok());
+  ASSERT_TRUE(monitor.SubmitEndTrip(1).ok());
+  monitor.Quiesce();
+  const FleetStats stats = monitor.Stats();
+  EXPECT_EQ(stats.trips_finished, 1);
+  EXPECT_EQ(stats.points_processed, 0);
+  const auto events = sink.Take();
+  ASSERT_EQ(events.count(1), 1u);
+  // Zero points -> empty final labels on both end callbacks.
+  EXPECT_EQ(events.at(1)[0], "end:");
+}
+
+TEST_F(FleetIngestTest, DoubleEndTripIsNotFound) {
+  const auto& t = (*dataset_)[0].traj;
+  FleetMonitor monitor(model_, {}, nullptr);
+  ASSERT_TRUE(monitor.StartTrip(1, t.sd(), t.start_time).ok());
+  ASSERT_TRUE(monitor.Feed(1, t.edges[0], t.start_time).ok());
+  ASSERT_TRUE(monitor.EndTrip(1).ok());
+  EXPECT_EQ(monitor.EndTrip(1).status().code(), StatusCode::kNotFound);
+  // The double call neither double-counts nor resurrects the trip.
+  EXPECT_EQ(monitor.Stats().trips_finished, 1);
+  EXPECT_EQ(monitor.ActiveTrips(), 0u);
+}
+
+TEST_F(FleetIngestTest, FeedAfterFinishIsNotFound) {
+  const auto& t = (*dataset_)[0].traj;
+  FleetMonitor monitor(model_, {}, nullptr);
+  ASSERT_TRUE(monitor.StartTrip(1, t.sd(), t.start_time).ok());
+  ASSERT_TRUE(monitor.Feed(1, t.edges[0], t.start_time).ok());
+  ASSERT_TRUE(monitor.EndTrip(1).ok());
+  EXPECT_EQ(monitor.Feed(1, t.edges[1], t.start_time + 2.0).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(monitor.Stats().points_processed, 1);
+}
+
+TEST_F(FleetIngestTest, EmptyFeedBatchIsANoOp) {
+  FleetMonitor monitor(model_, {}, nullptr);
+  EXPECT_EQ(monitor.FeedBatch({}), 0u);
+  const FleetStats stats = monitor.Stats();
+  EXPECT_EQ(stats.points_processed, 0);
+  EXPECT_EQ(stats.trips_started, 0);
+}
+
+TEST_F(FleetIngestTest, ZeroToleranceGuardStillFinishesTheTrip) {
+  // A maximally strict guard (every class kReject, any gap over 1s is a
+  // dropout) starves the detector but never wedges the trip lifecycle:
+  // rejection is per-point, EndTrip still works.
+  const auto& t = (*dataset_)[0].traj;
+  ASSERT_GE(t.edges.size(), 3u);
+  FleetConfig cfg;
+  cfg.guard.duplicate_policy = GuardPolicy::kReject;
+  cfg.guard.out_of_order_policy = GuardPolicy::kReject;
+  cfg.guard.skew_policy = GuardPolicy::kReject;
+  cfg.guard.dropout_policy = GuardPolicy::kReject;
+  cfg.guard.teleport_policy = GuardPolicy::kReject;
+  cfg.guard.dropout_gap_s = 1.0;
+  FleetMonitor monitor(model_, cfg, nullptr);
+  ASSERT_TRUE(monitor.StartTrip(1, t.sd(), t.start_time).ok());
+  // First point lands on the monotone clock (gap 0): clean.
+  ASSERT_TRUE(monitor.Feed(1, t.edges[0], t.start_time).ok());
+  // Rejected points do not advance the clock, so every later point at the
+  // nominal 2s cadence stays a >1s dropout forever.
+  EXPECT_EQ(
+      monitor.Feed(1, t.edges[1], t.start_time + 2.0).status().code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      monitor.Feed(1, t.edges[2], t.start_time + 4.0).status().code(),
+      StatusCode::kInvalidArgument);
+  const auto labels = monitor.EndTrip(1);
+  ASSERT_TRUE(labels.ok());
+  EXPECT_EQ(labels->size(), 1u);  // only the clean point reached the session
+  const FleetStats stats = monitor.Stats();
+  EXPECT_EQ(stats.points_processed, 1);
+  EXPECT_EQ(stats.points_rejected, 2);
+  EXPECT_EQ(stats.guard_dropout_gaps, 2);
+  EXPECT_EQ(stats.trips_finished, 1);
+}
+
 }  // namespace
 }  // namespace rl4oasd::serve

@@ -26,6 +26,7 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/binary.h"
@@ -33,8 +34,10 @@
 #include "common/stopwatch.h"
 #include "core/rl4oasd.h"
 #include "io/model_io.h"
+#include "serve/chaos.h"
 #include "serve/drift.h"
 #include "serve/fleet.h"
+#include "serve/ingest_guard.h"
 #include "tools/tool_util.h"
 
 namespace rl4oasd {
@@ -108,6 +111,12 @@ int Main(int argc, char** argv) {
   flags.AddInt("adapt-min-buffer", 256,
                "harvested trips required before a retrain cycle starts "
                "(with --adapt)");
+  flags.AddString(
+      "chaos", "",
+      "perturb the replay stream before ingest with seeded chaos, e.g. "
+      "\"drop=0.01,dup=0.02,reorder=0.01,skew=0.005,teleport=0.001,seed=9\" "
+      "(see serve/chaos.h for the full key set); also arms the ingest "
+      "guard in repair mode with quarantine (malformed budget 8)");
   tools::ParseFlagsOrExit(&flags, argc, argv);
 
   const std::string data_dir = flags.GetString("data-dir");
@@ -153,9 +162,27 @@ int Main(int argc, char** argv) {
   };
   Sink sink(flags.GetBool("print-alerts"));
 
+  const std::string chaos_arg = flags.GetString("chaos");
+  const bool chaos = !chaos_arg.empty();
+  serve::ChaosSpec chaos_spec;
+  if (chaos) {
+    chaos_spec = tools::ExitIfError(serve::ParseChaosSpec(chaos_arg));
+  }
+
   serve::FleetConfig fleet_cfg;
   fleet_cfg.max_active_trips =
       static_cast<size_t>(flags.GetInt("max-active"));
+  if (chaos) {
+    // A degraded stream is the point of the exercise: repair what is
+    // repairable, quarantine trips that blow through the budget.
+    serve::IngestGuardConfig& g = fleet_cfg.guard;
+    g.duplicate_policy = serve::GuardPolicy::kRepair;
+    g.out_of_order_policy = serve::GuardPolicy::kRepair;
+    g.skew_policy = serve::GuardPolicy::kRepair;
+    g.dropout_policy = serve::GuardPolicy::kRepair;
+    g.teleport_policy = serve::GuardPolicy::kRepair;
+    g.malformed_budget = 8;
+  }
   const bool async = flags.GetBool("async");
   if (async) {
     fleet_cfg.ingest_workers = static_cast<size_t>(
@@ -213,6 +240,13 @@ int Main(int argc, char** argv) {
                  "taken with\n");
     return 1;
   }
+  if (chaos && durable_mode) {
+    std::fprintf(stderr,
+                 "error: --chaos is incompatible with snapshot/resume/"
+                 "--max-points — the replay cursor indexes the clean "
+                 "dataset, not a perturbed stream\n");
+    return 1;
+  }
   if (async && (durable_mode || batch_size > 0 || adapt)) {
     std::fprintf(stderr,
                  "error: --async is incompatible with --batch (the ingest "
@@ -262,6 +296,8 @@ int Main(int argc, char** argv) {
 
   Stopwatch sw;
   std::atomic<int64_t> points{0};
+  std::vector<serve::ChaosCounts> chaos_by_thread(
+      static_cast<size_t>(threads));
   std::vector<std::thread> workers;
   workers.reserve(threads);
   for (int th = 0; th < threads; ++th) {
@@ -278,12 +314,51 @@ int Main(int argc, char** argv) {
               &input[i].traj);
         }
       }
+      // One injector per worker, distinctly seeded, so the perturbed
+      // stream is deterministic for a given (--chaos seed, --threads).
+      std::unique_ptr<serve::ChaosInjector> injector;
+      if (chaos) {
+        serve::ChaosSpec spec = chaos_spec;
+        spec.seed = chaos_spec.seed + static_cast<uint64_t>(th);
+        injector = std::make_unique<serve::ChaosInjector>(spec, &net);
+      }
+      // Materializes one trip's clean point stream, perturbs it, and rolls
+      // the injector's ground truth into this thread's tally.
+      auto perturb_trip = [&](int64_t vid,
+                              const traj::MapMatchedTrajectory* t) {
+        std::vector<serve::FleetPoint> pts;
+        pts.reserve(t->edges.size());
+        double ts = t->start_time;
+        for (traj::EdgeId e : t->edges) {
+          pts.push_back({vid, e, ts});
+          ts += 2.0;  // paper's sampling rate
+        }
+        pts = injector->Perturb(pts);
+        const serve::ChaosCounts& c = injector->counts();
+        serve::ChaosCounts& tally = chaos_by_thread[static_cast<size_t>(th)];
+        tally.input += c.input;
+        tally.emitted += c.emitted;
+        tally.dropped += c.dropped;
+        tally.duplicated += c.duplicated;
+        tally.reordered += c.reordered;
+        tally.skewed += c.skewed;
+        tally.teleported += c.teleported;
+        tally.drop_gaps += c.drop_gaps;
+        return pts;
+      };
       if (async) {
         // Producer role: stage everything and move on. The shard workers
         // form the micro-batch waves; a full staging lane applies the
         // configured backpressure (kBlock by default, so nothing drops).
         for (const auto& [vid, t] : todo) {
           if (!monitor.StartTrip(vid, t->sd(), t->start_time).ok()) continue;
+          if (injector) {
+            const std::vector<serve::FleetPoint> pts = perturb_trip(vid, t);
+            for (const serve::FleetPoint& p : pts) (void)monitor.Submit(p);
+            (void)monitor.SubmitEndTrip(vid);
+            points.fetch_add(static_cast<int64_t>(pts.size()));
+            continue;
+          }
           double ts = t->start_time;
           for (traj::EdgeId e : t->edges) {
             (void)monitor.Submit({vid, e, ts});
@@ -297,6 +372,15 @@ int Main(int argc, char** argv) {
       if (batch_size == 0) {
         for (const auto& [vid, t] : todo) {
           if (!monitor.StartTrip(vid, t->sd(), t->start_time).ok()) continue;
+          if (injector) {
+            const std::vector<serve::FleetPoint> pts = perturb_trip(vid, t);
+            for (const serve::FleetPoint& p : pts) {
+              (void)monitor.Feed(p.vehicle_id, p.edge, p.timestamp);
+            }
+            (void)monitor.EndTrip(vid);
+            points.fetch_add(static_cast<int64_t>(pts.size()));
+            continue;
+          }
           double ts = t->start_time;
           for (traj::EdgeId e : t->edges) {
             (void)monitor.Feed(vid, e, ts);
@@ -316,6 +400,9 @@ int Main(int argc, char** argv) {
         int64_t vid;
         size_t pos = 0;
         double ts = 0.0;
+        /// Under --chaos, the trip's perturbed stream; fed by position
+        /// instead of indexing the clean edge vector.
+        std::vector<serve::FleetPoint> pts;
       };
       std::vector<Live> live;
       size_t next = 0;
@@ -343,7 +430,8 @@ int Main(int argc, char** argv) {
             std::exit(1);
           }
           live.push_back({&t, rt.vid, rt.pos,
-                          t.start_time + 2.0 * static_cast<double>(rt.pos)});
+                          t.start_time + 2.0 * static_cast<double>(rt.pos),
+                          {}});
         }
       }
       int64_t fed_points = 0;
@@ -351,9 +439,17 @@ int Main(int argc, char** argv) {
       auto refill = [&] {
         while (live.size() < batch_size && next < todo.size()) {
           const auto& [vid, t] = todo[next++];
-          if (monitor.StartTrip(vid, t->sd(), t->start_time).ok()) {
-            live.push_back({t, vid, 0, t->start_time});
+          if (!monitor.StartTrip(vid, t->sd(), t->start_time).ok()) continue;
+          Live l{t, vid, 0, t->start_time, {}};
+          if (injector) {
+            l.pts = perturb_trip(vid, t);
+            if (l.pts.empty()) {
+              // Every point dropped: the trip starts and ends empty.
+              (void)monitor.EndTrip(vid);
+              continue;
+            }
           }
+          live.push_back(std::move(l));
         }
       };
       std::vector<serve::FleetPoint> wave;
@@ -362,7 +458,10 @@ int Main(int argc, char** argv) {
       while (!live.empty()) {
         wave.clear();
         for (const Live& l : live) {
-          wave.push_back({l.vid, l.t->edges[l.pos], l.ts});
+          wave.push_back(injector
+                             ? l.pts[l.pos]
+                             : serve::FleetPoint{l.vid, l.t->edges[l.pos],
+                                                 l.ts});
         }
         (void)monitor.FeedBatch(wave);
         fed_points += static_cast<int64_t>(wave.size());
@@ -375,7 +474,9 @@ int Main(int argc, char** argv) {
           l.ts += 2.0;
         }
         for (size_t k = live.size(); k-- > 0;) {
-          if (live[k].pos == live[k].t->edges.size()) {
+          const size_t len =
+              injector ? live[k].pts.size() : live[k].t->edges.size();
+          if (live[k].pos == len) {
             (void)monitor.EndTrip(live[k].vid);
             live.erase(live.begin() + static_cast<ptrdiff_t>(k));
           }
@@ -428,6 +529,39 @@ int Main(int argc, char** argv) {
                 static_cast<long long>(stats.points_shed),
                 static_cast<long long>(stats.alerts_delivered));
   }
+  if (chaos) {
+    serve::ChaosCounts cc;
+    for (const serve::ChaosCounts& c : chaos_by_thread) {
+      cc.input += c.input;
+      cc.emitted += c.emitted;
+      cc.dropped += c.dropped;
+      cc.duplicated += c.duplicated;
+      cc.reordered += c.reordered;
+      cc.skewed += c.skewed;
+      cc.teleported += c.teleported;
+      cc.drop_gaps += c.drop_gaps;
+    }
+    std::printf("  chaos:      %lld clean -> %lld perturbed points "
+                "(%lld dropped, %lld duplicated, %lld reordered, "
+                "%lld skewed, %lld teleported, %lld gap events)\n",
+                static_cast<long long>(cc.input),
+                static_cast<long long>(cc.emitted),
+                static_cast<long long>(cc.dropped),
+                static_cast<long long>(cc.duplicated),
+                static_cast<long long>(cc.reordered),
+                static_cast<long long>(cc.skewed),
+                static_cast<long long>(cc.teleported),
+                static_cast<long long>(cc.drop_gaps));
+    std::printf("  guard:      %lld repaired, %lld rejected, %lld "
+                "quarantine-dropped; trips %lld quarantined, %lld "
+                "recovered, %lld evicted\n",
+                static_cast<long long>(stats.points_repaired),
+                static_cast<long long>(stats.points_rejected),
+                static_cast<long long>(stats.points_quarantine_dropped),
+                static_cast<long long>(stats.trips_quarantined),
+                static_cast<long long>(stats.trips_recovered),
+                static_cast<long long>(stats.quarantine_evictions));
+  }
   if (adapt) {
     // Ingest is done; wait for the background worker to drain the harvest
     // queue and resolve any in-flight retrain cycle so the summary is
@@ -458,6 +592,9 @@ int Main(int argc, char** argv) {
     }
     std::printf("\n");
   }
+  const std::string metrics =
+      adapt ? adapter->DumpMetrics() : monitor.DumpMetrics();
+  std::printf("\nmetrics:\n%s", metrics.c_str());
   return 0;
 }
 
