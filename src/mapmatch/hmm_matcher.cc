@@ -4,8 +4,11 @@
 #include <cmath>
 #include <limits>
 #include <queue>
+#include <thread>
 #include <unordered_map>
+#include <utility>
 
+#include "roadnet/geometry.h"
 #include "roadnet/shortest_path.h"
 
 namespace rl4oasd::mapmatch {
@@ -14,8 +17,11 @@ namespace {
 
 constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 
-/// Bounded Dijkstra on the edge graph: distance (meters of edges traversed
-/// after `src`) from `src` to every edge within `max_dist_m`.
+/// The seed-era bounded Dijkstra: a fresh hash map per search. Kept verbatim
+/// as the cost model MatchReference() preserves — the fast kernel's
+/// EdgeDijkstra must produce the same distances (both are exact bounded
+/// Dijkstras over identical relaxations, so per-path float sums agree
+/// bit-for-bit and the min over paths is order-independent).
 std::unordered_map<roadnet::EdgeId, double> BoundedEdgeDistances(
     const roadnet::RoadNetwork& net, roadnet::EdgeId src, double max_dist_m) {
   std::unordered_map<roadnet::EdgeId, double> dist;
@@ -40,134 +46,359 @@ std::unordered_map<roadnet::EdgeId, double> BoundedEdgeDistances(
   return dist;
 }
 
+double LogEmission(double d, double sigma) {
+  return -0.5 * (d / sigma) * (d / sigma);
+}
+
+/// First maximum over a layer's score slice — the pinned segment-end
+/// tie-break (lowest candidate index in the (distance, edge id) order).
+uint32_t ArgmaxLayer(const internal::Lattice& lat, size_t t) {
+  const internal::Layer& ly = lat.layers[t];
+  uint32_t best = 0;
+  for (uint32_t c = 1; c < ly.count; ++c) {
+    if (lat.score[ly.first + c] > lat.score[ly.first + best]) best = c;
+  }
+  return best;
+}
+
 }  // namespace
 
-HmmMapMatcher::HmmMapMatcher(const roadnet::RoadNetwork* net, HmmConfig config)
-    : net_(net), config_(config), index_(net) {}
+namespace internal {
 
-Result<traj::MapMatchedTrajectory> HmmMapMatcher::Match(
-    const traj::RawTrajectory& raw) const {
+bool AppendLayer(const HmmMapMatcher& matcher, const traj::RawPoint& pt,
+                 size_t point_index, Kernel kernel, MatchScratch* scratch,
+                 Lattice* lat) {
+  const HmmConfig& cfg = matcher.config();
+  const roadnet::RoadNetwork& net = *matcher.network();
+
+  if (kernel == Kernel::kFast) {
+    matcher.index().QueryInto(pt.pos, cfg.candidate_radius_m,
+                              cfg.max_candidates, &scratch->query,
+                              &scratch->qcands);
+  } else {
+    // The reference kernel also pays the seed query's cost model (full cell
+    // square, hash-set dedup, per-call allocations); the candidates are
+    // identical either way.
+    scratch->qcands = matcher.index().QueryReference(
+        pt.pos, cfg.candidate_radius_m, cfg.max_candidates);
+  }
+  if (scratch->qcands.empty()) return false;
+
+  Layer ly;
+  ly.point_index = point_index;
+  ly.pos = pt.pos;
+  ly.t = pt.t;
+  ly.first = static_cast<uint32_t>(lat->cands.size());
+  ly.count = static_cast<uint32_t>(scratch->qcands.size());
+  lat->cands.insert(lat->cands.end(), scratch->qcands.begin(),
+                    scratch->qcands.end());
+  lat->score.resize(lat->cands.size(), kNegInf);
+  lat->back.resize(lat->cands.size(), -1);
+
+  double* score = lat->score.data() + ly.first;
+  int32_t* back = lat->back.data() + ly.first;
+  const EdgeCandidate* cand = lat->cands.data() + ly.first;
+
+  if (lat->layers.empty()) {
+    ly.segment_start = true;
+    for (uint32_t c = 0; c < ly.count; ++c) {
+      score[c] = LogEmission(cand[c].distance_m, cfg.gps_sigma_m);
+    }
+    lat->layers.push_back(ly);
+    return true;
+  }
+
+  const Layer& prev = lat->layers.back();
+  const double* score_prev = lat->score.data() + prev.first;
+  const EdgeCandidate* cand_prev = lat->cands.data() + prev.first;
+  const double gc = roadnet::ApproxDistanceMeters(prev.pos, ly.pos);
+  const double beta_m = 50.0 * cfg.transition_beta;
+  const double max_net = std::max(gc * cfg.max_network_detour, gc + 300.0);
+
+  if (kernel == Kernel::kFast) {
+    // Transition distances come from the precomputed table when the layer's
+    // detour bound fits under it (the common case: consecutive fixes),
+    // otherwise from one reusable bounded Dijkstra per previous candidate,
+    // early-terminated once every current-layer candidate is settled. Both
+    // sources yield the same distances: a table entry is a settled
+    // EdgeDijkstra distance, a table miss or an entry beyond max_net means
+    // a live search bounded by max_net would not reach the edge either.
+    // score[] doubles as the running best transition score per candidate
+    // until emissions are added.
+    const roadnet::EdgeDistanceTable& table = matcher.transition_table();
+    const bool use_table = table.built() && max_net <= table.bound_m();
+    if (!use_table) {
+      scratch->targets.clear();
+      for (uint32_t c = 0; c < ly.count; ++c) {
+        scratch->targets.push_back(cand[c].edge);
+      }
+      scratch->dijkstra.Attach(&net);
+      scratch->dijkstra.SetTargets(scratch->targets.data(),
+                                   scratch->targets.size());
+    }
+    for (uint32_t p = 0; p < prev.count; ++p) {
+      if (score_prev[p] == kNegInf) continue;
+      // Exact dominance pruning: log_trans <= 0, so p's best possible score
+      // is score_prev[p]; when even that cannot beat (strict >) the weakest
+      // current best, p cannot change any candidate's score or back pointer.
+      double min_best = score[0];
+      for (uint32_t c = 1; c < ly.count; ++c) {
+        min_best = std::min(min_best, score[c]);
+      }
+      if (score_prev[p] <= min_best) continue;
+      if (!use_table) scratch->dijkstra.Run(cand_prev[p].edge, max_net);
+      for (uint32_t c = 0; c < ly.count; ++c) {
+        const double d = use_table
+                             ? table.DistanceTo(cand_prev[p].edge, cand[c].edge)
+                             : scratch->dijkstra.DistanceTo(cand[c].edge);
+        if (d < 0.0 || d > max_net) continue;
+        const double s = score_prev[p] - std::abs(gc - d) / beta_m;
+        // Strict >: ties keep the lowest p, matching the reference kernel's
+        // first-max over ascending p.
+        if (s > score[c]) {
+          score[c] = s;
+          back[c] = static_cast<int32_t>(p);
+        }
+      }
+    }
+  } else {
+    // Reference kernel: the seed's per-(layer, candidate) fresh-map searches
+    // and candidate-outer loop order, preserved as the equivalence oracle.
+    std::vector<std::unordered_map<roadnet::EdgeId, double>> netdist(
+        prev.count);
+    for (uint32_t p = 0; p < prev.count; ++p) {
+      netdist[p] = BoundedEdgeDistances(net, cand_prev[p].edge, max_net);
+    }
+    for (uint32_t c = 0; c < ly.count; ++c) {
+      double best = kNegInf;
+      int32_t best_p = -1;
+      for (uint32_t p = 0; p < prev.count; ++p) {
+        if (score_prev[p] == kNegInf) continue;
+        auto it = netdist[p].find(cand[c].edge);
+        if (it == netdist[p].end()) continue;
+        const double s = score_prev[p] - std::abs(gc - it->second) / beta_m;
+        if (s > best) {
+          best = s;
+          best_p = static_cast<int32_t>(p);
+        }
+      }
+      score[c] = best;
+      back[c] = best_p;
+    }
+  }
+
+  bool any = false;
+  for (uint32_t c = 0; c < ly.count; ++c) {
+    if (back[c] >= 0) {
+      any = true;
+      break;
+    }
+  }
+  if (any) {
+    for (uint32_t c = 0; c < ly.count; ++c) {
+      if (back[c] >= 0) {
+        score[c] += LogEmission(cand[c].distance_m, cfg.gps_sigma_m);
+      } else {
+        score[c] = kNegInf;
+      }
+    }
+  } else {
+    // GPS gap: no current candidate is network-reachable from the previous
+    // layer within the detour bound. Start a new Viterbi segment from
+    // emission-only scores; the gap policy decides bridging at decode time.
+    ly.segment_start = true;
+    for (uint32_t c = 0; c < ly.count; ++c) {
+      score[c] = LogEmission(cand[c].distance_m, cfg.gps_sigma_m);
+      back[c] = -1;
+    }
+  }
+  lat->layers.push_back(ly);
+  return true;
+}
+
+Result<DecodedPieces> Decode(const HmmMapMatcher& matcher, const Lattice& lat,
+                             int64_t id) {
+  if (lat.layers.empty()) {
+    return Status::NotFound("no candidate segments near any GPS fix");
+  }
+  const roadnet::RoadNetwork& net = *matcher.network();
+  const GapPolicy policy = matcher.config().gap_policy;
+  const size_t num_layers = lat.layers.size();
+
+  // Backtrack. Segment boundaries are explicit (Layer::segment_start), so a
+  // chosen candidate in a non-starting layer always has a valid back
+  // pointer; at a boundary the finished segment's end is re-anchored at the
+  // previous layer's argmax (segmented Viterbi).
+  std::vector<uint32_t> chosen(num_layers);
+  uint32_t cur = ArgmaxLayer(lat, num_layers - 1);
+  for (size_t t = num_layers; t-- > 0;) {
+    chosen[t] = cur;
+    if (t == 0) break;
+    if (lat.layers[t].segment_start) {
+      cur = ArgmaxLayer(lat, t - 1);
+    } else {
+      cur = static_cast<uint32_t>(lat.back[lat.layers[t].first + cur]);
+    }
+  }
+
+  // Assemble pieces: collapse repeats, stitch non-adjacent consecutive edges
+  // with shortest paths, and split where the gap policy says so (or where a
+  // boundary bridge does not exist).
+  DecodedPieces out;
+  std::vector<size_t> piece_fixes;
+  traj::MapMatchedTrajectory piece;
+  size_t fixes = 0;
+  auto flush = [&]() -> Status {
+    if (piece.edges.empty()) return Status::OK();
+    if (!net.IsConnectedPath(piece.edges)) {
+      return Status::Internal("matched trajectory is not connected");
+    }
+    piece_fixes.push_back(fixes);
+    out.pieces.push_back(std::move(piece));
+    piece = traj::MapMatchedTrajectory{};
+    return Status::OK();
+  };
+
+  for (size_t t = 0; t < num_layers; ++t) {
+    const Layer& ly = lat.layers[t];
+    const roadnet::EdgeId e = lat.cands[ly.first + chosen[t]].edge;
+    const bool boundary = t > 0 && ly.segment_start;
+    if (boundary && policy == GapPolicy::kSplit) {
+      RL4_RETURN_NOT_OK(flush());
+    }
+    if (!piece.edges.empty()) {
+      if (piece.edges.back() == e) {
+        ++fixes;
+        continue;
+      }
+      if (!net.AreConsecutive(piece.edges.back(), e)) {
+        auto bridge = roadnet::ShortestPathBetweenEdges(net, piece.edges.back(), e);
+        if (bridge.size() >= 2) {
+          // Skip the first (already present) and last (pushed below).
+          for (size_t k = 1; k + 1 < bridge.size(); ++k) {
+            piece.edges.push_back(bridge[k]);
+          }
+        } else if (boundary) {
+          // Unbridgeable gap (e.g. disconnected subgraphs): degrade to a
+          // split instead of failing the whole trajectory.
+          RL4_RETURN_NOT_OK(flush());
+        } else {
+          // Within a segment reachability was proven by the transition
+          // search, so a missing bridge is a real invariant violation.
+          return Status::Internal("could not stitch matched edges");
+        }
+      }
+    }
+    if (piece.edges.empty()) {
+      piece.id = id;
+      piece.start_time = ly.t;  // first *matched* fix of this piece
+      fixes = 0;
+    }
+    piece.edges.push_back(e);
+    ++fixes;
+  }
+  RL4_RETURN_NOT_OK(flush());
+
+  for (size_t i = 1; i < piece_fixes.size(); ++i) {
+    // Strict >: ties keep the earliest piece.
+    if (piece_fixes[i] > piece_fixes[out.best]) out.best = i;
+  }
+  return out;
+}
+
+}  // namespace internal
+
+HmmMapMatcher::HmmMapMatcher(const roadnet::RoadNetwork* net, HmmConfig config)
+    : net_(net), config_(config), index_(net) {
+  if (config_.transition_table_bound_m > 0.0) {
+    table_.Build(*net, config_.transition_table_bound_m);
+  }
+}
+
+Result<traj::MapMatchedTrajectory> HmmMapMatcher::MatchImpl(
+    const traj::RawTrajectory& raw, internal::Kernel kernel,
+    Scratch* scratch) const {
   if (raw.points.empty()) {
     return Status::InvalidArgument("empty raw trajectory");
   }
-
-  // Build the candidate lattice, skipping fixes with no nearby segment.
-  struct Layer {
-    size_t point_index;
-    std::vector<EdgeCandidate> candidates;
-  };
-  std::vector<Layer> lattice;
+  internal::Lattice& lat = scratch->lattice;
+  lat.Clear();
   for (size_t i = 0; i < raw.points.size(); ++i) {
-    auto cands = index_.Query(raw.points[i].pos, config_.candidate_radius_m,
-                              config_.max_candidates);
-    if (!cands.empty()) lattice.push_back({i, std::move(cands)});
+    internal::AppendLayer(*this, raw.points[i], i, kernel, scratch, &lat);
   }
-  if (lattice.empty()) {
-    return Status::NotFound("no candidate segments near any GPS fix");
+  RL4_ASSIGN_OR_RETURN(internal::DecodedPieces decoded,
+                       internal::Decode(*this, lat, raw.id));
+  return std::move(decoded.pieces[decoded.best]);
+}
+
+Result<traj::MapMatchedTrajectory> HmmMapMatcher::Match(
+    const traj::RawTrajectory& raw) const {
+  Scratch scratch;
+  return MatchImpl(raw, internal::Kernel::kFast, &scratch);
+}
+
+Result<traj::MapMatchedTrajectory> HmmMapMatcher::Match(
+    const traj::RawTrajectory& raw, Scratch* scratch) const {
+  return MatchImpl(raw, internal::Kernel::kFast, scratch);
+}
+
+Result<traj::MapMatchedTrajectory> HmmMapMatcher::MatchReference(
+    const traj::RawTrajectory& raw) const {
+  Scratch scratch;
+  return MatchImpl(raw, internal::Kernel::kReference, &scratch);
+}
+
+Result<std::vector<traj::MapMatchedTrajectory>> HmmMapMatcher::MatchSegments(
+    const traj::RawTrajectory& raw, Scratch* scratch) const {
+  Scratch local;
+  if (scratch == nullptr) scratch = &local;
+  if (raw.points.empty()) {
+    return Status::InvalidArgument("empty raw trajectory");
   }
-
-  // Viterbi in log space.
-  const double sigma = config_.gps_sigma_m;
-  auto log_emission = [sigma](double d) {
-    return -0.5 * (d / sigma) * (d / sigma);
-  };
-  const double beta_m = 50.0 * config_.transition_beta;
-
-  std::vector<std::vector<double>> score(lattice.size());
-  std::vector<std::vector<int>> back(lattice.size());
-  score[0].resize(lattice[0].candidates.size());
-  back[0].assign(lattice[0].candidates.size(), -1);
-  for (size_t c = 0; c < lattice[0].candidates.size(); ++c) {
-    score[0][c] = log_emission(lattice[0].candidates[c].distance_m);
+  internal::Lattice& lat = scratch->lattice;
+  lat.Clear();
+  for (size_t i = 0; i < raw.points.size(); ++i) {
+    internal::AppendLayer(*this, raw.points[i], i, internal::Kernel::kFast,
+                          scratch, &lat);
   }
+  RL4_ASSIGN_OR_RETURN(internal::DecodedPieces decoded,
+                       internal::Decode(*this, lat, raw.id));
+  return std::move(decoded.pieces);
+}
 
-  for (size_t t = 1; t < lattice.size(); ++t) {
-    const auto& prev_pt = raw.points[lattice[t - 1].point_index].pos;
-    const auto& cur_pt = raw.points[lattice[t].point_index].pos;
-    const double gc = roadnet::ApproxDistanceMeters(prev_pt, cur_pt);
-    const double max_net =
-        std::max(gc * config_.max_network_detour, gc + 300.0);
-
-    // One bounded Dijkstra per previous candidate covers all transitions.
-    std::vector<std::unordered_map<roadnet::EdgeId, double>> netdist(
-        lattice[t - 1].candidates.size());
-    for (size_t p = 0; p < lattice[t - 1].candidates.size(); ++p) {
-      netdist[p] = BoundedEdgeDistances(
-          *net_, lattice[t - 1].candidates[p].edge, max_net);
+std::vector<Result<traj::MapMatchedTrajectory>> HmmMapMatcher::MatchBatch(
+    const std::vector<traj::RawTrajectory>& raws, int threads) const {
+  const size_t n = raws.size();
+  // Result<T> has no default constructor; prefill every slot with an error
+  // so workers can plain-assign into disjoint indices.
+  std::vector<Result<traj::MapMatchedTrajectory>> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.emplace_back(Status::Internal("batch slot not matched"));
+  }
+  size_t num_workers = threads < 1 ? 1 : static_cast<size_t>(threads);
+  num_workers = std::min(num_workers, n == 0 ? size_t{1} : n);
+  if (num_workers <= 1) {
+    Scratch scratch;
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = MatchImpl(raws[i], internal::Kernel::kFast, &scratch);
     }
-
-    score[t].assign(lattice[t].candidates.size(), kNegInf);
-    back[t].assign(lattice[t].candidates.size(), -1);
-    for (size_t c = 0; c < lattice[t].candidates.size(); ++c) {
-      const roadnet::EdgeId ce = lattice[t].candidates[c].edge;
-      double best = kNegInf;
-      int best_p = -1;
-      for (size_t p = 0; p < lattice[t - 1].candidates.size(); ++p) {
-        if (score[t - 1][p] == kNegInf) continue;
-        auto it = netdist[p].find(ce);
-        if (it == netdist[p].end()) continue;
-        const double log_trans = -std::abs(gc - it->second) / beta_m;
-        const double s = score[t - 1][p] + log_trans;
-        if (s > best) {
-          best = s;
-          best_p = static_cast<int>(p);
-        }
+    return out;
+  }
+  // Strided sharding; each worker owns its scratch and writes only its own
+  // slots, so no synchronization is needed beyond the joins. Results are
+  // keyed by input index, making output thread-count invariant.
+  std::vector<std::thread> workers;
+  workers.reserve(num_workers);
+  for (size_t w = 0; w < num_workers; ++w) {
+    workers.emplace_back([this, &raws, &out, n, num_workers, w] {
+      Scratch scratch;
+      for (size_t i = w; i < n; i += num_workers) {
+        out[i] = MatchImpl(raws[i], internal::Kernel::kFast, &scratch);
       }
-      if (best_p >= 0) {
-        score[t][c] = best + log_emission(lattice[t].candidates[c].distance_m);
-        back[t][c] = best_p;
-      }
-    }
-    // If the whole layer is unreachable (GPS gap), restart from emissions;
-    // the gap is stitched with a shortest path afterwards.
-    bool any = std::any_of(score[t].begin(), score[t].end(),
-                           [](double s) { return s != kNegInf; });
-    if (!any) {
-      for (size_t c = 0; c < lattice[t].candidates.size(); ++c) {
-        score[t][c] = log_emission(lattice[t].candidates[c].distance_m);
-        back[t][c] = -1;
-      }
-    }
+    });
   }
-
-  // Backtrack.
-  std::vector<roadnet::EdgeId> matched(lattice.size());
-  int cur = static_cast<int>(std::distance(
-      score.back().begin(),
-      std::max_element(score.back().begin(), score.back().end())));
-  for (size_t t = lattice.size(); t-- > 0;) {
-    matched[t] = lattice[t].candidates[cur].edge;
-    cur = back[t][cur];
-    if (cur < 0 && t > 0) {
-      // Restarted layer: greedily pick the best-scoring candidate below.
-      cur = static_cast<int>(std::distance(
-          score[t - 1].begin(),
-          std::max_element(score[t - 1].begin(), score[t - 1].end())));
-    }
-  }
-
-  // Collapse duplicates and stitch non-adjacent consecutive edges.
-  traj::MapMatchedTrajectory out;
-  out.id = raw.id;
-  out.start_time = raw.points.front().t;
-  for (roadnet::EdgeId e : matched) {
-    if (!out.edges.empty() && out.edges.back() == e) continue;
-    if (!out.edges.empty() && !net_->AreConsecutive(out.edges.back(), e)) {
-      auto bridge = roadnet::ShortestPathBetweenEdges(*net_, out.edges.back(), e);
-      if (bridge.size() >= 2) {
-        // Skip the first (already present) and append the rest.
-        for (size_t k = 1; k + 1 < bridge.size(); ++k) {
-          out.edges.push_back(bridge[k]);
-        }
-      } else {
-        return Status::Internal("could not stitch matched edges");
-      }
-    }
-    out.edges.push_back(e);
-  }
-  if (!net_->IsConnectedPath(out.edges)) {
-    return Status::Internal("matched trajectory is not connected");
-  }
+  for (auto& worker : workers) worker.join();
   return out;
 }
 

@@ -17,16 +17,19 @@ SpatialIndex::SpatialIndex(const roadnet::RoadNetwork* net,
   // extents are small enough that one scale suffices.
   double ref_lat = 0.0;
   if (net->NumVertices() > 0) ref_lat = net->vertex(0).pos.lat;
-  const double meters_per_deg_lon =
+  meters_per_deg_lon_ =
       kMetersPerDegLat * std::cos(ref_lat * 3.14159265358979 / 180.0);
   cell_deg_lat_ = cell_size_m / kMetersPerDegLat;
-  cell_deg_lon_ = cell_size_m / meters_per_deg_lon;
+  cell_deg_lon_ = cell_size_m / meters_per_deg_lon_;
 
+  boxes_.reserve(net->NumEdges());
   for (roadnet::EdgeId e = 0; e < static_cast<roadnet::EdgeId>(net->NumEdges());
        ++e) {
     const auto& edge = net->edge(e);
     const auto& a = net->vertex(edge.from).pos;
     const auto& b = net->vertex(edge.to).pos;
+    boxes_.push_back({std::min(a.lat, b.lat), std::max(a.lat, b.lat),
+                      std::min(a.lon, b.lon), std::max(a.lon, b.lon)});
     const int x0 = CellX(std::min(a.lon, b.lon));
     const int x1 = CellX(std::max(a.lon, b.lon));
     const int y0 = CellY(std::min(a.lat, b.lat));
@@ -49,6 +52,103 @@ int SpatialIndex::CellY(double lat) const {
 std::vector<EdgeCandidate> SpatialIndex::Query(const roadnet::LatLon& p,
                                                double radius_m,
                                                size_t max_candidates) const {
+  QueryScratch scratch;
+  std::vector<EdgeCandidate> out;
+  QueryInto(p, radius_m, max_candidates, &scratch, &out);
+  return out;
+}
+
+void SpatialIndex::QueryInto(const roadnet::LatLon& p, double radius_m,
+                             size_t max_candidates, QueryScratch* scratch,
+                             std::vector<EdgeCandidate>* out) const {
+  out->clear();
+  if (max_candidates == 0 || radius_m < 0.0) return;
+
+  // Exact ring iteration: an edge within `radius_m` of `p` passes through at
+  // least one cell whose rectangle comes within `radius_m` of `p` (the edge
+  // is registered in every cell its bounding box overlaps, including the one
+  // containing its closest point to `p`). So it suffices to visit, per cell
+  // row, the contiguous dx range whose rectangle-to-point distance is within
+  // the radius. The per-cell bound is made slightly conservative (inflated
+  // radius) to absorb the difference between this planar scale and the
+  // equirectangular metric used for the exact per-edge distances below;
+  // extra cells cost a lookup, a skipped qualifying cell would cost
+  // correctness.
+  const double slack_m = radius_m * 0.02 + 1.0;
+  const int cx = CellX(p.lon);
+  const int cy = CellY(p.lat);
+  const int ry =
+      static_cast<int>(std::ceil((radius_m + slack_m) /
+                                 (cell_deg_lat_ * kMetersPerDegLat)));
+  std::vector<roadnet::EdgeId>& ids = scratch->ids_;
+  ids.clear();
+  for (int dy = -ry; dy <= ry; ++dy) {
+    // Meters from p.lat to the nearest latitude of cell row (cy + dy).
+    double lat_gap_deg = 0.0;
+    if (dy > 0) {
+      lat_gap_deg = static_cast<double>(cy + dy) * cell_deg_lat_ - p.lat;
+    } else if (dy < 0) {
+      lat_gap_deg = p.lat - static_cast<double>(cy + dy + 1) * cell_deg_lat_;
+    }
+    const double lat_gap_m = std::max(0.0, lat_gap_deg) * kMetersPerDegLat;
+    if (lat_gap_m > radius_m + slack_m) continue;
+    // Within this row, the reachable dx range: lon gap shrinks the budget
+    // left after the lat gap.
+    const double lon_budget_m =
+        std::sqrt(std::max(0.0, (radius_m + slack_m) * (radius_m + slack_m) -
+                                    lat_gap_m * lat_gap_m));
+    const int rx = static_cast<int>(
+        std::ceil(lon_budget_m / (cell_deg_lon_ * meters_per_deg_lon_)));
+    for (int dx = -rx; dx <= rx; ++dx) {
+      auto it = cells_.find(CellKey(cx + dx, cy + dy));
+      if (it == cells_.end()) continue;
+      ids.insert(ids.end(), it->second.begin(), it->second.end());
+    }
+  }
+  if (ids.empty()) return;
+  // Dedup edges seen from multiple cells. The per-cell lists are ascending,
+  // so after one sort the duplicates are adjacent.
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+
+  // Prescreen with per-edge bounding boxes before paying for the exact
+  // point-to-segment distance: the box-to-point distance lower-bounds the
+  // segment distance, and the same conservative slack absorbs the planar
+  // scale difference, so no qualifying edge can be prescreened away.
+  const double screen_m = radius_m + slack_m;
+  const double screen_sq = screen_m * screen_m;
+  for (roadnet::EdgeId e : ids) {
+    const EdgeBox& box = boxes_[static_cast<size_t>(e)];
+    const double dlat_deg =
+        std::max({box.min_lat - p.lat, p.lat - box.max_lat, 0.0});
+    const double dlon_deg =
+        std::max({box.min_lon - p.lon, p.lon - box.max_lon, 0.0});
+    const double dy = dlat_deg * kMetersPerDegLat;
+    const double dx = dlon_deg * meters_per_deg_lon_;
+    if (dy * dy + dx * dx > screen_sq) continue;
+    const auto& edge = net_->edge(e);
+    const double d = roadnet::PointToSegmentMeters(
+        p, net_->vertex(edge.from).pos, net_->vertex(edge.to).pos);
+    if (d <= radius_m) out->push_back({e, d});
+  }
+  // (distance, edge id) is a total order over distinct edges, so the result
+  // sequence — including which candidates survive the cap — is fully
+  // deterministic.
+  std::sort(out->begin(), out->end(),
+            [](const EdgeCandidate& a, const EdgeCandidate& b) {
+              return a.distance_m != b.distance_m ? a.distance_m < b.distance_m
+                                                  : a.edge < b.edge;
+            });
+  if (out->size() > max_candidates) out->resize(max_candidates);
+}
+
+std::vector<EdgeCandidate> SpatialIndex::QueryReference(
+    const roadnet::LatLon& p, double radius_m, size_t max_candidates) const {
+  // Seed-era query, kept verbatim as the reference kernel's cost model:
+  // scan the full (2r+1)^2 cell square, dedup through a hash set, and take
+  // the exact distance of every edge touched. Only the final comparator
+  // departs from the seed (total order on (distance, edge id) instead of
+  // distance alone) so both kernels share one pinned tie order.
   const int rx = static_cast<int>(
                      std::ceil(radius_m / kMetersPerDegLat / cell_deg_lat_)) +
                  1;
@@ -71,7 +171,8 @@ std::vector<EdgeCandidate> SpatialIndex::Query(const roadnet::LatLon& p,
   }
   std::sort(out.begin(), out.end(),
             [](const EdgeCandidate& a, const EdgeCandidate& b) {
-              return a.distance_m < b.distance_m;
+              return a.distance_m != b.distance_m ? a.distance_m < b.distance_m
+                                                  : a.edge < b.edge;
             });
   if (out.size() > max_candidates) out.resize(max_candidates);
   return out;

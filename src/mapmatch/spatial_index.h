@@ -1,5 +1,10 @@
 // Uniform-grid spatial index over road segments, used to find candidate
-// edges near a GPS fix in O(1) expected time.
+// edges near a GPS fix in O(1) expected time. Queries are exact (identical
+// candidate sets to a brute-force scan over all edges) and deterministic:
+// results are ordered by (distance, edge id), a total order, so neither the
+// cell iteration order nor sort stability can leak into downstream
+// tie-breaking — the map matcher's Viterbi tie-breaks are pinned to this
+// ordering (see docs/ARCHITECTURE.md, "Map matching").
 #pragma once
 
 #include <unordered_map>
@@ -18,13 +23,44 @@ struct EdgeCandidate {
 /// Buckets edges by the grid cells their bounding boxes overlap.
 class SpatialIndex {
  public:
-  /// Builds the index with the given cell size (meters).
-  SpatialIndex(const roadnet::RoadNetwork* net, double cell_size_m = 250.0);
+  /// Reusable per-thread query buffers. QueryInto with a caller-owned
+  /// scratch allocates nothing in steady state; the index itself stays
+  /// immutable, so any number of threads can query one index as long as
+  /// each brings its own scratch.
+  class QueryScratch {
+   public:
+    QueryScratch() = default;
 
-  /// Returns up to `max_candidates` edges within `radius_m` of `p`, sorted by
-  /// distance (closest first).
+   private:
+    friend class SpatialIndex;
+    std::vector<roadnet::EdgeId> ids_;
+  };
+
+  /// Builds the index with the given cell size (meters).
+  explicit SpatialIndex(const roadnet::RoadNetwork* net,
+                        double cell_size_m = 250.0);
+
+  /// Returns up to `max_candidates` edges within `radius_m` of `p`, ordered
+  /// by (distance, edge id). Convenience wrapper over QueryInto.
   std::vector<EdgeCandidate> Query(const roadnet::LatLon& p, double radius_m,
                                    size_t max_candidates = 8) const;
+
+  /// Allocation-free query into `out` (cleared first), using the caller's
+  /// scratch buffers. Same results as Query.
+  void QueryInto(const roadnet::LatLon& p, double radius_m,
+                 size_t max_candidates, QueryScratch* scratch,
+                 std::vector<EdgeCandidate>* out) const;
+
+  /// The seed-era query, preserved as the reference cost model for
+  /// bench_mapmatch: full (2r+1)^2 cell square, hash-set dedup, exact
+  /// distance for every touched edge, fresh allocations per call. Returns
+  /// the same candidates as Query — the only departure from the seed code
+  /// is the final (distance, edge id) sort, which pins the tie order both
+  /// kernels share (the seed's distance-only unstable sort left edge order
+  /// at equal distance unspecified).
+  std::vector<EdgeCandidate> QueryReference(const roadnet::LatLon& p,
+                                            double radius_m,
+                                            size_t max_candidates = 8) const;
 
  private:
   int64_t CellKey(int cx, int cy) const {
@@ -33,10 +69,21 @@ class SpatialIndex {
   int CellX(double lon) const;
   int CellY(double lat) const;
 
+  struct EdgeBox {
+    double min_lat, max_lat, min_lon, max_lon;
+  };
+
   const roadnet::RoadNetwork* net_;
   double cell_deg_lat_;
   double cell_deg_lon_;
+  double meters_per_deg_lon_;
+  // Values are ascending edge-id lists (edges are inserted in id order at
+  // build time), so concatenation + sort + unique dedups cheaply.
   std::unordered_map<int64_t, std::vector<roadnet::EdgeId>> cells_;
+  // Per-edge bounding boxes for the query prescreen: box distance lower-
+  // bounds segment distance, so edges whose box is (conservatively) outside
+  // the radius skip the exact point-to-segment evaluation.
+  std::vector<EdgeBox> boxes_;
 };
 
 }  // namespace rl4oasd::mapmatch

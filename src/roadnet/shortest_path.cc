@@ -112,6 +112,102 @@ double NetworkDistanceMeters(const RoadNetwork& net, EdgeId src_edge,
   return d;
 }
 
+void EdgeDijkstra::Attach(const RoadNetwork* net) {
+  if (net_ == net) return;
+  net_ = net;
+  const size_t n = net == nullptr ? 0 : net->NumEdges();
+  dist_.assign(n, 0.0);
+  reached_epoch_.assign(n, 0);
+  finished_epoch_.assign(n, 0);
+  target_epoch_.assign(n, 0);
+  run_epoch_ = 0;
+  target_gen_ = 0;
+  num_targets_ = 0;
+}
+
+void EdgeDijkstra::BumpRunEpoch() {
+  // The run epoch doubles as the "reached"/"finished" stamp; on the (in
+  // practice unreachable) wrap, clear the stamps so a stale epoch from 4
+  // billion runs ago cannot alias a live one.
+  if (run_epoch_ == std::numeric_limits<uint32_t>::max()) {
+    std::fill(reached_epoch_.begin(), reached_epoch_.end(), 0u);
+    std::fill(finished_epoch_.begin(), finished_epoch_.end(), 0u);
+    run_epoch_ = 0;
+  }
+  ++run_epoch_;
+}
+
+void EdgeDijkstra::SetTargets(const EdgeId* targets, size_t count) {
+  if (target_gen_ == std::numeric_limits<uint32_t>::max()) {
+    std::fill(target_epoch_.begin(), target_epoch_.end(), 0u);
+    target_gen_ = 0;
+  }
+  ++target_gen_;
+  num_targets_ = count;
+  for (size_t i = 0; i < count; ++i) {
+    target_epoch_[static_cast<size_t>(targets[i])] = target_gen_;
+  }
+}
+
+void EdgeDijkstra::Run(EdgeId src, double max_dist_m) {
+  BumpRunEpoch();
+  heap_.clear();
+  const auto cmp = [](const std::pair<double, EdgeId>& a,
+                      const std::pair<double, EdgeId>& b) {
+    return a.first > b.first;  // min-heap on distance
+  };
+  size_t targets_left = num_targets_;
+  const size_t s = static_cast<size_t>(src);
+  dist_[s] = 0.0;
+  reached_epoch_[s] = run_epoch_;
+  heap_.emplace_back(0.0, src);
+  while (!heap_.empty()) {
+    const auto [d, e] = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), cmp);
+    heap_.pop_back();
+    const size_t ei = static_cast<size_t>(e);
+    if (d > dist_[ei]) continue;  // lazy deletion of a superseded entry
+    if (finished_epoch_[ei] != run_epoch_) {
+      finished_epoch_[ei] = run_epoch_;
+      if (targets_left > 0 && target_epoch_[ei] == target_gen_ &&
+          --targets_left == 0) {
+        return;  // every declared target settled — its distance is final
+      }
+    }
+    for (EdgeId next : net_->NextEdges(e)) {
+      const double nd = d + net_->edge(next).length_m;
+      if (nd > max_dist_m) continue;
+      const size_t ni = static_cast<size_t>(next);
+      if (reached_epoch_[ni] == run_epoch_ && dist_[ni] <= nd) continue;
+      dist_[ni] = nd;
+      reached_epoch_[ni] = run_epoch_;
+      heap_.emplace_back(nd, next);
+      std::push_heap(heap_.begin(), heap_.end(), cmp);
+    }
+  }
+}
+
+void EdgeDistanceTable::Build(const RoadNetwork& net, double bound_m) {
+  bound_m_ = bound_m;
+  const size_t n = net.NumEdges();
+  offsets_.assign(n + 1, 0);
+  entries_.clear();
+  // Reuses EdgeDijkstra rather than a private search so a table entry is the
+  // product of the exact same relaxation sequence as a live query — the
+  // bit-equality contract between the two lookup paths is structural, not a
+  // numerical coincidence.
+  EdgeDijkstra search(&net);
+  for (EdgeId src = 0; src < static_cast<EdgeId>(n); ++src) {
+    offsets_[static_cast<size_t>(src)] = entries_.size();
+    search.Run(src, bound_m);
+    for (size_t e = 0; e < n; ++e) {
+      const double d = search.DistanceTo(static_cast<EdgeId>(e));
+      if (d >= 0.0) entries_.push_back({static_cast<EdgeId>(e), d});
+    }
+  }
+  offsets_[n] = entries_.size();
+}
+
 std::vector<std::vector<EdgeId>> AlternativeRoutes(const RoadNetwork& net,
                                                    EdgeId src_edge,
                                                    EdgeId dst_edge, int k,

@@ -4,7 +4,9 @@
 // "several distinct normal routes per SD pair" structure.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "roadnet/road_network.h"
@@ -31,6 +33,109 @@ std::vector<EdgeId> ShortestPathBetweenEdges(
 /// matcher's transition model. Returns a negative value if unreachable.
 double NetworkDistanceMeters(const RoadNetwork& net, EdgeId src_edge,
                              EdgeId dst_edge);
+
+/// Reusable bounded Dijkstra over the edge graph (nodes are edges; stepping
+/// onto a successor edge costs that successor's length). Distances are
+/// "meters of edges traversed after `src`", the map matcher's transition
+/// metric. The search state lives in epoch-stamped flat arrays sized to the
+/// network plus one shared heap buffer, so back-to-back runs allocate
+/// nothing and reset in O(1) — this replaces the seed matcher's fresh
+/// `unordered_map` per (layer, candidate) search.
+///
+/// Optionally, a target set can be declared before a batch of runs; each run
+/// then terminates as soon as every target is settled (its distance is
+/// final), instead of flooding the whole `max_dist_m` ball. Early
+/// termination is exact: a settled distance equals what the exhaustive
+/// search would produce, and targets not reached within the bound are
+/// reported unreachable either way.
+///
+/// Not thread-safe; use one instance per thread.
+class EdgeDijkstra {
+ public:
+  EdgeDijkstra() = default;
+  explicit EdgeDijkstra(const RoadNetwork* net) { Attach(net); }
+
+  /// Binds the search to a network (re-binding resizes the scratch arrays).
+  void Attach(const RoadNetwork* net);
+
+  /// Declares the target set for subsequent Run() calls. Targets must be
+  /// distinct edge ids. An empty set disables early termination.
+  void SetTargets(const EdgeId* targets, size_t count);
+
+  /// Bounded search from `src`: after this, DistanceTo(e) is valid for every
+  /// edge settled within `max_dist_m`. With targets declared, stops as soon
+  /// as all of them are settled.
+  void Run(EdgeId src, double max_dist_m);
+
+  /// Distance from the last Run()'s source to `e` (0 for the source itself),
+  /// or a negative value if `e` was not reached within the bound.
+  double DistanceTo(EdgeId e) const {
+    return finished_epoch_[static_cast<size_t>(e)] == run_epoch_
+               ? dist_[static_cast<size_t>(e)]
+               : -1.0;
+  }
+
+ private:
+  void BumpRunEpoch();
+
+  const RoadNetwork* net_ = nullptr;
+  std::vector<double> dist_;
+  std::vector<uint32_t> reached_epoch_;   // dist_[e] is a live tentative value
+  std::vector<uint32_t> finished_epoch_;  // dist_[e] is settled (final)
+  std::vector<uint32_t> target_epoch_;    // e is in the declared target set
+  uint32_t run_epoch_ = 0;
+  uint32_t target_gen_ = 0;
+  size_t num_targets_ = 0;
+  std::vector<std::pair<double, EdgeId>> heap_;  // min-heap buffer, reused
+};
+
+/// Precomputed bounded all-pairs edge distances — the FMM accelerator
+/// (an upper-bounded origin-destination table): one bounded Dijkstra per
+/// source edge at build time, then every (src, dst) distance within
+/// `bound_m` is a binary search in a CSR row. Exact by construction: an
+/// entry is the same settled distance EdgeDijkstra::Run computes, and a
+/// missing entry means the true distance exceeds `bound_m` (bounded-search
+/// reachability equals a true-distance comparison because prefix sums of
+/// non-negative edge lengths are monotone). Immutable after Build, so any
+/// number of threads may share one table.
+class EdgeDistanceTable {
+ public:
+  EdgeDistanceTable() = default;
+
+  /// Builds the table over all source edges (O(E) bounded searches).
+  void Build(const RoadNetwork& net, double bound_m);
+
+  bool built() const { return !offsets_.empty(); }
+  double bound_m() const { return bound_m_; }
+  size_t NumEntries() const { return entries_.size(); }
+
+  /// Distance from `src` to `dst` (0 for src == dst), or a negative value
+  /// if it exceeds bound_m. Only valid after Build.
+  double DistanceTo(EdgeId src, EdgeId dst) const {
+    const Entry* lo = entries_.data() + offsets_[static_cast<size_t>(src)];
+    const Entry* hi = entries_.data() + offsets_[static_cast<size_t>(src) + 1];
+    while (lo < hi) {
+      const Entry* mid = lo + (hi - lo) / 2;
+      if (mid->dst < dst) {
+        lo = mid + 1;
+      } else if (mid->dst > dst) {
+        hi = mid;
+      } else {
+        return mid->dist;
+      }
+    }
+    return -1.0;
+  }
+
+ private:
+  struct Entry {
+    EdgeId dst;
+    double dist;
+  };
+  std::vector<size_t> offsets_;  // per-source row bounds into entries_
+  std::vector<Entry> entries_;   // rows sorted by dst (built in id order)
+  double bound_m_ = 0.0;
+};
 
 /// Generates up to k maximally-distinct routes between two edges by
 /// iteratively penalizing edges of previously found routes (multiplying

@@ -38,7 +38,11 @@ RawTrajectory GpsSampler::Sample(const MapMatchedTrajectory& traj) {
           kMetersPerDegLat * std::cos(p.lat * 3.14159265358979 / 180.0);
       p.lat += rng_.Gaussian(0.0, config_.noise_sigma_m) / kMetersPerDegLat;
       p.lon += rng_.Gaussian(0.0, config_.noise_sigma_m) / meters_per_deg_lon;
-      raw.points.push_back(RawPoint{p, next_sample});
+      // Only draw for dropout when enabled, so dropout_prob == 0 leaves the
+      // RNG stream (and thus every seeded dataset) unchanged.
+      const bool dropped = config_.dropout_prob > 0.0 &&
+                           rng_.Uniform(0.0, 1.0) < config_.dropout_prob;
+      if (!dropped) raw.points.push_back(RawPoint{p, next_sample});
       next_sample +=
           rng_.Uniform(config_.min_interval_s, config_.max_interval_s);
     }

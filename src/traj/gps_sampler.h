@@ -16,6 +16,10 @@ struct GpsSamplerConfig {
   double noise_sigma_m = 10.0;   // GPS position noise (std dev)
   double speed_factor_min = 0.7; // vehicles drive at 70-110% of limit
   double speed_factor_max = 1.1;
+  // Probability that a generated fix is dropped (receiver outage). Useful
+  // for exercising the map matcher's gap handling; 0 keeps the RNG stream
+  // identical to earlier configs.
+  double dropout_prob = 0.0;
 };
 
 /// Samples a noisy raw trajectory from a map-matched one.

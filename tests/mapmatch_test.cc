@@ -122,5 +122,207 @@ TEST(HmmMatcherTest, PreservesStartTime) {
   EXPECT_EQ(matched->id, raw.id);
 }
 
+// Regression: the seed matcher stamped start_time from the first *raw* fix
+// even when that fix was off-network and never matched. The contract is the
+// first *matched* fix's timestamp.
+TEST(HmmMatcherTest, StartTimeFromFirstMatchedFix) {
+  const auto net = SmallGrid();
+  HmmMapMatcher matcher(&net);
+  traj::RawTrajectory raw;
+  raw.id = 7;
+  // Two fixes ~100 km off-network (dropped from the lattice), then two
+  // on-network fixes starting at t = 100.
+  raw.points.push_back({{10.0, 50.0}, 0.0});
+  raw.points.push_back({{10.0, 50.001}, 2.0});
+  const roadnet::EdgeId e = 10;
+  const roadnet::EdgeId next = net.NextEdges(e)[0];
+  raw.points.push_back({net.EdgeMidpoint(e), 100.0});
+  raw.points.push_back({net.EdgeMidpoint(next), 103.0});
+  auto matched = matcher.Match(raw);
+  ASSERT_TRUE(matched.ok()) << matched.status().ToString();
+  EXPECT_DOUBLE_EQ(matched->start_time, 100.0);
+}
+
+// Exactness: the grid index must return the same candidate set as a brute
+// force scan over every edge, in the pinned (distance, edge id) order.
+TEST(SpatialIndexTest, QueryMatchesBruteForceExactly) {
+  const auto net = SmallGrid();
+  SpatialIndex index(&net);
+  const std::vector<double> radii = {15.0, 60.0, 140.0, 400.0};
+  for (roadnet::EdgeId probe = 0;
+       probe < static_cast<roadnet::EdgeId>(net.NumEdges()); probe += 37) {
+    const auto p = net.EdgeMidpoint(probe);
+    for (double radius : radii) {
+      std::vector<EdgeCandidate> expected;
+      for (roadnet::EdgeId e = 0;
+           e < static_cast<roadnet::EdgeId>(net.NumEdges()); ++e) {
+        const auto& edge = net.edge(e);
+        const double d = roadnet::PointToSegmentMeters(
+            p, net.vertex(edge.from).pos, net.vertex(edge.to).pos);
+        if (d <= radius) expected.push_back({e, d});
+      }
+      std::sort(expected.begin(), expected.end(),
+                [](const EdgeCandidate& a, const EdgeCandidate& b) {
+                  return a.distance_m != b.distance_m
+                             ? a.distance_m < b.distance_m
+                             : a.edge < b.edge;
+                });
+      const auto got = index.Query(p, radius, net.NumEdges());
+      ASSERT_EQ(got.size(), expected.size()) << "radius " << radius;
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].edge, expected[i].edge);
+        EXPECT_EQ(got[i].distance_m, expected[i].distance_m);
+      }
+      // The seed-era reference query returns the identical sequence.
+      const auto ref = index.QueryReference(p, radius, net.NumEdges());
+      ASSERT_EQ(ref.size(), expected.size()) << "radius " << radius;
+      for (size_t i = 0; i < ref.size(); ++i) {
+        EXPECT_EQ(ref[i].edge, expected[i].edge);
+        EXPECT_EQ(ref[i].distance_m, expected[i].distance_m);
+      }
+      // The cap keeps the prefix of the same order.
+      const auto capped = index.Query(p, radius, 3);
+      for (size_t i = 0; i < capped.size(); ++i) {
+        EXPECT_EQ(capped[i].edge, expected[i].edge);
+      }
+    }
+  }
+}
+
+// Two line subnetworks ~2.2 km apart with no connecting edge: the gap is
+// unbridgeable. The seed matcher failed the whole trajectory with an
+// Internal error; the contract now is graceful degradation into pieces.
+roadnet::RoadNetwork MakeTwoIslands() {
+  roadnet::RoadNetwork net;
+  std::vector<roadnet::VertexId> a, b;
+  for (int i = 0; i < 3; ++i) {
+    a.push_back(net.AddVertex({30.0, 104.0 + 0.001 * i}));
+    b.push_back(net.AddVertex({30.02, 104.0 + 0.001 * i}));
+  }
+  net.AddEdge(a[0], a[1]);  // edge 0
+  net.AddEdge(a[1], a[2]);  // edge 1
+  net.AddEdge(b[0], b[1]);  // edge 2
+  net.AddEdge(b[1], b[2]);  // edge 3
+  net.Build();
+  return net;
+}
+
+traj::RawTrajectory TwoIslandsRaw(const roadnet::RoadNetwork& net) {
+  traj::RawTrajectory raw;
+  raw.id = 42;
+  raw.points.push_back({net.EdgeMidpoint(0), 0.0});
+  raw.points.push_back({net.EdgeMidpoint(1), 2.0});
+  raw.points.push_back({net.EdgeMidpoint(2), 50.0});
+  raw.points.push_back({net.EdgeMidpoint(3), 52.0});
+  raw.points.push_back({net.EdgeMidpoint(3), 54.0});
+  return raw;
+}
+
+TEST(GapHandlingTest, UnbridgeableGapDegradesToLargestPiece) {
+  const auto net = MakeTwoIslands();
+  HmmMapMatcher matcher(&net);
+  const auto raw = TwoIslandsRaw(net);
+  // Seed behavior: Status::Internal("could not stitch matched edges").
+  auto matched = matcher.Match(raw);
+  ASSERT_TRUE(matched.ok()) << matched.status().ToString();
+  // The second island spans 3 of the 5 fixes, so it is the piece returned.
+  EXPECT_EQ(matched->edges, (std::vector<traj::EdgeId>{2, 3}));
+  EXPECT_DOUBLE_EQ(matched->start_time, 50.0);
+}
+
+TEST(GapHandlingTest, MatchSegmentsReturnsAllPiecesInTimeOrder) {
+  const auto net = MakeTwoIslands();
+  for (GapPolicy policy : {GapPolicy::kBridge, GapPolicy::kSplit}) {
+    HmmConfig cfg;
+    cfg.gap_policy = policy;
+    HmmMapMatcher matcher(&net, cfg);
+    const auto raw = TwoIslandsRaw(net);
+    auto pieces = matcher.MatchSegments(raw);
+    ASSERT_TRUE(pieces.ok()) << pieces.status().ToString();
+    ASSERT_EQ(pieces->size(), 2u);
+    EXPECT_EQ((*pieces)[0].edges, (std::vector<traj::EdgeId>{0, 1}));
+    EXPECT_DOUBLE_EQ((*pieces)[0].start_time, 0.0);
+    EXPECT_EQ((*pieces)[1].edges, (std::vector<traj::EdgeId>{2, 3}));
+    EXPECT_DOUBLE_EQ((*pieces)[1].start_time, 50.0);
+  }
+}
+
+// Pinned restart semantics (segmented Viterbi): under kSplit, matching a
+// gapped trajectory piecewise equals matching each side independently.
+TEST(GapHandlingTest, SplitPiecesEqualIndependentMatches) {
+  const auto net = MakeTwoIslands();
+  HmmConfig cfg;
+  cfg.gap_policy = GapPolicy::kSplit;
+  HmmMapMatcher matcher(&net, cfg);
+  const auto raw = TwoIslandsRaw(net);
+  auto pieces = matcher.MatchSegments(raw);
+  ASSERT_TRUE(pieces.ok());
+  ASSERT_EQ(pieces->size(), 2u);
+
+  traj::RawTrajectory pre, post;
+  pre.id = post.id = raw.id;
+  pre.points.assign(raw.points.begin(), raw.points.begin() + 2);
+  post.points.assign(raw.points.begin() + 2, raw.points.end());
+  auto m_pre = matcher.Match(pre);
+  auto m_post = matcher.Match(post);
+  ASSERT_TRUE(m_pre.ok() && m_post.ok());
+  EXPECT_EQ((*pieces)[0].edges, m_pre->edges);
+  EXPECT_EQ((*pieces)[0].start_time, m_pre->start_time);
+  EXPECT_EQ((*pieces)[1].edges, m_post->edges);
+  EXPECT_EQ((*pieces)[1].start_time, m_post->start_time);
+}
+
+// A divided one-way loop: two parallel carriageways ~89 m apart joined at
+// the ends. Hopping from the eastbound to the westbound side is a GPS gap
+// (network distance ~665 m exceeds the detour bound ~445 m) but a
+// connecting path exists, so kBridge stitches one connected route while
+// kSplit splits.
+roadnet::RoadNetwork MakeDividedLoop() {
+  roadnet::RoadNetwork net;
+  const auto p0 = net.AddVertex({30.0, 104.000});
+  const auto p1 = net.AddVertex({30.0, 104.002});
+  const auto p2 = net.AddVertex({30.0, 104.004});
+  const auto q0 = net.AddVertex({30.0008, 104.004});
+  const auto q1 = net.AddVertex({30.0008, 104.002});
+  const auto q2 = net.AddVertex({30.0008, 104.000});
+  net.AddEdge(p0, p1);  // 0: eastbound
+  net.AddEdge(p1, p2);  // 1
+  net.AddEdge(p2, q0);  // 2: crossover
+  net.AddEdge(q0, q1);  // 3: westbound
+  net.AddEdge(q1, q2);  // 4
+  net.AddEdge(q2, p0);  // 5: crossover back
+  net.Build();
+  return net;
+}
+
+TEST(GapHandlingTest, BridgeableGapStitchesUnderBridgePolicy) {
+  const auto net = MakeDividedLoop();
+  traj::RawTrajectory raw;
+  raw.id = 9;
+  raw.points.push_back({net.EdgeMidpoint(0), 0.0});
+  raw.points.push_back({net.EdgeMidpoint(0), 2.0});
+  raw.points.push_back({net.EdgeMidpoint(4), 10.0});
+
+  HmmMapMatcher bridge_matcher(&net);
+  auto stitched = bridge_matcher.Match(raw);
+  ASSERT_TRUE(stitched.ok()) << stitched.status().ToString();
+  EXPECT_EQ(stitched->edges, (std::vector<traj::EdgeId>{0, 1, 2, 3, 4}));
+  EXPECT_DOUBLE_EQ(stitched->start_time, 0.0);
+
+  HmmConfig split_cfg;
+  split_cfg.gap_policy = GapPolicy::kSplit;
+  HmmMapMatcher split_matcher(&net, split_cfg);
+  auto pieces = split_matcher.MatchSegments(raw);
+  ASSERT_TRUE(pieces.ok());
+  ASSERT_EQ(pieces->size(), 2u);
+  EXPECT_EQ((*pieces)[0].edges, (std::vector<traj::EdgeId>{0}));
+  EXPECT_EQ((*pieces)[1].edges, (std::vector<traj::EdgeId>{4}));
+  EXPECT_DOUBLE_EQ((*pieces)[1].start_time, 10.0);
+  // The split policy's Match keeps the piece with the most fixes (2 vs 1).
+  auto best = split_matcher.Match(raw);
+  ASSERT_TRUE(best.ok());
+  EXPECT_EQ(best->edges, (std::vector<traj::EdgeId>{0}));
+}
+
 }  // namespace
 }  // namespace rl4oasd::mapmatch

@@ -141,6 +141,55 @@ TEST(ShortestPathTest, NetworkDistance) {
   EXPECT_LT(NetworkDistanceMeters(net, 1, 0), 0.0);
 }
 
+TEST(EdgeDijkstraTest, MatchesNetworkDistance) {
+  GridCityConfig cfg;
+  cfg.rows = 8;
+  cfg.cols = 8;
+  const RoadNetwork net = BuildGridCity(cfg);
+  EdgeDijkstra search(&net);
+  const double bound = 1500.0;
+  for (EdgeId src = 0; src < static_cast<EdgeId>(net.NumEdges()); src += 29) {
+    search.Run(src, bound);
+    for (EdgeId dst = 0; dst < static_cast<EdgeId>(net.NumEdges());
+         dst += 17) {
+      const double d = search.DistanceTo(dst);
+      const double want = NetworkDistanceMeters(net, src, dst);
+      if (want >= 0.0 && want <= bound) {
+        EXPECT_DOUBLE_EQ(d, want) << src << "->" << dst;
+      } else {
+        EXPECT_LT(d, 0.0) << src << "->" << dst;
+      }
+    }
+  }
+}
+
+TEST(EdgeDistanceTableTest, BitIdenticalToLiveSearch) {
+  GridCityConfig cfg;
+  cfg.rows = 7;
+  cfg.cols = 7;
+  const RoadNetwork net = BuildGridCity(cfg);
+  EdgeDistanceTable table;
+  table.Build(net, 900.0);
+  ASSERT_TRUE(table.built());
+  EXPECT_DOUBLE_EQ(table.bound_m(), 900.0);
+  EdgeDijkstra search(&net);
+  for (EdgeId src = 0; src < static_cast<EdgeId>(net.NumEdges()); src += 13) {
+    search.Run(src, 900.0);
+    for (EdgeId dst = 0; dst < static_cast<EdgeId>(net.NumEdges()); ++dst) {
+      const double live = search.DistanceTo(dst);
+      const double tab = table.DistanceTo(src, dst);
+      if (live >= 0.0) {
+        // Exactly the live search's settled distance — no tolerance.
+        EXPECT_EQ(tab, live) << src << "->" << dst;
+      } else {
+        EXPECT_LT(tab, 0.0) << src << "->" << dst;
+      }
+    }
+    EXPECT_EQ(table.DistanceTo(src, src), 0.0);
+  }
+  EXPECT_GT(table.NumEntries(), net.NumEdges());  // beyond the diagonal
+}
+
 TEST(AlternativeRoutesTest, FindsDistinctRoutes) {
   const RoadNetwork net = MakeDiamond();
   const auto routes = AlternativeRoutes(net, 0, 1, 2);

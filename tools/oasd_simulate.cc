@@ -16,8 +16,14 @@
 // become pure producers and Quiesce() drains the pipeline before the
 // summary.
 //
+// Matched ingest: --matched-ingest replays each trip through the live GPS
+// front end — noisy fixes sampled along the ground-truth route (seeded per
+// vehicle), matched back to edges by the streaming map matcher — so the
+// monitor ingests what a deployment would actually see.
+//
 //   oasd_simulate --data-dir data --model data/model.rlmb --threads 4
 //   oasd_simulate ... --async --ingest-workers 4
+//   oasd_simulate ... --matched-ingest --gps-noise 15
 //   oasd_simulate ... --threads 1 --snapshot-every 5000
 //   oasd_simulate ... --threads 1 --resume-from data/fleet.snap
 #include <atomic>
@@ -34,11 +40,14 @@
 #include "common/stopwatch.h"
 #include "core/rl4oasd.h"
 #include "io/model_io.h"
+#include "mapmatch/hmm_matcher.h"
+#include "mapmatch/streaming_matcher.h"
 #include "serve/chaos.h"
 #include "serve/drift.h"
 #include "serve/fleet.h"
 #include "serve/ingest_guard.h"
 #include "tools/tool_util.h"
+#include "traj/gps_sampler.h"
 
 namespace rl4oasd {
 namespace {
@@ -111,6 +120,14 @@ int Main(int argc, char** argv) {
   flags.AddInt("adapt-min-buffer", 256,
                "harvested trips required before a retrain cycle starts "
                "(with --adapt)");
+  flags.AddBool("matched-ingest", false,
+                "re-derive each trip's edge stream through the live GPS "
+                "front end before ingest: noisy fixes are sampled from the "
+                "ground-truth route (seeded per vehicle, so the stream is "
+                "thread-count invariant) and matched back to edges by the "
+                "streaming map matcher");
+  flags.AddDouble("gps-noise", 10.0,
+                  "GPS noise sigma in meters for --matched-ingest");
   flags.AddString(
       "chaos", "",
       "perturb the replay stream before ingest with seeded chaos, e.g. "
@@ -256,9 +273,28 @@ int Main(int argc, char** argv) {
                  "synchronous sink callbacks)\n");
     return 1;
   }
+  const bool matched_ingest = flags.GetBool("matched-ingest");
+  const double gps_noise = flags.GetDouble("gps-noise");
+  if (matched_ingest && (durable_mode || chaos || batch_size > 0)) {
+    std::fprintf(stderr,
+                 "error: --matched-ingest supports the per-point and --async "
+                 "paths only — the snapshot cursor and --chaos index the "
+                 "clean edge stream, and the batched waves assume "
+                 "ground-truth trip lengths\n");
+    return 1;
+  }
   // Snapshot/resume rides the batched loop; --batch 0 degenerates to
   // one-trip waves, which FeedBatch runs through the scalar path.
   if (durable_mode && batch_size == 0) batch_size = 1;
+
+  // The GPS front end for --matched-ingest: one immutable matcher shared by
+  // every replay thread (each thread brings its own streaming scratch).
+  std::unique_ptr<mapmatch::HmmMapMatcher> gps_matcher;
+  if (matched_ingest) {
+    gps_matcher = std::make_unique<mapmatch::HmmMapMatcher>(&net);
+  }
+  std::atomic<int64_t> matched_trips{0};
+  std::atomic<int64_t> unmatched_trips{0};
 
   // Resumed state, keyed back to dataset positions via the deterministic
   // vid = rep * size + index assignment below.
@@ -346,11 +382,53 @@ int Main(int argc, char** argv) {
         tally.drop_gaps += c.drop_gaps;
         return pts;
       };
+      // --matched-ingest: drive the trip through the GPS front end. The
+      // sampler is seeded per vehicle (not per thread), so the noisy fixes
+      // — and therefore the matched stream — do not depend on --threads.
+      std::unique_ptr<mapmatch::StreamingMatcher> stream;
+      if (matched_ingest) {
+        stream = std::make_unique<mapmatch::StreamingMatcher>(
+            gps_matcher.get());
+      }
+      auto match_trip = [&](int64_t vid, const traj::MapMatchedTrajectory* t) {
+        traj::GpsSamplerConfig gps_cfg;
+        gps_cfg.noise_sigma_m = gps_noise;
+        traj::GpsSampler sampler(&net, gps_cfg,
+                                 /*seed=*/1234567u + static_cast<uint64_t>(vid));
+        traj::RawTrajectory raw = sampler.Sample(*t);
+        stream->Reset(vid);
+        for (const traj::RawPoint& pt : raw.points) stream->MatchPoint(pt);
+        std::vector<serve::FleetPoint> pts;
+        auto matched = stream->Finish();
+        if (!matched.ok() || matched->edges.size() < 2) {
+          unmatched_trips.fetch_add(1);
+          return pts;
+        }
+        matched_trips.fetch_add(1);
+        double ts = matched->start_time;
+        pts.reserve(matched->edges.size());
+        for (traj::EdgeId e : matched->edges) {
+          pts.push_back({vid, e, ts});
+          ts += 2.0;  // paper's sampling rate
+        }
+        return pts;
+      };
       if (async) {
         // Producer role: stage everything and move on. The shard workers
         // form the micro-batch waves; a full staging lane applies the
         // configured backpressure (kBlock by default, so nothing drops).
         for (const auto& [vid, t] : todo) {
+          if (matched_ingest) {
+            const std::vector<serve::FleetPoint> pts = match_trip(vid, t);
+            if (pts.empty()) continue;
+            if (!monitor.StartTrip(vid, t->sd(), pts.front().timestamp).ok()) {
+              continue;
+            }
+            for (const serve::FleetPoint& p : pts) (void)monitor.Submit(p);
+            (void)monitor.SubmitEndTrip(vid);
+            points.fetch_add(static_cast<int64_t>(pts.size()));
+            continue;
+          }
           if (!monitor.StartTrip(vid, t->sd(), t->start_time).ok()) continue;
           if (injector) {
             const std::vector<serve::FleetPoint> pts = perturb_trip(vid, t);
@@ -371,6 +449,19 @@ int Main(int argc, char** argv) {
       }
       if (batch_size == 0) {
         for (const auto& [vid, t] : todo) {
+          if (matched_ingest) {
+            const std::vector<serve::FleetPoint> pts = match_trip(vid, t);
+            if (pts.empty()) continue;
+            if (!monitor.StartTrip(vid, t->sd(), pts.front().timestamp).ok()) {
+              continue;
+            }
+            for (const serve::FleetPoint& p : pts) {
+              (void)monitor.Feed(p.vehicle_id, p.edge, p.timestamp);
+            }
+            (void)monitor.EndTrip(vid);
+            points.fetch_add(static_cast<int64_t>(pts.size()));
+            continue;
+          }
           if (!monitor.StartTrip(vid, t->sd(), t->start_time).ok()) continue;
           if (injector) {
             const std::vector<serve::FleetPoint> pts = perturb_trip(vid, t);
@@ -528,6 +619,12 @@ int Main(int argc, char** argv) {
                 static_cast<long long>(stats.points_submitted),
                 static_cast<long long>(stats.points_shed),
                 static_cast<long long>(stats.alerts_delivered));
+  }
+  if (matched_ingest) {
+    std::printf("  matched:    %lld trips via the GPS front end, %lld "
+                "unmatched/skipped (noise sigma %.1f m)\n",
+                static_cast<long long>(matched_trips.load()),
+                static_cast<long long>(unmatched_trips.load()), gps_noise);
   }
   if (chaos) {
     serve::ChaosCounts cc;
